@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: scenario execution at
+ * paper-length durations (10 minutes simulated, configurable through
+ * HYDRA_BENCH_SECONDS) and table formatting with paper-vs-measured
+ * columns.
+ */
+
+#ifndef HYDRA_BENCH_COMMON_HH
+#define HYDRA_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "tivo/harness.hh"
+
+namespace hydra::bench {
+
+/** Simulated measurement duration (default: the paper's 10 min). */
+inline sim::SimTime
+benchDuration()
+{
+    if (const char *env = std::getenv("HYDRA_BENCH_SECONDS")) {
+        const long seconds = std::strtol(env, nullptr, 10);
+        if (seconds > 0)
+            return sim::seconds(static_cast<std::uint64_t>(seconds));
+    }
+    return sim::seconds(600);
+}
+
+/** Build the standard testbed configuration for one scenario. */
+inline tivo::TestbedConfig
+scenarioConfig(tivo::ServerKind server, tivo::ClientKind client,
+               std::uint64_t seed = 1)
+{
+    tivo::TestbedConfig config;
+    config.server = server;
+    config.client = client;
+    config.duration = benchDuration();
+    config.warmup = sim::seconds(5);
+    config.sampleInterval = sim::seconds(5); // the paper's cadence
+    config.seed = seed;
+    return config;
+}
+
+/** Run one scenario to completion. */
+inline tivo::ScenarioResult
+runScenario(tivo::ServerKind server, tivo::ClientKind client,
+            std::uint64_t seed = 1)
+{
+    tivo::Testbed testbed(scenarioConfig(server, client, seed));
+    return testbed.run();
+}
+
+/**
+ * Optional CSV export: when HYDRA_BENCH_CSV names a directory, benches
+ * dump raw series there for external plotting.
+ */
+inline void
+maybeWriteCsv(const std::string &name, const SampleSet &samples)
+{
+    const char *dir = std::getenv("HYDRA_BENCH_CSV");
+    if (!dir || samples.empty())
+        return;
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    if (std::FILE *file = std::fopen(path.c_str(), "w")) {
+        std::fprintf(file, "value\n");
+        for (double v : samples.samples())
+            std::fprintf(file, "%.6f\n", v);
+        std::fclose(file);
+        std::printf("(wrote %s)\n", path.c_str());
+    }
+}
+
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("(simulated duration per scenario: %.0f s; "
+                "set HYDRA_BENCH_SECONDS to change)\n\n",
+                sim::toSeconds(benchDuration()));
+}
+
+/** One "paper vs measured" row for a three-column statistic. */
+inline void
+printStatRow(const char *scenario, double paper_median,
+             double paper_avg, double paper_std, const SampleSet &measured)
+{
+    std::printf("%-18s paper: %6.2f %6.2f %7.4f   measured: "
+                "%6.2f %6.2f %7.4f\n",
+                scenario, paper_median, paper_avg, paper_std,
+                measured.median(), measured.mean(), measured.stddev());
+}
+
+} // namespace hydra::bench
+
+#endif // HYDRA_BENCH_COMMON_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Ablation D1 (DESIGN.md): the Fig. 6 zero-copy DMA-ring channel
+ * versus a staged-copy channel, in simulated time. For each message
+ * size the bench drives a batch of messages host -> NIC through both
+ * buffering modes and reports simulated per-message latency,
+ * achievable throughput, and the host L2 traffic each mode causes —
+ * the quantitative version of the paper's zero-copy argument.
+ * A ring-depth sweep shows the backpressure knee of reliable
+ * channels.
+ */
+
+#include <cstdio>
+
+#include "core/executive.hh"
+#include "core/offcode.hh"
+#include "core/providers.hh"
+#include "dev/nic.hh"
+#include "hw/machine.hh"
+#include "net/network.hh"
+
+namespace {
+
+using namespace hydra;
+using namespace hydra::core;
+
+/** Counts deliveries. */
+class SinkOffcode : public Offcode
+{
+  public:
+    SinkOffcode() : Offcode("bench.Sink") {}
+
+    void
+    onData(const Bytes &, ChannelHandle) override
+    {
+        ++received;
+    }
+
+    std::uint64_t received = 0;
+};
+
+struct RunResult
+{
+    double perMessageUs = 0.0;
+    double throughputGbps = 0.0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t dropped = 0;
+};
+
+RunResult
+driveChannel(ChannelConfig::Buffering buffering, std::size_t message_bytes,
+             std::size_t messages, std::size_t ring_depth, bool reliable)
+{
+    sim::Simulator sim;
+    hw::Machine machine(sim, hw::MachineConfig{});
+    net::Network net(sim, net::NetworkConfig{});
+    const net::NodeId node = net.addNode("nic");
+    dev::ProgrammableNic nic(sim, machine.bus(), net, node);
+
+    HostSite host(machine);
+    DeviceSite device(machine, nic);
+
+    ChannelExecutive executive([&](const std::string &name)
+                                   -> ExecutionSite * {
+        if (name == device.name())
+            return &device;
+        return nullptr;
+    });
+    executive.registerProvider(
+        std::make_unique<DmaRingChannelProvider>(sim, false));
+
+    ChannelConfig config;
+    config.buffering = buffering;
+    config.reliable = reliable;
+    config.ringDepth = ring_depth;
+    config.maxMessageBytes = message_bytes + 64; // payload + framing
+    config.targetDevice = device.name();
+
+    auto channel = executive.createChannel(config, host, message_bytes);
+    if (!channel) {
+        std::fprintf(stderr, "channel creation failed: %s\n",
+                     channel.error().describe().c_str());
+        std::exit(1);
+    }
+    SinkOffcode sink;
+    OffcodeContext ctx;
+    ctx.site = &device;
+    sink.doInitialize(ctx);
+    sink.doStart();
+    channel.value()->connectOffcode(sink);
+
+    const auto l2Before = machine.l2().totals().accesses;
+    const Bytes payload = encodeData(Bytes(message_bytes, 0x42));
+
+    // Paced producer: a new message as soon as the previous write
+    // returned (back-to-back offered load).
+    for (std::size_t i = 0; i < messages; ++i)
+        channel.value()->write(payload);
+    sim.runToCompletion();
+
+    RunResult out;
+    const double elapsed = sim::toSeconds(sim.now());
+    out.perMessageUs = elapsed * 1e6 / static_cast<double>(messages);
+    out.throughputGbps = static_cast<double>(sink.received) *
+                         static_cast<double>(message_bytes) * 8.0 /
+                         (elapsed * 1e9);
+    out.l2Accesses = machine.l2().totals().accesses - l2Before;
+    out.dropped = channel.value()->stats().messagesDropped;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("\n=== Ablation D1: zero-copy ring vs staged copy "
+                "(host -> NIC) ===\n\n");
+
+    std::printf("%-10s | %-30s | %-30s\n", "", "zero-copy",
+                "staged copy");
+    std::printf("%-10s | %9s %9s %9s | %9s %9s %9s\n", "msg bytes",
+                "us/msg", "Gbps", "L2 acc", "us/msg", "Gbps", "L2 acc");
+    std::printf("-----------+--------------------------------+--------"
+                "------------------------\n");
+    for (std::size_t bytes : {256u, 1024u, 4096u, 16384u, 65536u}) {
+        const RunResult zc =
+            driveChannel(ChannelConfig::Buffering::ZeroCopy, bytes, 512,
+                         64, true);
+        const RunResult copy =
+            driveChannel(ChannelConfig::Buffering::Copying, bytes, 512,
+                         64, true);
+        std::printf("%-10zu | %9.2f %9.3f %9llu | %9.2f %9.3f %9llu\n",
+                    bytes, zc.perMessageUs, zc.throughputGbps,
+                    static_cast<unsigned long long>(zc.l2Accesses),
+                    copy.perMessageUs, copy.throughputGbps,
+                    static_cast<unsigned long long>(copy.l2Accesses));
+    }
+    std::printf("\nshape: identical wire time, but the copying "
+                "channel streams every payload byte through the host "
+                "L2 (the Fig. 10 pollution mechanism)\n");
+
+    std::printf("\nring-depth sweep, unreliable channel, 4 kB "
+                "messages, 512 offered:\n");
+    std::printf("%-10s %12s %12s\n", "depth", "delivered", "dropped");
+    for (std::size_t depth : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        const RunResult r = driveChannel(
+            ChannelConfig::Buffering::ZeroCopy, 4096, 512, depth, false);
+        std::printf("%-10zu %12llu %12llu\n", depth,
+                    static_cast<unsigned long long>(512 - r.dropped),
+                    static_cast<unsigned long long>(r.dropped));
+    }
+    std::printf("\nshape: pre-posted descriptors bound the burst an "
+                "unreliable channel absorbs; reliable channels "
+                "backpressure instead (0 drops at any depth)\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Figure 10: server-side L2 cache miss-rate slowdown,
+ * normalized to the idle system, for the three Video Server
+ * implementations (L2 miss rate sampled every 5 s over the run).
+ *
+ * Paper shape: Simple Server ~ +7 %, Sendfile ~ idle (negligible —
+ * scatter-gather keeps the kernel on a zero-copy path), Offloaded =
+ * idle exactly (the host never touches the stream).
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace hydra;
+    using namespace hydra::bench;
+    using namespace hydra::tivo;
+
+    printHeader("Figure 10: L2 slowdown, server side (normalized "
+                "miss rate)");
+
+    const ScenarioResult idle =
+        runScenario(ServerKind::None, ClientKind::None);
+    const ScenarioResult simple =
+        runScenario(ServerKind::Simple, ClientKind::Receiver);
+    const ScenarioResult sendfile =
+        runScenario(ServerKind::Sendfile, ClientKind::Receiver);
+    const ScenarioResult offloaded =
+        runScenario(ServerKind::Offloaded, ClientKind::Receiver);
+
+    const double base = idle.serverL2MissRate.mean();
+
+    struct Row
+    {
+        const char *name;
+        double paperNormalized;
+        double measuredRate;
+    };
+    const Row rows[] = {
+        {"Idle", 1.00, idle.serverL2MissRate.mean()},
+        {"Simple Server", 1.07, simple.serverL2MissRate.mean()},
+        {"Sendfile Server", 1.00, sendfile.serverL2MissRate.mean()},
+        {"Offloaded Server", 1.00, offloaded.serverL2MissRate.mean()},
+    };
+
+    std::printf("%-18s %14s %16s %16s\n", "Scenario", "paper (norm)",
+                "measured rate", "measured (norm)");
+    for (const Row &row : rows) {
+        const double normalized = row.measuredRate / base;
+        std::printf("%-18s %14.2f %15.4f%% %15.3f  |%s\n", row.name,
+                    row.paperNormalized, row.measuredRate * 100.0,
+                    normalized,
+                    std::string(static_cast<std::size_t>(
+                                    normalized * 30.0),
+                                '#')
+                        .c_str());
+    }
+
+    std::printf("\nshape: simple > sendfile ~= offloaded ~= idle: %s\n",
+                simple.serverL2MissRate.mean() >
+                            1.03 * sendfile.serverL2MissRate.mean() &&
+                        std::abs(offloaded.serverL2MissRate.mean() -
+                                 base) < 0.02 * base
+                    ? "yes"
+                    : "NO");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Figure 1: the GHz/Gbps ratio (= %cpu x processor_speed
+ * / throughput) of host TCP processing for the transmit (a) and
+ * receive (b) paths across packet sizes, after Foong et al.
+ * (ISPASS'03).
+ *
+ * Expected shape: the ratio falls steeply with packet size (per-
+ * packet costs amortize), receive stays above transmit (cache-cold
+ * payload touch), and both flatten toward the per-byte floor at
+ * large sizes.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "net/tcp_model.hh"
+
+int
+main()
+{
+    using namespace hydra::net;
+
+    std::printf("\n=== Figure 1: GHz/Gbps ratio vs packet size ===\n");
+    std::printf("Host: 2.4 GHz, line rate 1 Gbps (Foong et al. "
+                "testbed class)\n\n");
+
+    TcpPathModel model;
+    const std::vector<std::size_t> sizes{64,   128,  256,   512,
+                                         1024, 1460, 4096,  8192,
+                                         16384, 32768, 65536};
+
+    std::printf("%-10s | %-28s | %-28s\n", "", "(a) Transmit",
+                "(b) Receive");
+    std::printf("%-10s | %9s %9s %7s | %9s %9s %7s\n", "pkt bytes",
+                "GHz/Gbps", "thru Gbps", "cpu%", "GHz/Gbps", "thru Gbps",
+                "cpu%");
+    std::printf("-----------+------------------------------+----------"
+                "--------------------\n");
+
+    for (const std::size_t bytes : sizes) {
+        const auto tx = model.evaluate(TcpDirection::Transmit, bytes);
+        const auto rx = model.evaluate(TcpDirection::Receive, bytes);
+        std::printf("%-10zu | %9.3f %9.3f %6.1f%% | %9.3f %9.3f %6.1f%%\n",
+                    bytes, tx.ghzPerGbps, tx.throughputGbps,
+                    tx.cpuUtilization * 100.0, rx.ghzPerGbps,
+                    rx.throughputGbps, rx.cpuUtilization * 100.0);
+    }
+
+    // Shape checks mirrored from the paper's narrative.
+    const auto tx64 = model.evaluate(TcpDirection::Transmit, 64);
+    const auto tx64k = model.evaluate(TcpDirection::Transmit, 65536);
+    const auto rx1460 = model.evaluate(TcpDirection::Receive, 1460);
+    const auto tx1460 = model.evaluate(TcpDirection::Transmit, 1460);
+    std::printf("\nshape: ratio(64B)/ratio(64KB) tx = %.1fx (steep "
+                "small-packet penalty)\n",
+                tx64.ghzPerGbps / tx64k.ghzPerGbps);
+    std::printf("shape: receive/transmit at MTU = %.2fx (receive "
+                "costlier)\n",
+                rx1460.ghzPerGbps / tx1460.ghzPerGbps);
+    std::printf("shape: ~1 GHz per Gbps near MTU: rx=%.2f GHz/Gbps\n",
+                rx1460.ghzPerGbps);
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces Figure 9: histogram and cumulative distribution of
+ * client-side packet jitter for the three Video Server
+ * implementations (Simple / Sendfile / Offloaded), streaming 1 kB
+ * every 5 ms.
+ *
+ * Expected shape: the offloaded server's distribution is a needle at
+ * 5 ms; the sendfile server centres on 6 ms and the simple server on
+ * 7 ms, both with visible millisecond-scale spread from scheduler-
+ * tick quantization and run-queue noise.
+ *
+ * Also prints a no-noise ablation row (D3 in DESIGN.md): with the
+ * host's OS noise disabled the user-space servers still quantize to
+ * ticks, isolating where the jitter comes from.
+ */
+
+#include "bench/bench_common.hh"
+
+namespace {
+
+using namespace hydra;
+using namespace hydra::bench;
+using namespace hydra::tivo;
+
+void
+printDistribution(const char *name, const SampleSet &samples)
+{
+    std::printf("--- %s: n=%zu, median=%.3f ms, avg=%.3f ms, "
+                "stddev=%.4f ms\n",
+                name, samples.count(), samples.median(), samples.mean(),
+                samples.stddev());
+
+    Histogram histogram(4.0, 9.0, 25);
+    for (double v : samples.samples())
+        histogram.add(v);
+    std::printf("%s", histogram.render(46).c_str());
+
+    std::printf("CDF: ");
+    for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0})
+        std::printf("p%.0f=%.3f  ", p, samples.percentile(p));
+    std::printf("\n\n");
+}
+
+/** D3 ablation: host OS stochastic noise off; quantization remains. */
+SampleSet
+quietHostJitter(ServerKind kind)
+{
+    TestbedConfig config = scenarioConfig(kind, ClientKind::Receiver);
+    config.duration = std::min<sim::SimTime>(config.duration,
+                                             sim::seconds(120));
+    config.quietHost = true;
+    Testbed testbed(config);
+    return testbed.run().interarrivalMs;
+}
+
+} // namespace
+
+int
+main()
+{
+    using hydra::tivo::ServerKind;
+
+    hydra::bench::printHeader(
+        "Figure 9: jitter distribution (histogram + CDF)");
+
+    const ScenarioResult simple =
+        runScenario(ServerKind::Simple, ClientKind::Receiver);
+    const ScenarioResult sendfile =
+        runScenario(ServerKind::Sendfile, ClientKind::Receiver);
+    const ScenarioResult offloaded =
+        runScenario(ServerKind::Offloaded, ClientKind::Receiver);
+
+    printDistribution("Simple Server", simple.interarrivalMs);
+    printDistribution("Sendfile Server", sendfile.interarrivalMs);
+    printDistribution("Offloaded Server", offloaded.interarrivalMs);
+
+    maybeWriteCsv("fig9_simple", simple.interarrivalMs);
+    maybeWriteCsv("fig9_sendfile", sendfile.interarrivalMs);
+    maybeWriteCsv("fig9_offloaded", offloaded.interarrivalMs);
+
+    std::printf("shape: offloaded stddev is %.0fx below sendfile and "
+                "%.0fx below simple\n",
+                sendfile.interarrivalMs.stddev() /
+                    offloaded.interarrivalMs.stddev(),
+                simple.interarrivalMs.stddev() /
+                    offloaded.interarrivalMs.stddev());
+    std::printf("shape: medians %.2f > %.2f > %.2f ms (paper: 6.99 > "
+                "6.00 > 5.00)\n",
+                simple.interarrivalMs.median(),
+                sendfile.interarrivalMs.median(),
+                offloaded.interarrivalMs.median());
+
+    // D3 ablation: with the host's stochastic OS noise disabled, the
+    // user-space servers collapse onto exact tick multiples but stay
+    // above 5 ms — the median offset is pure tick quantization, the
+    // spread is run-queue noise.
+    const SampleSet quiet = quietHostJitter(ServerKind::Simple);
+    std::printf("\nablation (quiet host, simple server): median=%.3f "
+                "ms, stddev=%.4f ms\n",
+                quiet.median(), quiet.stddev());
+    std::printf("-> quantization sets the median; OS noise supplies "
+                "the spread\n");
+    return 0;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Section 5 reproduction / ablation (DESIGN.md D2): the offloading
+ * layout ILP versus the greedy baseline.
+ *
+ * Part 1 solves the actual TiVoPC layout graph (Fig. 8) under the
+ * Maximized Offloading objective and prints the placement.
+ * Part 2 sweeps randomized multi-application layout graphs under the
+ * Maximize Bus Usage objective with per-device link capacities and
+ * reports how often greedy is suboptimal and by how much — the
+ * paper's motivation for the ILP ("for complex scenarios a greedy
+ * solution is not always optimal").
+ */
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "ilp/layout.hh"
+
+namespace {
+
+using namespace hydra;
+using namespace hydra::ilp;
+
+/** Hand-built spec of the TiVoPC client graph (Fig. 8). */
+LayoutSpec
+tivoSpec()
+{
+    // Offcodes: 0 Gui, 1 StreamerNet, 2 StreamerDisk, 3 Decoder,
+    // 4 Display, 5 File. Devices: 0 host, 1 NIC, 2 disk, 3 GPU.
+    LayoutSpec spec;
+    spec.numOffcodes = 6;
+    spec.numDevices = 4;
+    spec.offcodeNames = {"Gui",     "StreamerNet", "StreamerDisk",
+                         "Decoder", "Display",     "File"};
+    spec.deviceNames = {"host", "nic", "disk", "gpu"};
+    spec.compatible = {
+        {true, false, false, false}, // Gui: host only
+        {true, true, false, false},  // StreamerNet: NIC
+        {true, false, true, false},  // StreamerDisk: disk
+        {true, true, false, true},   // Decoder: NIC or GPU
+        {true, false, false, true},  // Display: GPU
+        {true, false, true, false},  // File: disk
+    };
+    spec.edges = {
+        {1, 3, LayoutConstraint::Gang}, // StreamerNet ~ Decoder
+        {1, 2, LayoutConstraint::Gang}, // StreamerNet ~ StreamerDisk
+        {3, 4, LayoutConstraint::Pull}, // Decoder = Display
+        {2, 5, LayoutConstraint::Pull}, // StreamerDisk = File
+    };
+    spec.objective = LayoutObjective::MaximizeOffloading;
+    return spec;
+}
+
+LayoutSpec
+randomSpec(Rng &rng, std::size_t offcodes, std::size_t devices)
+{
+    LayoutSpec spec;
+    spec.numOffcodes = offcodes;
+    spec.numDevices = devices;
+    spec.objective = LayoutObjective::MaximizeBusUsage;
+    spec.compatible.assign(offcodes,
+                           std::vector<bool>(devices, false));
+    for (std::size_t n = 0; n < offcodes; ++n) {
+        spec.compatible[n][0] = true; // host fallback
+        for (std::size_t k = 1; k < devices; ++k)
+            spec.compatible[n][k] = rng.chance(0.6);
+    }
+    for (std::size_t e = 0; e < offcodes; ++e) {
+        if (!rng.chance(0.45))
+            continue;
+        LayoutEdge edge;
+        edge.a = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(offcodes) - 1));
+        edge.b = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(offcodes) - 1));
+        if (edge.a == edge.b)
+            continue;
+        edge.kind = static_cast<LayoutConstraint>(rng.uniformInt(0, 2));
+        spec.edges.push_back(edge);
+    }
+    spec.busPrice.resize(offcodes);
+    for (auto &price : spec.busPrice)
+        price = rng.uniform(0.1, 0.8);
+    spec.linkCapacity.assign(devices, 1.2);
+    spec.linkCapacity[0] = 0.0;
+    return spec;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("\n=== Section 5: offloading layout optimization "
+                "(ILP vs greedy) ===\n\n");
+
+    // ---- Part 1: the TiVoPC graph ----
+    const LayoutSpec tivo = tivoSpec();
+    auto exact = solveLayout(tivo);
+    if (!exact) {
+        std::printf("TiVo layout: ILP failed: %s\n",
+                    exact.error().describe().c_str());
+        return 1;
+    }
+    std::printf("TiVoPC layout (Maximized Offloading):\n");
+    for (std::size_t n = 0; n < tivo.numOffcodes; ++n)
+        std::printf("  %-14s -> %s\n", tivo.offcodeNames[n].c_str(),
+                    tivo.deviceNames[exact.value().device[n]].c_str());
+    std::printf("  offloaded %zu/6 components, %llu B&B nodes\n\n",
+                exact.value().offloadedCount(),
+                static_cast<unsigned long long>(
+                    exact.value().nodesExplored));
+
+    // ---- Part 2: randomized multi-application sweep ----
+    std::printf("%-10s %10s %10s %10s %12s %12s\n", "offcodes",
+                "instances", "greedyOK", "infeas", "avg gap", "avg nodes");
+    for (std::size_t offcodes : {6u, 10u, 14u, 18u, 22u}) {
+        Rng rng(offcodes * 1234567);
+        int solved = 0, greedyOptimal = 0, infeasible = 0;
+        double gapSum = 0.0;
+        double nodeSum = 0.0;
+        const int kTrials = 40;
+        for (int trial = 0; trial < kTrials; ++trial) {
+            const LayoutSpec spec = randomSpec(rng, offcodes, 4);
+            auto ilp = solveLayout(spec);
+            if (!ilp) {
+                ++infeasible;
+                continue;
+            }
+            ++solved;
+            nodeSum += static_cast<double>(ilp.value().nodesExplored);
+            auto greedy = greedyLayout(spec);
+            const double greedyObjective =
+                greedy ? greedy.value().objective : 0.0;
+            const double gap =
+                ilp.value().objective > 1e-12
+                    ? 1.0 - greedyObjective / ilp.value().objective
+                    : 0.0;
+            gapSum += gap;
+            if (gap < 1e-9)
+                ++greedyOptimal;
+        }
+        std::printf("%-10zu %10d %9.0f%% %10d %11.1f%% %12.0f\n",
+                    offcodes, solved,
+                    solved ? 100.0 * greedyOptimal / solved : 0.0,
+                    infeasible, solved ? 100.0 * gapSum / solved : 0.0,
+                    solved ? nodeSum / solved : 0.0);
+    }
+    std::printf("\nshape: greedy leaves bus bandwidth unused on "
+                "contended graphs; the ILP recovers it at modest "
+                "search cost\n");
+    return 0;
+}

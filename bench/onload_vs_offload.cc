@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Extension bench: offloading versus "onloading" (paper Section 1.1).
+ *
+ * The paper discusses Piglet and Regnier et al.'s alternative of
+ * dedicating a host CPU to I/O. This bench runs the video server
+ * four ways — simple, onloaded (dedicated busy-polling host core),
+ * offloaded (NIC firmware), and idle — and compares jitter, bus
+ * traffic, application-core CPU, and the silicon burned.
+ *
+ * Expected shape (the paper's argument): onloading matches offload
+ * jitter (no scheduler tick on a dedicated core) and frees the
+ * application core, BUT the payload still crosses the host bus and
+ * the shared L2, and the price is an entire host core pinned — two
+ * orders of magnitude more watts than the peripheral's XScale.
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace hydra;
+    using namespace hydra::bench;
+    using namespace hydra::tivo;
+
+    printHeader("Extension: offloading vs onloading (Piglet-style)");
+
+    // Use shorter default than the tables: four scenarios.
+    const ScenarioResult idle =
+        runScenario(ServerKind::None, ClientKind::None);
+    const ScenarioResult simple =
+        runScenario(ServerKind::Simple, ClientKind::Receiver);
+
+    // Onloaded run: need access to the dedicated I/O core.
+    TestbedConfig onloadConfig =
+        scenarioConfig(ServerKind::Onloaded, ClientKind::Receiver);
+    Testbed onloadBed(onloadConfig);
+    const ScenarioResult onload = onloadBed.run();
+    auto *onloadServer =
+        dynamic_cast<OnloadedServer *>(onloadBed.server());
+    // busyTime spans warmup + measured duration.
+    const double wallSpan = static_cast<double>(
+        benchDuration() + onloadConfig.warmup);
+    const double ioCoreBusyPct =
+        onloadServer
+            ? 100.0 *
+                  static_cast<double>(onloadServer->ioCpu().busyTime()) /
+                  wallSpan
+            : 0.0;
+
+    const ScenarioResult offload =
+        runScenario(ServerKind::Offloaded, ClientKind::Receiver);
+
+    std::printf("%-12s %10s %10s %12s %12s %14s %10s\n", "server",
+                "med ms", "std ms", "app cpu %", "io-core %",
+                "bus crossings", "watts*");
+    auto row = [&](const char *name, const ScenarioResult &r,
+                   double ioCore, double watts) {
+        std::printf("%-12s %10.3f %10.4f %12.2f %12.1f %14llu %10.1f\n",
+                    name,
+                    r.interarrivalMs.empty() ? 0.0
+                                             : r.interarrivalMs.median(),
+                    r.interarrivalMs.empty() ? 0.0
+                                             : r.interarrivalMs.stddev(),
+                    r.serverCpuPct.mean(), ioCore,
+                    static_cast<unsigned long long>(r.serverBusCrossings),
+                    watts);
+    };
+    // *active silicon beyond idle: P4 core 68 W, XScale 0.5 W (paper
+    // Section 1.1 argument #3).
+    row("idle", idle, 0.0, 0.0);
+    row("simple", simple, 0.0, 68.0 * 0.046); // ~4.6 % of a core
+    row("onloaded", onload, ioCoreBusyPct, 68.0);
+    row("offloaded", offload, 0.0, 0.5);
+
+    std::printf("\nshape checks:\n");
+    std::printf("  onloaded jitter ~ offloaded jitter: %s (%.4f vs "
+                "%.4f ms std)\n",
+                onload.interarrivalMs.stddev() <
+                        3.0 * offload.interarrivalMs.stddev()
+                    ? "yes"
+                    : "NO",
+                onload.interarrivalMs.stddev(),
+                offload.interarrivalMs.stddev());
+    std::printf("  onloaded still crosses the bus per packet, "
+                "offloaded never: %llu vs %llu\n",
+                static_cast<unsigned long long>(onload.serverBusCrossings),
+                static_cast<unsigned long long>(
+                    offload.serverBusCrossings));
+    std::printf("  power argument: offload does the job for 0.5 W "
+                "where onload pins a 68 W core\n");
+    return 0;
+}

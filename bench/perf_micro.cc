@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Wall-clock microbenchmarks (google-benchmark) of the framework's
+ * hot primitives: event dispatch, Call marshaling, RLE codec, XML
+ * parsing, cache-model accesses, and the branch-and-bound solver.
+ * These guard the simulator's own performance — a 10-minute
+ * evaluation run replays ~10^7 events.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/call.hh"
+#include "hw/cache.hh"
+#include "ilp/layout.hh"
+#include "odf/odf.hh"
+#include "sim/simulator.hh"
+#include "tivo/mpeg.hh"
+
+namespace {
+
+using namespace hydra;
+
+void
+BM_SimulatorDispatch(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator sim;
+        int counter = 0;
+        for (int i = 0; i < 1000; ++i)
+            sim.schedule(static_cast<sim::SimTime>(i), [&]() { ++counter; });
+        sim.runToCompletion();
+        benchmark::DoNotOptimize(counter);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorDispatch);
+
+void
+BM_CallRoundTrip(benchmark::State &state)
+{
+    core::Call call;
+    call.targetOffcode = Guid(1);
+    call.interfaceGuid = Guid(2);
+    call.method = "Decode";
+    call.arguments.assign(static_cast<std::size_t>(state.range(0)), 7);
+    for (auto _ : state) {
+        const Bytes wire = call.serialize();
+        auto decoded = core::Call::deserialize(wire);
+        benchmark::DoNotOptimize(decoded);
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CallRoundTrip)->Arg(64)->Arg(1024)->Arg(16384);
+
+void
+BM_MpegEncodeDecode(benchmark::State &state)
+{
+    tivo::MpegConfig config;
+    tivo::SyntheticVideo source(config, 42);
+    std::uint32_t seq = 0;
+    tivo::MpegEncoder encoder(config);
+    tivo::MpegDecoder decoder;
+    for (auto _ : state) {
+        auto encoded = encoder.encode(source.frame(seq++));
+        auto raw = decoder.decode(encoded.value());
+        benchmark::DoNotOptimize(raw);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MpegEncodeDecode);
+
+void
+BM_XmlParseOdf(benchmark::State &state)
+{
+    const std::string xml = R"(<offcode>
+      <package><bindname>bench.Offcode</bindname>
+        <interface name="I"><method name="m1"/><method name="m2"/>
+        </interface></package>
+      <sw-env><import><bindname>peer</bindname>
+        <reference type="Pull" pri="1"/></import>
+        <requires memory="65536"><capability name="dma"/></requires>
+      </sw-env>
+      <targets><device-class id="0x0001"><name>NIC</name></device-class>
+        <host-fallback/></targets>
+      <price bus="0.2"/></offcode>)";
+    for (auto _ : state) {
+        auto doc = odf::OdfDocument::parse(xml);
+        benchmark::DoNotOptimize(doc);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XmlParseOdf);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    hw::CacheModel cache(256 * 1024, 64, 8);
+    hw::Addr addr = 0;
+    for (auto _ : state) {
+        cache.access(addr, 64, false);
+        addr = (addr + 4096) % (8 * 1024 * 1024);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_IlpTivoLayout(benchmark::State &state)
+{
+    ilp::LayoutSpec spec;
+    spec.numOffcodes = 6;
+    spec.numDevices = 4;
+    spec.compatible = {
+        {true, false, false, false}, {true, true, false, false},
+        {true, false, true, false},  {true, true, false, true},
+        {true, false, false, true},  {true, false, true, false},
+    };
+    spec.edges = {{1, 3, ilp::LayoutConstraint::Gang},
+                  {1, 2, ilp::LayoutConstraint::Gang},
+                  {3, 4, ilp::LayoutConstraint::Pull},
+                  {2, 5, ilp::LayoutConstraint::Pull}};
+    for (auto _ : state) {
+        auto solution = ilp::solveLayout(spec);
+        benchmark::DoNotOptimize(solution);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IlpTivoLayout);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Table 2: client-side jitter statistics (median,
+ * average, standard deviation of packet inter-arrival, ms) for the
+ * three Video Server implementations.
+ *
+ * Paper values:      median  average  stddev
+ *   Simple Server      6.99     7.00  0.5521
+ *   Sendfile Server    6.00     5.99  0.4720
+ *   Offloaded Server   5.00     5.00  0.0369
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace hydra;
+    using namespace hydra::bench;
+    using namespace hydra::tivo;
+
+    printHeader("Table 2: client-side jitter statistics (ms)");
+
+    const ScenarioResult simple =
+        runScenario(ServerKind::Simple, ClientKind::Receiver);
+    const ScenarioResult sendfile =
+        runScenario(ServerKind::Sendfile, ClientKind::Receiver);
+    const ScenarioResult offloaded =
+        runScenario(ServerKind::Offloaded, ClientKind::Receiver);
+
+    std::printf("%-18s %-28s %-28s\n", "Scenario",
+                "   paper (med avg std)", "  measured (med avg std)");
+    printStatRow("Simple Server", 6.99, 7.00, 0.5521,
+                 simple.interarrivalMs);
+    printStatRow("Sendfile Server", 6.00, 5.99, 0.4720,
+                 sendfile.interarrivalMs);
+    printStatRow("Offloaded Server", 5.00, 5.00, 0.0369,
+                 offloaded.interarrivalMs);
+
+    std::printf("\nshape checks:\n");
+    std::printf("  medians ordered 7 > 6 > 5 ms: %s\n",
+                simple.interarrivalMs.median() >
+                            sendfile.interarrivalMs.median() &&
+                        sendfile.interarrivalMs.median() >
+                            offloaded.interarrivalMs.median()
+                    ? "yes"
+                    : "NO");
+    std::printf("  offloaded stddev >=10x below user-space: %s "
+                "(%.0fx / %.0fx)\n",
+                simple.interarrivalMs.stddev() >
+                            10.0 * offloaded.interarrivalMs.stddev() &&
+                        sendfile.interarrivalMs.stddev() >
+                            10.0 * offloaded.interarrivalMs.stddev()
+                    ? "yes"
+                    : "NO",
+                simple.interarrivalMs.stddev() /
+                    offloaded.interarrivalMs.stddev(),
+                sendfile.interarrivalMs.stddev() /
+                    offloaded.interarrivalMs.stddev());
+    return 0;
+}

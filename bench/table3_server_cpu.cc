@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Table 3: server-side CPU utilization (sampled every
+ * 5 s over the run) for the idle system and the three Video Server
+ * implementations.
+ *
+ * Paper values:      median  average  stddev
+ *   Idle               2.90%    2.86%   0.09%
+ *   Simple Server      7.50%    7.50%   0.12%
+ *   Sendfile Server    5.90%    6.20%   0.08%
+ *   Offloaded Server   2.90%    2.86%   0.09%
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace hydra;
+    using namespace hydra::bench;
+    using namespace hydra::tivo;
+
+    printHeader("Table 3: server-side CPU utilization (%)");
+
+    const ScenarioResult idle =
+        runScenario(ServerKind::None, ClientKind::None);
+    const ScenarioResult simple =
+        runScenario(ServerKind::Simple, ClientKind::Receiver);
+    const ScenarioResult sendfile =
+        runScenario(ServerKind::Sendfile, ClientKind::Receiver);
+    const ScenarioResult offloaded =
+        runScenario(ServerKind::Offloaded, ClientKind::Receiver);
+
+    std::printf("%-18s %-28s %-28s\n", "Scenario",
+                "   paper (med avg std)", "  measured (med avg std)");
+    printStatRow("Idle", 2.90, 2.86, 0.09, idle.serverCpuPct);
+    printStatRow("Simple Server", 7.50, 7.50, 0.12, simple.serverCpuPct);
+    printStatRow("Sendfile Server", 5.90, 6.20, 0.08,
+                 sendfile.serverCpuPct);
+    printStatRow("Offloaded Server", 2.90, 2.86, 0.09,
+                 offloaded.serverCpuPct);
+
+    std::printf("\nshape checks:\n");
+    std::printf("  offloaded == idle (host oblivious): %s "
+                "(delta %.3f%%)\n",
+                std::abs(offloaded.serverCpuPct.mean() -
+                         idle.serverCpuPct.mean()) < 0.05
+                    ? "yes"
+                    : "NO",
+                offloaded.serverCpuPct.mean() - idle.serverCpuPct.mean());
+    std::printf("  simple > sendfile > idle: %s\n",
+                simple.serverCpuPct.mean() > sendfile.serverCpuPct.mean() &&
+                        sendfile.serverCpuPct.mean() >
+                            idle.serverCpuPct.mean() + 1.0
+                    ? "yes"
+                    : "NO");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Table 4: client-side CPU utilization for the idle
+ * system, the conventional user-space client, and the fully
+ * offloaded client — plus the client L2 note from the text (the
+ * non-offloaded client generates ~12 % more L2 misses, much of it
+ * from MPEG decoding).
+ *
+ * Paper values:      median  average  stddev
+ *   Idle Client        2.90%    2.86%   0.09%
+ *   User-space Client  7.30%    6.90%   0.32%
+ *   Offloaded Client   2.90%    2.86%   0.09%
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace hydra;
+    using namespace hydra::bench;
+    using namespace hydra::tivo;
+
+    printHeader("Table 4: client-side CPU utilization (%)");
+
+    const ScenarioResult idle =
+        runScenario(ServerKind::None, ClientKind::None);
+    const ScenarioResult userSpace =
+        runScenario(ServerKind::Offloaded, ClientKind::UserSpace);
+    const ScenarioResult offloaded =
+        runScenario(ServerKind::Offloaded, ClientKind::Offloaded);
+
+    std::printf("%-18s %-28s %-28s\n", "Scenario",
+                "   paper (med avg std)", "  measured (med avg std)");
+    printStatRow("Idle Client", 2.90, 2.86, 0.09, idle.clientCpuPct);
+    printStatRow("User-space Client", 7.30, 6.90, 0.32,
+                 userSpace.clientCpuPct);
+    printStatRow("Offloaded Client", 2.90, 2.86, 0.09,
+                 offloaded.clientCpuPct);
+
+    std::printf("\nclient L2 misses (text: non-offloaded +12%% vs "
+                "idle):\n");
+    const double base = idle.clientL2MissRate.mean();
+    std::printf("  idle:       %.4f%% (1.00x)\n", base * 100.0);
+    std::printf("  user-space: %.4f%% (%.2fx)\n",
+                userSpace.clientL2MissRate.mean() * 100.0,
+                userSpace.clientL2MissRate.mean() / base);
+    std::printf("  offloaded:  %.4f%% (%.2fx)\n",
+                offloaded.clientL2MissRate.mean() * 100.0,
+                offloaded.clientL2MissRate.mean() / base);
+
+    std::printf("\nshape checks:\n");
+    std::printf("  offloaded == idle ('no components left on the "
+                "host'): %s (delta %.3f%%)\n",
+                std::abs(offloaded.clientCpuPct.mean() -
+                         idle.clientCpuPct.mean()) < 0.05
+                    ? "yes"
+                    : "NO",
+                offloaded.clientCpuPct.mean() - idle.clientCpuPct.mean());
+    std::printf("  both clients display video: user=%llu, "
+                "offloaded=%llu frames\n",
+                static_cast<unsigned long long>(userSpace.framesDisplayed),
+                static_cast<unsigned long long>(
+                    offloaded.framesDisplayed));
+    return 0;
+}

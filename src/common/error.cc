@@ -1,0 +1,43 @@
+#include "common/error.hh"
+
+namespace hydra {
+
+std::string_view
+errorName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok: return "Ok";
+      case ErrorCode::InvalidArgument: return "InvalidArgument";
+      case ErrorCode::NotFound: return "NotFound";
+      case ErrorCode::AlreadyExists: return "AlreadyExists";
+      case ErrorCode::OutOfRange: return "OutOfRange";
+      case ErrorCode::Unsupported: return "Unsupported";
+      case ErrorCode::Internal: return "Internal";
+      case ErrorCode::OutOfMemory: return "OutOfMemory";
+      case ErrorCode::ResourceExhausted: return "ResourceExhausted";
+      case ErrorCode::ResourceBusy: return "ResourceBusy";
+      case ErrorCode::ParseError: return "ParseError";
+      case ErrorCode::ManifestInvalid: return "ManifestInvalid";
+      case ErrorCode::InterfaceMismatch: return "InterfaceMismatch";
+      case ErrorCode::NoFeasibleLayout: return "NoFeasibleLayout";
+      case ErrorCode::DeviceIncompatible: return "DeviceIncompatible";
+      case ErrorCode::DeploymentFailed: return "DeploymentFailed";
+      case ErrorCode::LinkFailed: return "LinkFailed";
+      case ErrorCode::ChannelClosed: return "ChannelClosed";
+      case ErrorCode::ChannelFull: return "ChannelFull";
+      case ErrorCode::ChannelNotConnected: return "ChannelNotConnected";
+      case ErrorCode::MessageTooLarge: return "MessageTooLarge";
+      case ErrorCode::OffcodeNotInitialized: return "OffcodeNotInitialized";
+      case ErrorCode::OffcodeAlreadyStarted: return "OffcodeAlreadyStarted";
+      case ErrorCode::OffcodeFaulted: return "OffcodeFaulted";
+      case ErrorCode::NetworkUnreachable: return "NetworkUnreachable";
+      case ErrorCode::PacketDropped: return "PacketDropped";
+      case ErrorCode::DeviceFault: return "DeviceFault";
+      case ErrorCode::DmaError: return "DmaError";
+      case ErrorCode::Infeasible: return "Infeasible";
+      case ErrorCode::SolverLimitReached: return "SolverLimitReached";
+    }
+    return "UnknownError";
+}
+
+} // namespace hydra

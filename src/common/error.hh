@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Error codes shared across all HYDRA modules.
+ *
+ * Expected failures (bad configuration, missing resources, protocol
+ * violations by peers) are reported through ErrorCode / Result<T>
+ * rather than exceptions; exceptions are reserved for programming
+ * errors surfaced by the standard library.
+ */
+
+#ifndef HYDRA_COMMON_ERROR_HH
+#define HYDRA_COMMON_ERROR_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace hydra {
+
+/** Enumerates every expected failure class in the framework. */
+enum class ErrorCode : std::uint16_t {
+    Ok = 0,
+
+    // Generic
+    InvalidArgument,
+    NotFound,
+    AlreadyExists,
+    OutOfRange,
+    Unsupported,
+    Internal,
+
+    // Resource management
+    OutOfMemory,
+    ResourceExhausted,
+    ResourceBusy,
+
+    // ODF / manifest processing
+    ParseError,
+    ManifestInvalid,
+    InterfaceMismatch,
+
+    // Layout / deployment
+    NoFeasibleLayout,
+    DeviceIncompatible,
+    DeploymentFailed,
+    LinkFailed,
+
+    // Channels
+    ChannelClosed,
+    ChannelFull,
+    ChannelNotConnected,
+    MessageTooLarge,
+
+    // Offcode lifecycle
+    OffcodeNotInitialized,
+    OffcodeAlreadyStarted,
+    OffcodeFaulted,
+
+    // Network / device substrate
+    NetworkUnreachable,
+    PacketDropped,
+    DeviceFault,
+    DmaError,
+
+    // ILP solver
+    Infeasible,
+    SolverLimitReached,
+};
+
+/** Human-readable name for an error code (stable, test-visible). */
+std::string_view errorName(ErrorCode code);
+
+/** True when the code denotes success. */
+inline bool
+isOk(ErrorCode code)
+{
+    return code == ErrorCode::Ok;
+}
+
+} // namespace hydra
+
+#endif // HYDRA_COMMON_ERROR_HH

@@ -1,0 +1,55 @@
+#include "common/guid.hh"
+
+#include <charconv>
+#include <cstdio>
+
+namespace hydra {
+
+Guid
+Guid::fromName(std::string_view name)
+{
+    // FNV-1a, 64-bit.
+    std::uint64_t hash = 14695981039346656037ull;
+    for (unsigned char c : name) {
+        hash ^= c;
+        hash *= 1099511628211ull;
+    }
+    // Never produce the null GUID for a non-empty name.
+    if (hash == 0)
+        hash = 1;
+    return Guid(hash);
+}
+
+bool
+Guid::parse(std::string_view text, Guid &out)
+{
+    if (text.empty())
+        return false;
+
+    int base = 10;
+    if (text.size() > 2 && text[0] == '0' &&
+        (text[1] == 'x' || text[1] == 'X')) {
+        base = 16;
+        text.remove_prefix(2);
+    }
+
+    std::uint64_t value = 0;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                     value, base);
+    if (ec != std::errc() || ptr != text.data() + text.size())
+        return false;
+
+    out = Guid(value);
+    return true;
+}
+
+std::string
+Guid::toString() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(value_));
+    return buf;
+}
+
+} // namespace hydra

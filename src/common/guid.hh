@@ -1,0 +1,57 @@
+/**
+ * @file
+ * GUIDs identifying Offcodes and interfaces (paper Section 3.1).
+ *
+ * The paper identifies every Offcode and every interface by a GUID
+ * that is "unique across all Offcodes". We model a GUID as a 64-bit
+ * value with a textual form, plus a deterministic name-hash
+ * constructor so ODF files may reference interfaces by name.
+ */
+
+#ifndef HYDRA_COMMON_GUID_HH
+#define HYDRA_COMMON_GUID_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace hydra {
+
+/** 64-bit globally unique identifier for Offcodes and interfaces. */
+class Guid
+{
+  public:
+    constexpr Guid() = default;
+    constexpr explicit Guid(std::uint64_t value) : value_(value) {}
+
+    /** Deterministic GUID derived from a name (FNV-1a 64-bit). */
+    static Guid fromName(std::string_view name);
+
+    /** Parse a decimal or 0x-prefixed hexadecimal GUID string. */
+    static bool parse(std::string_view text, Guid &out);
+
+    constexpr std::uint64_t value() const { return value_; }
+    constexpr bool isNull() const { return value_ == 0; }
+
+    std::string toString() const;
+
+    constexpr auto operator<=>(const Guid &) const = default;
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+} // namespace hydra
+
+template <>
+struct std::hash<hydra::Guid>
+{
+    std::size_t
+    operator()(const hydra::Guid &guid) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(guid.value());
+    }
+};
+
+#endif // HYDRA_COMMON_GUID_HH

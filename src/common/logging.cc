@@ -1,0 +1,46 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace hydra {
+
+LogLevel Log::level_ = LogLevel::Warn;
+Log::Sink Log::sink_;
+
+namespace {
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Trace: return "TRACE";
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+Log::setSink(Sink sink)
+{
+    sink_ = std::move(sink);
+}
+
+void
+Log::write(LogLevel level, const std::string &message)
+{
+    if (!enabled(level))
+        return;
+    if (sink_) {
+        sink_(level, message);
+        return;
+    }
+    std::fprintf(stderr, "[%s] %s\n", levelTag(level), message.c_str());
+}
+
+} // namespace hydra

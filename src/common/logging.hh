@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal leveled logging used by the runtime and the simulator.
+ *
+ * Benchmarks set the level to Warn to keep output clean; tests may
+ * install a capture sink to assert on emitted diagnostics.
+ */
+
+#ifndef HYDRA_COMMON_LOGGING_HH
+#define HYDRA_COMMON_LOGGING_HH
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace hydra {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+/** Global logging configuration (process-wide; not thread-safe). */
+class Log
+{
+  public:
+    using Sink = std::function<void(LogLevel, const std::string &)>;
+
+    static LogLevel level() { return level_; }
+    static void setLevel(LogLevel level) { level_ = level; }
+
+    /** Replace the output sink; pass nullptr to restore stderr. */
+    static void setSink(Sink sink);
+
+    static void write(LogLevel level, const std::string &message);
+
+    static bool
+    enabled(LogLevel level)
+    {
+        return level >= level_ && level_ != LogLevel::Off;
+    }
+
+  private:
+    static LogLevel level_;
+    static Sink sink_;
+};
+
+namespace detail {
+
+/** Stream-style one-shot log statement helper. */
+class LogLine
+{
+  public:
+    explicit LogLine(LogLevel level) : level_(level) {}
+
+    ~LogLine() { Log::write(level_, stream_.str()); }
+
+    template <typename T>
+    LogLine &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+} // namespace detail
+
+} // namespace hydra
+
+#define HYDRA_LOG(level)                                                    \
+    if (!::hydra::Log::enabled(level)) {                                    \
+    } else                                                                  \
+        ::hydra::detail::LogLine(level)
+
+#define LOG_TRACE HYDRA_LOG(::hydra::LogLevel::Trace)
+#define LOG_DEBUG HYDRA_LOG(::hydra::LogLevel::Debug)
+#define LOG_INFO HYDRA_LOG(::hydra::LogLevel::Info)
+#define LOG_WARN HYDRA_LOG(::hydra::LogLevel::Warn)
+#define LOG_ERROR HYDRA_LOG(::hydra::LogLevel::Error)
+
+#endif // HYDRA_COMMON_LOGGING_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Result<T>: a value-or-error carrier used for all fallible APIs.
+ */
+
+#ifndef HYDRA_COMMON_RESULT_HH
+#define HYDRA_COMMON_RESULT_HH
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/error.hh"
+
+namespace hydra {
+
+/** Error payload: code plus an optional human-readable context string. */
+struct Error
+{
+    ErrorCode code = ErrorCode::Internal;
+    std::string message;
+
+    Error() = default;
+    explicit Error(ErrorCode c) : code(c) {}
+    Error(ErrorCode c, std::string msg) : code(c), message(std::move(msg)) {}
+
+    /** Full description: "Code: message" or just "Code". */
+    std::string
+    describe() const
+    {
+        std::string out{errorName(code)};
+        if (!message.empty()) {
+            out += ": ";
+            out += message;
+        }
+        return out;
+    }
+};
+
+/**
+ * A value of type T or an Error. Inspect with ok(); access the value
+ * with value() only after checking ok() (asserted in debug builds).
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : data_(std::move(value)) {}
+    Result(Error error) : data_(std::move(error)) {}
+    Result(ErrorCode code) : data_(Error(code)) {}
+    Result(ErrorCode code, std::string msg)
+        : data_(Error(code, std::move(msg))) {}
+
+    bool ok() const { return std::holds_alternative<T>(data_); }
+    explicit operator bool() const { return ok(); }
+
+    const T &
+    value() const &
+    {
+        assert(ok());
+        return std::get<T>(data_);
+    }
+
+    T &
+    value() &
+    {
+        assert(ok());
+        return std::get<T>(data_);
+    }
+
+    T &&
+    value() &&
+    {
+        assert(ok());
+        return std::get<T>(std::move(data_));
+    }
+
+    /** The value, or @p fallback when this result holds an error. */
+    T
+    valueOr(T fallback) const &
+    {
+        return ok() ? std::get<T>(data_) : std::move(fallback);
+    }
+
+    const Error &
+    error() const
+    {
+        assert(!ok());
+        return std::get<Error>(data_);
+    }
+
+    ErrorCode
+    code() const
+    {
+        return ok() ? ErrorCode::Ok : error().code;
+    }
+
+  private:
+    std::variant<T, Error> data_;
+};
+
+/** Result specialization for operations that return no value. */
+class Status
+{
+  public:
+    Status() = default;
+    Status(Error error) : error_(std::move(error)), failed_(true) {}
+    Status(ErrorCode code) : Status(Error(code)) {}
+    Status(ErrorCode code, std::string msg)
+        : Status(Error(code, std::move(msg))) {}
+
+    static Status success() { return Status(); }
+
+    bool ok() const { return !failed_; }
+    explicit operator bool() const { return ok(); }
+
+    const Error &
+    error() const
+    {
+        assert(failed_);
+        return error_;
+    }
+
+    ErrorCode code() const { return failed_ ? error_.code : ErrorCode::Ok; }
+
+  private:
+    Error error_;
+    bool failed_ = false;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_COMMON_RESULT_HH

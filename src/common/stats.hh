@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Statistics utilities used by the evaluation harness: summary
+ * statistics (median/average/stddev as reported in the paper's
+ * Tables 2–4), fixed-bin histograms, and empirical CDFs (Fig. 9).
+ */
+
+#ifndef HYDRA_COMMON_STATS_HH
+#define HYDRA_COMMON_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hydra {
+
+/** Accumulates samples and reports the paper's summary statistics. */
+class SampleSet
+{
+  public:
+    void add(double sample);
+    void addAll(const std::vector<double> &samples);
+    void clear();
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double min() const;
+    double max() const;
+    double mean() const;
+    /** Sample standard deviation (n-1 denominator, as for a run). */
+    double stddev() const;
+    double median() const;
+    /** Percentile in [0, 100] via linear interpolation. */
+    double percentile(double pct) const;
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    /** Sorts the sample buffer if new samples arrived since last sort. */
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sortedValid_ = false;
+};
+
+/** One bin of a histogram: [lo, hi) and its sample count. */
+struct HistogramBin
+{
+    double lo = 0.0;
+    double hi = 0.0;
+    std::size_t count = 0;
+};
+
+/** Fixed-width histogram over [lo, hi); out-of-range samples clamp. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double sample);
+
+    std::size_t totalCount() const { return total_; }
+    const std::vector<HistogramBin> &bins() const { return bins_; }
+
+    /** Fraction of samples in each bin (empty histogram: all zero). */
+    std::vector<double> normalized() const;
+
+    /** Render an ASCII bar chart (for bench output). */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double binWidth_;
+    std::vector<HistogramBin> bins_;
+    std::size_t total_ = 0;
+};
+
+/** A point on an empirical CDF: P(X <= value) = probability. */
+struct CdfPoint
+{
+    double value = 0.0;
+    double probability = 0.0;
+};
+
+/** Empirical CDF of a sample set, sampled at each distinct value. */
+std::vector<CdfPoint> empiricalCdf(const SampleSet &samples);
+
+} // namespace hydra
+
+#endif // HYDRA_COMMON_STATS_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small string helpers shared by the ODF parser and bench output.
+ */
+
+#ifndef HYDRA_COMMON_STRINGS_HH
+#define HYDRA_COMMON_STRINGS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hydra {
+
+/** Strip ASCII whitespace from both ends. */
+std::string_view trim(std::string_view text);
+
+/** Split on a delimiter character; empty fields preserved. */
+std::vector<std::string> split(std::string_view text, char delim);
+
+/** Case-sensitive prefix/suffix tests. */
+bool startsWith(std::string_view text, std::string_view prefix);
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view text);
+
+/** Parse a base-10 integer; returns false on any non-digit garbage. */
+bool parseInt(std::string_view text, long long &out);
+
+/** Parse a double; returns false on trailing garbage. */
+bool parseDouble(std::string_view text, double &out);
+
+} // namespace hydra
+
+#endif // HYDRA_COMMON_STRINGS_HH

@@ -1,0 +1,138 @@
+#include "core/call.hh"
+
+namespace hydra::core {
+
+Bytes
+Call::serialize() const
+{
+    Bytes out;
+    ByteWriter writer(out);
+    writer.writeU8(static_cast<std::uint8_t>(MessageKind::Call));
+    writer.writeU64(targetOffcode.value());
+    writer.writeU64(interfaceGuid.value());
+    writer.writeString(method);
+    writer.writeBytes(arguments);
+    writer.writeU64(callId);
+    writer.writeU8(expectsReturn ? 1 : 0);
+    return out;
+}
+
+Result<Call>
+Call::deserialize(const Bytes &wire)
+{
+    ByteReader reader(wire);
+    auto kind = reader.readU8();
+    if (!kind)
+        return kind.error();
+    if (static_cast<MessageKind>(kind.value()) != MessageKind::Call)
+        return Error(ErrorCode::ParseError, "not a Call message");
+
+    Call call;
+    auto target = reader.readU64();
+    auto iface = reader.readU64();
+    auto method = reader.readString();
+    auto args = reader.readBytes();
+    auto id = reader.readU64();
+    auto expects = reader.readU8();
+    if (!target || !iface || !method || !args || !id || !expects)
+        return Error(ErrorCode::ParseError, "truncated Call message");
+
+    call.targetOffcode = Guid(target.value());
+    call.interfaceGuid = Guid(iface.value());
+    call.method = std::move(method).value();
+    call.arguments = std::move(args).value();
+    call.callId = id.value();
+    call.expectsReturn = expects.value() != 0;
+    return call;
+}
+
+Bytes
+CallReturn::serialize() const
+{
+    Bytes out;
+    ByteWriter writer(out);
+    writer.writeU8(static_cast<std::uint8_t>(MessageKind::Return));
+    writer.writeU64(callId);
+    writer.writeU8(ok ? 1 : 0);
+    writer.writeBytes(value);
+    writer.writeString(error);
+    return out;
+}
+
+Result<CallReturn>
+CallReturn::deserialize(const Bytes &wire)
+{
+    ByteReader reader(wire);
+    auto kind = reader.readU8();
+    if (!kind)
+        return kind.error();
+    if (static_cast<MessageKind>(kind.value()) != MessageKind::Return)
+        return Error(ErrorCode::ParseError, "not a Return message");
+
+    CallReturn ret;
+    auto id = reader.readU64();
+    auto ok = reader.readU8();
+    auto value = reader.readBytes();
+    auto error = reader.readString();
+    if (!id || !ok || !value || !error)
+        return Error(ErrorCode::ParseError, "truncated Return message");
+
+    ret.callId = id.value();
+    ret.ok = ok.value() != 0;
+    ret.value = std::move(value).value();
+    ret.error = std::move(error).value();
+    return ret;
+}
+
+Result<MessageKind>
+peekKind(const Bytes &wire)
+{
+    if (wire.empty())
+        return Error(ErrorCode::ParseError, "empty message");
+    const auto kind = static_cast<MessageKind>(wire[0]);
+    switch (kind) {
+      case MessageKind::Call:
+      case MessageKind::Return:
+      case MessageKind::Data:
+      case MessageKind::Management:
+        return kind;
+    }
+    return Error(ErrorCode::ParseError, "unknown message kind");
+}
+
+Bytes
+encodeData(const Bytes &payload)
+{
+    Bytes out;
+    ByteWriter writer(out);
+    writer.writeU8(static_cast<std::uint8_t>(MessageKind::Data));
+    writer.writeBytes(payload);
+    return out;
+}
+
+Bytes
+encodeManagement(const Bytes &payload)
+{
+    Bytes out;
+    ByteWriter writer(out);
+    writer.writeU8(static_cast<std::uint8_t>(MessageKind::Management));
+    writer.writeBytes(payload);
+    return out;
+}
+
+Result<Bytes>
+decodeData(const Bytes &wire)
+{
+    ByteReader reader(wire);
+    auto kind = reader.readU8();
+    if (!kind)
+        return kind.error();
+    if (static_cast<MessageKind>(kind.value()) != MessageKind::Data)
+        return Error(ErrorCode::ParseError, "not a Data message");
+    auto payload = reader.readBytes();
+    if (!payload)
+        return payload.error();
+    return payload;
+}
+
+} // namespace hydra::core

@@ -1,0 +1,208 @@
+#include "core/channel.hh"
+
+#include "common/logging.hh"
+#include "core/offcode.hh"
+
+namespace hydra::core {
+
+Status
+ChannelHandle::write(const Bytes &message)
+{
+    if (!channel)
+        return Status(ErrorCode::ChannelNotConnected, "null handle");
+    return channel->writeFrom(endpoint, message);
+}
+
+void
+ChannelHandle::install(std::function<void(const Bytes &)> handler)
+{
+    if (!channel)
+        return;
+    channel->installHandler(
+        endpoint,
+        [handler = std::move(handler)](const Bytes &message, std::size_t) {
+            handler(message);
+        });
+}
+
+Channel::Channel(ChannelConfig config) : config_(std::move(config)) {}
+
+Channel::~Channel() = default;
+
+void
+Channel::installHandler(std::size_t endpoint, Handler handler)
+{
+    if (endpoint >= endpoints_.size())
+        return;
+    Endpoint &ep = endpoints_[endpoint];
+    ep.handler = std::move(handler);
+    // Drain anything queued before the handler arrived.
+    while (ep.handler && !ep.queue.empty()) {
+        Bytes message = std::move(ep.queue.front());
+        ep.queue.pop_front();
+        ep.handler(message, SIZE_MAX);
+    }
+}
+
+Result<Bytes>
+Channel::poll(std::size_t endpoint)
+{
+    if (endpoint >= endpoints_.size())
+        return Error(ErrorCode::OutOfRange, "bad endpoint");
+    Endpoint &ep = endpoints_[endpoint];
+    if (ep.queue.empty())
+        return Error(ErrorCode::NotFound, "no message pending");
+    Bytes message = std::move(ep.queue.front());
+    ep.queue.pop_front();
+    return message;
+}
+
+Result<std::size_t>
+Channel::addEndpoint(ExecutionSite &site)
+{
+    if (closed_)
+        return Error(ErrorCode::ChannelClosed, "channel closed");
+    if (config_.type == ChannelConfig::Type::Unicast &&
+        endpoints_.size() >= 2)
+        return Error(ErrorCode::Unsupported,
+                     "unicast channel already has two endpoints");
+    Endpoint ep;
+    ep.site = &site;
+    endpoints_.push_back(std::move(ep));
+    return endpoints_.size() - 1;
+}
+
+Status
+Channel::connectCreator(ExecutionSite &site)
+{
+    if (!endpoints_.empty())
+        return Status(ErrorCode::AlreadyExists,
+                      "creator endpoint already exists");
+    auto index = addEndpoint(site);
+    if (!index)
+        return index.error();
+    return Status::success();
+}
+
+Status
+Channel::connectOffcode(Offcode &offcode)
+{
+    if (!offcode.context().site)
+        return Status(ErrorCode::OffcodeNotInitialized,
+                      offcode.bindname() + " has no site yet");
+    auto index = addEndpoint(*offcode.context().site);
+    if (!index)
+        return index.error();
+
+    const std::size_t ep = index.value();
+    endpoints_[ep].offcode = &offcode;
+    endpoints_[ep].handler = [this, ep](const Bytes &message,
+                                        std::size_t from) {
+        dispatchToOffcode(ep, message, from);
+    };
+
+    // Paper: attaching implicitly notifies the Offcode about the
+    // newly available channel.
+    offcode.onChannelConnected(ChannelHandle{this, ep});
+    return Status::success();
+}
+
+void
+Channel::deliverTo(std::size_t endpoint, const Bytes &message,
+                   std::size_t from)
+{
+    if (endpoint >= endpoints_.size())
+        return;
+    ++stats_.messagesDelivered;
+    Endpoint &ep = endpoints_[endpoint];
+    if (ep.handler) {
+        ep.handler(message, from);
+        return;
+    }
+    ep.queue.push_back(message);
+}
+
+void
+Channel::dispatchToOffcode(std::size_t endpoint, const Bytes &message,
+                           std::size_t from)
+{
+    Endpoint &ep = endpoints_[endpoint];
+    Offcode *offcode = ep.offcode;
+    if (!offcode)
+        return;
+
+    auto kind = peekKind(message);
+    if (!kind) {
+        LOG_WARN << "channel: undecodable message to "
+                 << offcode->bindname();
+        return;
+    }
+
+    switch (kind.value()) {
+      case MessageKind::Call: {
+        auto call = Call::deserialize(message);
+        if (!call) {
+            LOG_WARN << "channel: bad Call to " << offcode->bindname();
+            return;
+        }
+        // Dispatch costs a little compute at the target site.
+        if (ep.site)
+            ep.site->run(400);
+        Result<Bytes> result =
+            offcode->supportsInterface(call.value().interfaceGuid)
+                ? offcode->invoke(call.value().method,
+                                  call.value().arguments)
+                : Result<Bytes>(Error(
+                      ErrorCode::InterfaceMismatch,
+                      offcode->bindname() +
+                          " does not implement interface " +
+                          call.value().interfaceGuid.toString()));
+        if (!call.value().expectsReturn)
+            return;
+        CallReturn ret;
+        ret.callId = call.value().callId;
+        if (result) {
+            ret.ok = true;
+            ret.value = std::move(result).value();
+        } else {
+            ret.ok = false;
+            ret.error = result.error().describe();
+        }
+        Status written = writeFrom(endpoint, ret.serialize());
+        if (!written) {
+            LOG_DEBUG << "channel: return write failed: "
+                      << written.error().describe();
+        }
+        break;
+      }
+      case MessageKind::Data: {
+        auto payload = decodeData(message);
+        if (payload)
+            offcode->onData(payload.value(),
+                            ChannelHandle{this, endpoint});
+        break;
+      }
+      case MessageKind::Management: {
+        ByteReader reader(message);
+        reader.readU8(); // kind
+        auto payload = reader.readBytes();
+        offcode->onManagement(payload ? payload.value() : Bytes{},
+                              ChannelHandle{this, endpoint});
+        break;
+      }
+      case MessageKind::Return:
+        // Returns flowing toward an Offcode endpoint are queued so
+        // proxy-style callers on device can poll them.
+        ep.queue.push_back(message);
+        break;
+    }
+    (void)from;
+}
+
+void
+Channel::close()
+{
+    closed_ = true;
+}
+
+} // namespace hydra::core

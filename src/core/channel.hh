@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Channels (paper Sections 3.2 and 4.1): bidirectional pathways
+ * interconnecting Offcodes and OA-applications.
+ *
+ * A channel is created in two steps, mirroring the paper's API:
+ * the creator configures and creates its own endpoint (index 0),
+ * then attaches Offcodes with connectOffcode(), which implicitly
+ * constructs an endpoint at the target's site and notifies the
+ * Offcode. Delivery invokes the endpoint's installed handler, or
+ * queues for poll() when none is installed.
+ */
+
+#ifndef HYDRA_CORE_CHANNEL_HH
+#define HYDRA_CORE_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hh"
+#include "common/result.hh"
+#include "core/site.hh"
+
+namespace hydra::core {
+
+class Offcode;
+class Channel;
+
+/** Channel configuration (paper Fig. 3). */
+struct ChannelConfig
+{
+    enum class Type : std::uint8_t { Unicast, Multicast };
+    enum class Sync : std::uint8_t { Sequential, Concurrent };
+    enum class Buffering : std::uint8_t { ZeroCopy, Copying };
+
+    Type type = Type::Unicast;
+    bool reliable = true;
+    /**
+     * Delivery synchronization. The event-driven model executes one
+     * handler at a time, so Sequential ordering is what both modes
+     * provide today; Concurrent is accepted for API compatibility
+     * with the paper's configuration surface.
+     */
+    Sync sync = Sync::Sequential;
+    Buffering buffering = Buffering::ZeroCopy;
+
+    /** Pre-posted descriptors per direction (paper Fig. 6 rings). */
+    std::size_t ringDepth = 64;
+    std::size_t maxMessageBytes = 64 * 1024;
+
+    /** Target site name, as returned by Offcode GetDeviceAddr. */
+    std::string targetDevice;
+};
+
+/** Per-channel delivery statistics. */
+struct ChannelStats
+{
+    std::uint64_t messagesSent = 0;
+    std::uint64_t messagesDelivered = 0;
+    std::uint64_t messagesDropped = 0;
+    std::uint64_t bytesSent = 0;
+    std::uint64_t busCrossings = 0;
+};
+
+/** A (channel, endpoint index) pair — what an Offcode holds. */
+struct ChannelHandle
+{
+    Channel *channel = nullptr;
+    std::size_t endpoint = 0;
+
+    bool valid() const { return channel != nullptr; }
+    Status write(const Bytes &message);
+    void install(std::function<void(const Bytes &)> handler);
+};
+
+/** Abstract channel; concrete transports live in providers.cc. */
+class Channel
+{
+  public:
+    /** Handler receives (message, sender endpoint index). */
+    using Handler = std::function<void(const Bytes &, std::size_t)>;
+
+    explicit Channel(ChannelConfig config);
+    virtual ~Channel();
+
+    Channel(const Channel &) = delete;
+    Channel &operator=(const Channel &) = delete;
+
+    const ChannelConfig &config() const { return config_; }
+    const ChannelStats &stats() const { return stats_; }
+    std::size_t numEndpoints() const { return endpoints_.size(); }
+
+    /** Creator-side write (endpoint 0), as in the paper's examples. */
+    Status write(const Bytes &message) { return writeFrom(0, message); }
+
+    /** Write from any endpoint; delivered to every other endpoint. */
+    virtual Status writeFrom(std::size_t endpoint,
+                             const Bytes &message) = 0;
+
+    /** Install a dispatch handler at the creator endpoint. */
+    void installCallHandler(Handler handler)
+    {
+        installHandler(0, std::move(handler));
+    }
+
+    void installHandler(std::size_t endpoint, Handler handler);
+
+    /** Non-blocking read of a queued message (no handler installed). */
+    Result<Bytes> poll(std::size_t endpoint);
+
+    /**
+     * Attach an Offcode: constructs its endpoint at the Offcode's
+     * site, installs the default Call-dispatch handler, and notifies
+     * the Offcode (paper: ConnectOffcode).
+     */
+    Status connectOffcode(Offcode &offcode);
+
+    /** Create the creator endpoint (index 0); called by providers. */
+    Status connectCreator(ExecutionSite &site);
+
+    /** Close the channel; subsequent writes fail ChannelClosed. */
+    void close();
+    bool closed() const { return closed_; }
+
+  protected:
+    struct Endpoint
+    {
+        ExecutionSite *site = nullptr;
+        Offcode *offcode = nullptr; ///< set for connectOffcode endpoints
+        Handler handler;
+        std::deque<Bytes> queue;
+    };
+
+    /** Register an endpoint; providers may veto cross-site layouts. */
+    virtual Result<std::size_t> addEndpoint(ExecutionSite &site);
+
+    /** Final delivery into handler or queue (updates stats). */
+    void deliverTo(std::size_t endpoint, const Bytes &message,
+                   std::size_t from);
+
+    /** Default dispatch for Offcode endpoints (Calls, Data, Mgmt). */
+    void dispatchToOffcode(std::size_t endpoint, const Bytes &message,
+                           std::size_t from);
+
+    ChannelConfig config_;
+    ChannelStats stats_;
+    std::vector<Endpoint> endpoints_;
+    bool closed_ = false;
+};
+
+} // namespace hydra::core
+
+#endif // HYDRA_CORE_CHANNEL_HH

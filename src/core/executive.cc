@@ -1,0 +1,88 @@
+#include "core/executive.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hydra::core {
+
+ChannelExecutive::ChannelExecutive(
+    std::function<ExecutionSite *(const std::string &)> site_lookup)
+    : siteLookup_(std::move(site_lookup))
+{
+}
+
+void
+ChannelExecutive::registerProvider(std::unique_ptr<ChannelProvider> provider)
+{
+    providers_.push_back(std::move(provider));
+}
+
+Result<Channel *>
+ChannelExecutive::createChannel(const ChannelConfig &config,
+                                ExecutionSite &creator,
+                                std::size_t typical_bytes)
+{
+    if (providers_.empty())
+        return Error(ErrorCode::NotFound, "no channel providers");
+
+    ExecutionSite *target = nullptr;
+    if (!config.targetDevice.empty()) {
+        target = siteLookup_(config.targetDevice);
+        if (!target)
+            return Error(ErrorCode::NotFound,
+                         "unknown target device: " + config.targetDevice);
+    }
+
+    // Pick the capable provider with the lowest per-message latency
+    // (the "price" in the paper's terms).
+    ChannelProvider *best = nullptr;
+    ChannelCost bestCost;
+    for (const auto &provider : providers_) {
+        if (!provider->canServe(config, creator, target))
+            continue;
+        const ChannelCost cost =
+            provider->estimateCost(config, creator, target, typical_bytes);
+        if (!best || cost.perMessageLatency < bestCost.perMessageLatency) {
+            best = provider.get();
+            bestCost = cost;
+        }
+    }
+    if (!best)
+        return Error(ErrorCode::Unsupported,
+                     "no provider can serve this channel configuration");
+
+    LOG_DEBUG << "executive: provider '" << best->name()
+              << "' selected for channel to '" << config.targetDevice
+              << "'";
+
+    auto channel = best->create(config, creator);
+    Channel *raw = channel.get();
+    channels_.push_back(std::move(channel));
+    return raw;
+}
+
+Status
+ChannelExecutive::destroyChannel(Channel *channel)
+{
+    auto it = std::find_if(
+        channels_.begin(), channels_.end(),
+        [channel](const auto &owned) { return owned.get() == channel; });
+    if (it == channels_.end())
+        return Status(ErrorCode::NotFound, "channel not owned by executive");
+    (*it)->close();
+    channels_.erase(it);
+    return Status::success();
+}
+
+std::vector<std::string>
+ChannelExecutive::providerNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(providers_.size());
+    for (const auto &provider : providers_)
+        names.push_back(provider->name());
+    return names;
+}
+
+} // namespace hydra::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The Channel Executive (paper Section 4): owns channel providers,
+ * selects the best provider for a requested channel using their
+ * advertised cost metrics, and owns the resulting channels.
+ */
+
+#ifndef HYDRA_CORE_EXECUTIVE_HH
+#define HYDRA_CORE_EXECUTIVE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/providers.hh"
+
+namespace hydra::core {
+
+/** Creates channels through the cheapest capable provider. */
+class ChannelExecutive
+{
+  public:
+    /** @param site_lookup Resolves a targetDevice name to a site. */
+    explicit ChannelExecutive(
+        std::function<ExecutionSite *(const std::string &)> site_lookup);
+
+    void registerProvider(std::unique_ptr<ChannelProvider> provider);
+
+    /**
+     * Create a channel with its creator endpoint at @p creator.
+     * Provider selection uses config.targetDevice (may be empty for
+     * channels attached later) and a typical message size hint.
+     */
+    Result<Channel *> createChannel(const ChannelConfig &config,
+                                    ExecutionSite &creator,
+                                    std::size_t typical_bytes = 1024);
+
+    /** Destroy a channel created by this executive. */
+    Status destroyChannel(Channel *channel);
+
+    std::vector<std::string> providerNames() const;
+    std::size_t activeChannels() const { return channels_.size(); }
+
+  private:
+    std::function<ExecutionSite *(const std::string &)> siteLookup_;
+    std::vector<std::unique_ptr<ChannelProvider>> providers_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+} // namespace hydra::core
+
+#endif // HYDRA_CORE_EXECUTIVE_HH

@@ -1,0 +1,92 @@
+#include "core/loader.hh"
+
+#include "common/logging.hh"
+
+namespace hydra::core {
+
+HostLoader::HostLoader(hw::Machine &machine, LoaderCosts costs)
+    : machine_(machine), costs_(costs)
+{
+}
+
+void
+HostLoader::load(const DepotEntry &entry, std::function<void(Status)> done)
+{
+    // In-process dynamic linking: resolve symbols against the
+    // runtime's pseudo Offcodes, relocate, done.
+    const auto cycles =
+        costs_.linkBaseCycles +
+        static_cast<std::uint64_t>(costs_.linkCyclesPerByte *
+                                   static_cast<double>(entry.imageBytes));
+    const sim::SimTime ready = machine_.cpu().runCycles(cycles);
+    machine_.simulator().scheduleAt(
+        ready, [done = std::move(done)]() { done(Status::success()); });
+}
+
+void
+HostLoader::unload(const DepotEntry &entry)
+{
+    (void)entry;
+}
+
+DeviceDmaLoader::DeviceDmaLoader(hw::Machine &host, dev::Device &device,
+                                 LoaderCosts costs)
+    : host_(host), device_(device), costs_(costs)
+{
+}
+
+void
+DeviceDmaLoader::load(const DepotEntry &entry,
+                      std::function<void(Status)> done)
+{
+    // Phase 1: AllocateOffcodeMemory at the device (OOB round trip).
+    const std::size_t image_bytes = entry.imageBytes;
+    const std::size_t total_bytes =
+        image_bytes + entry.manifest.requiredMemoryBytes;
+
+    device_.timerAfter(costs_.allocateRtt, [this, total_bytes, image_bytes,
+                                            &entry,
+                                            done = std::move(done)]() {
+        auto base = device_.allocateLocal(total_bytes);
+        if (!base) {
+            done(Status(base.error()));
+            return;
+        }
+        LOG_DEBUG << "loader: " << entry.manifest.bindname << " -> "
+                  << device_.name() << " @ " << base.value();
+
+        // Phase 2: host-side link against the returned address.
+        const auto link_cycles =
+            costs_.linkBaseCycles +
+            static_cast<std::uint64_t>(
+                costs_.linkCyclesPerByte *
+                static_cast<double>(image_bytes));
+        host_.cpu().runCycles(link_cycles);
+
+        // Phase 3: DMA the linked image across the bus.
+        device_.dma().start(image_bytes, [this, image_bytes,
+                                          done = std::move(done)]() {
+            // Phase 4: device-side placement and start.
+            const auto install_cycles =
+                costs_.installBaseCycles +
+                static_cast<std::uint64_t>(
+                    costs_.installCyclesPerByte *
+                    static_cast<double>(image_bytes));
+            const sim::SimTime ready =
+                device_.runFirmware(install_cycles);
+            device_.simulator().scheduleAt(
+                ready, [this, done = std::move(done)]() {
+                    ++imagesLoaded_;
+                    done(Status::success());
+                });
+        });
+    });
+}
+
+void
+DeviceDmaLoader::unload(const DepotEntry &entry)
+{
+    device_.freeLocal(entry.imageBytes + entry.manifest.requiredMemoryBytes);
+}
+
+} // namespace hydra::core

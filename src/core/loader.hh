@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Dynamic Offcode loading (paper Section 4.2).
+ *
+ * Loaders implement "a generic interface for Offcode loading ...
+ * intended to be implemented by the device driver of each target
+ * peripheral". The device loader follows the paper's phases: the
+ * host-based loader sizes the image and calls the device's
+ * AllocateOffcodeMemory, dynamically generates a linker script
+ * adjusted to the returned address and links the object, then
+ * transfers the linked image to the device, where it is placed and
+ * executed. The host loader models in-process dynamic linking.
+ */
+
+#ifndef HYDRA_CORE_LOADER_HH
+#define HYDRA_CORE_LOADER_HH
+
+#include <functional>
+#include <memory>
+
+#include "core/depot.hh"
+#include "core/site.hh"
+
+namespace hydra::core {
+
+/** Cost constants for the loading pipeline. */
+struct LoaderCosts
+{
+    /** Host cycles per image byte for the dynamic link step. */
+    double linkCyclesPerByte = 2.0;
+    std::uint64_t linkBaseCycles = 20000;
+    /** Device firmware cycles per image byte to place and fix up. */
+    double installCyclesPerByte = 0.5;
+    std::uint64_t installBaseCycles = 10000;
+    /** Out-of-band allocate request round trip. */
+    sim::SimTime allocateRtt = sim::microseconds(40);
+};
+
+/** Generic loading interface. */
+class OffcodeLoader
+{
+  public:
+    virtual ~OffcodeLoader() = default;
+
+    /**
+     * Run the complete offloading sequence for @p entry; @p done
+     * fires with the outcome once the image is installed.
+     */
+    virtual void load(const DepotEntry &entry,
+                      std::function<void(Status)> done) = 0;
+
+    /** Undo a prior load's resource usage (device memory, ...). */
+    virtual void unload(const DepotEntry &entry) = 0;
+};
+
+/** In-process loading for host-placed Offcodes. */
+class HostLoader : public OffcodeLoader
+{
+  public:
+    explicit HostLoader(hw::Machine &machine, LoaderCosts costs = {});
+
+    void load(const DepotEntry &entry,
+              std::function<void(Status)> done) override;
+    void unload(const DepotEntry &entry) override;
+
+  private:
+    hw::Machine &machine_;
+    LoaderCosts costs_;
+};
+
+/** Host-assisted DMA loading onto a programmable device. */
+class DeviceDmaLoader : public OffcodeLoader
+{
+  public:
+    DeviceDmaLoader(hw::Machine &host, dev::Device &device,
+                    LoaderCosts costs = {});
+
+    void load(const DepotEntry &entry,
+              std::function<void(Status)> done) override;
+    void unload(const DepotEntry &entry) override;
+
+    std::uint64_t imagesLoaded() const { return imagesLoaded_; }
+
+  private:
+    hw::Machine &host_;
+    dev::Device &device_;
+    LoaderCosts costs_;
+    std::uint64_t imagesLoaded_ = 0;
+};
+
+} // namespace hydra::core
+
+#endif // HYDRA_CORE_LOADER_HH

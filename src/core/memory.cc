@@ -1,0 +1,85 @@
+#include "core/memory.hh"
+
+namespace hydra::core {
+
+PinnedRegion::PinnedRegion(MemoryManager *manager, std::uint64_t token,
+                           hw::Addr base, std::size_t bytes)
+    : manager_(manager), token_(token), base_(base), bytes_(bytes)
+{
+}
+
+PinnedRegion::~PinnedRegion()
+{
+    reset();
+}
+
+PinnedRegion::PinnedRegion(PinnedRegion &&other) noexcept
+    : manager_(other.manager_), token_(other.token_), base_(other.base_),
+      bytes_(other.bytes_)
+{
+    other.manager_ = nullptr;
+}
+
+PinnedRegion &
+PinnedRegion::operator=(PinnedRegion &&other) noexcept
+{
+    if (this != &other) {
+        reset();
+        manager_ = other.manager_;
+        token_ = other.token_;
+        base_ = other.base_;
+        bytes_ = other.bytes_;
+        other.manager_ = nullptr;
+    }
+    return *this;
+}
+
+void
+PinnedRegion::reset()
+{
+    if (manager_) {
+        manager_->unpin(token_);
+        manager_ = nullptr;
+    }
+}
+
+MemoryManager::MemoryManager(hw::OsKernel &os, std::size_t pin_limit_bytes)
+    : os_(os), pinLimit_(pin_limit_bytes)
+{
+}
+
+hw::Addr
+MemoryManager::allocBuffer(std::size_t bytes)
+{
+    return os_.allocRegion(bytes);
+}
+
+Result<PinnedRegion>
+MemoryManager::pin(hw::Addr base, std::size_t bytes)
+{
+    if (bytes == 0)
+        return Error(ErrorCode::InvalidArgument, "cannot pin zero bytes");
+    if (pinnedBytes_ + bytes > pinLimit_)
+        return Error(ErrorCode::ResourceExhausted,
+                     "pinned-memory limit exceeded");
+
+    // Pinning walks page tables: charge a small syscall-class cost.
+    os_.syscall(200 + bytes / 4096 * 50);
+
+    const std::uint64_t token = nextToken_++;
+    pins_[token] = bytes;
+    pinnedBytes_ += bytes;
+    return PinnedRegion(this, token, base, bytes);
+}
+
+void
+MemoryManager::unpin(std::uint64_t token)
+{
+    auto it = pins_.find(token);
+    if (it == pins_.end())
+        return;
+    pinnedBytes_ -= it->second;
+    pins_.erase(it);
+}
+
+} // namespace hydra::core

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Memory Management module (paper Section 4): "exports memory
+ * services such as user memory pinning that is used by zero-copy
+ * channels."
+ *
+ * Pinned regions are accounted against a configurable limit; the
+ * PinnedRegion RAII handle unpins on destruction.
+ */
+
+#ifndef HYDRA_CORE_MEMORY_HH
+#define HYDRA_CORE_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/result.hh"
+#include "hw/os.hh"
+
+namespace hydra::core {
+
+class MemoryManager;
+
+/** RAII handle to a pinned user-memory region. */
+class PinnedRegion
+{
+  public:
+    PinnedRegion() = default;
+    PinnedRegion(MemoryManager *manager, std::uint64_t token,
+                 hw::Addr base, std::size_t bytes);
+    ~PinnedRegion();
+
+    PinnedRegion(PinnedRegion &&other) noexcept;
+    PinnedRegion &operator=(PinnedRegion &&other) noexcept;
+    PinnedRegion(const PinnedRegion &) = delete;
+    PinnedRegion &operator=(const PinnedRegion &) = delete;
+
+    bool valid() const { return manager_ != nullptr; }
+    hw::Addr base() const { return base_; }
+    std::size_t bytes() const { return bytes_; }
+
+    /** Explicit early unpin. */
+    void reset();
+
+  private:
+    MemoryManager *manager_ = nullptr;
+    std::uint64_t token_ = 0;
+    hw::Addr base_ = 0;
+    std::size_t bytes_ = 0;
+};
+
+/** Pinning service with accounting. */
+class MemoryManager
+{
+  public:
+    MemoryManager(hw::OsKernel &os, std::size_t pin_limit_bytes);
+
+    /** Allocate a modeled user buffer (delegates to the OS). */
+    hw::Addr allocBuffer(std::size_t bytes);
+
+    /** Pin [base, base+bytes) for device DMA access. */
+    Result<PinnedRegion> pin(hw::Addr base, std::size_t bytes);
+
+    std::size_t pinnedBytes() const { return pinnedBytes_; }
+    std::size_t pinLimit() const { return pinLimit_; }
+    std::size_t activePins() const { return pins_.size(); }
+
+  private:
+    friend class PinnedRegion;
+    void unpin(std::uint64_t token);
+
+    hw::OsKernel &os_;
+    std::size_t pinLimit_;
+    std::size_t pinnedBytes_ = 0;
+    std::uint64_t nextToken_ = 1;
+    std::unordered_map<std::uint64_t, std::size_t> pins_;
+};
+
+} // namespace hydra::core
+
+#endif // HYDRA_CORE_MEMORY_HH

@@ -1,0 +1,121 @@
+#include "core/offcode.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hydra::core {
+
+Offcode::Offcode(std::string bindname)
+    : bindname_(std::move(bindname)), guid_(Guid::fromName(bindname_))
+{
+}
+
+std::string
+Offcode::deviceAddr() const
+{
+    return ctx_.site ? ctx_.site->name() : std::string();
+}
+
+Status
+Offcode::doInitialize(OffcodeContext context)
+{
+    if (state_ != OffcodeState::Created)
+        return Status(ErrorCode::OffcodeAlreadyStarted,
+                      bindname_ + ": initialize out of order");
+    ctx_ = context;
+    Status status = initialize();
+    if (!status) {
+        state_ = OffcodeState::Faulted;
+        return status;
+    }
+    state_ = OffcodeState::Initialized;
+    return Status::success();
+}
+
+Status
+Offcode::doStart()
+{
+    if (state_ != OffcodeState::Initialized)
+        return Status(state_ == OffcodeState::Created
+                          ? ErrorCode::OffcodeNotInitialized
+                          : ErrorCode::OffcodeAlreadyStarted,
+                      bindname_ + ": start out of order");
+    Status status = start();
+    if (!status) {
+        state_ = OffcodeState::Faulted;
+        return status;
+    }
+    state_ = OffcodeState::Started;
+    return Status::success();
+}
+
+void
+Offcode::doStop()
+{
+    if (state_ == OffcodeState::Started ||
+        state_ == OffcodeState::Initialized) {
+        stop();
+        state_ = OffcodeState::Stopped;
+    }
+}
+
+Result<Bytes>
+Offcode::invoke(const std::string &method, const Bytes &arguments)
+{
+    auto it = methods_.find(method);
+    if (it == methods_.end())
+        return Error(ErrorCode::NotFound,
+                     bindname_ + ": no such method: " + method);
+    return it->second(arguments);
+}
+
+void
+Offcode::onChannelConnected(ChannelHandle channel)
+{
+    (void)channel;
+}
+
+void
+Offcode::onData(const Bytes &payload, ChannelHandle from)
+{
+    (void)payload;
+    (void)from;
+    LOG_DEBUG << bindname_ << ": unhandled data message";
+}
+
+void
+Offcode::onManagement(const Bytes &payload, ChannelHandle from)
+{
+    (void)payload;
+    (void)from;
+}
+
+void
+Offcode::registerMethod(const std::string &name, MethodFn fn)
+{
+    methods_[name] = std::move(fn);
+}
+
+void
+Offcode::declareInterface(Guid interface_guid)
+{
+    if (std::find(interfaces_.begin(), interfaces_.end(),
+                  interface_guid) == interfaces_.end())
+        interfaces_.push_back(interface_guid);
+}
+
+bool
+Offcode::supportsInterface(Guid interface_guid) const
+{
+    if (interfaces_.empty())
+        return true; // no declaration: accept anything
+    if (interface_guid == guid_ || interface_guid.isNull())
+        return true; // the IOffcode identity is always available
+    for (const Guid &declared : interfaces_)
+        if (declared == interface_guid)
+            return true;
+    return false;
+}
+
+} // namespace hydra::core

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Offcodes (paper Section 3.1): components with state, well-defined
+ * interfaces, and a thread of control, deployable to host CPUs or
+ * programmable peripherals.
+ *
+ * Lifecycle follows the paper's two-phase initialization: after
+ * construction at the target device the runtime calls Initialize
+ * (local resources only — peers may not be offloaded yet); once all
+ * related Offcodes are deployed it calls StartOffcode, at which
+ * point inter-Offcode communication is available.
+ */
+
+#ifndef HYDRA_CORE_OFFCODE_HH
+#define HYDRA_CORE_OFFCODE_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/guid.hh"
+#include "common/result.hh"
+#include "core/call.hh"
+#include "core/channel.hh"
+#include "core/resource.hh"
+#include "core/site.hh"
+
+namespace hydra::core {
+
+class Runtime;
+
+/** What the runtime provides to a deployed Offcode. */
+struct OffcodeContext
+{
+    Runtime *runtime = nullptr;
+    ExecutionSite *site = nullptr;
+    /** The default out-of-band channel (management traffic). */
+    Channel *oobChannel = nullptr;
+    /** This Offcode's node in the resource hierarchy. */
+    ResourceId resource = kNoResource;
+};
+
+/** Lifecycle states. */
+enum class OffcodeState {
+    Created,
+    Initialized,
+    Started,
+    Stopped,
+    Faulted,
+};
+
+/**
+ * Base class for all Offcodes (the IOffcode interface of the paper:
+ * instantiation, initialization, and interface dispatch).
+ */
+class Offcode
+{
+  public:
+    explicit Offcode(std::string bindname);
+    virtual ~Offcode() = default;
+
+    Offcode(const Offcode &) = delete;
+    Offcode &operator=(const Offcode &) = delete;
+
+    const std::string &bindname() const { return bindname_; }
+    Guid guid() const { return guid_; }
+    OffcodeState state() const { return state_; }
+
+    /**
+     * Interfaces this Offcode implements (paper: "an Offcode can
+     * implement multiple interfaces, each ... uniquely identified by
+     * a GUID"). When at least one interface is declared, incoming
+     * Calls must name one of them (or the Offcode's own GUID, the
+     * IOffcode identity); with none declared, any interface GUID is
+     * accepted.
+     */
+    void declareInterface(Guid interface_guid);
+    bool supportsInterface(Guid interface_guid) const;
+    const std::vector<Guid> &interfaces() const { return interfaces_; }
+
+    /** Site name for ChannelConfig::targetDevice (GetDeviceAddr). */
+    std::string deviceAddr() const;
+
+    // --- lifecycle driven by the runtime ---
+    Status doInitialize(OffcodeContext context);
+    Status doStart();
+    void doStop();
+
+    // --- invocation ---
+    /**
+     * Dispatch a marshaled method invocation. The default
+     * implementation consults the method registry populated with
+     * registerMethod(); override for custom dispatch.
+     */
+    virtual Result<Bytes> invoke(const std::string &method,
+                                 const Bytes &arguments);
+
+    // --- channel events (runtime/channel layer calls these) ---
+    /** A channel was connected to this Offcode (paper §3.2). */
+    virtual void onChannelConnected(ChannelHandle channel);
+    /** Raw data arrived on a connected channel. */
+    virtual void onData(const Bytes &payload, ChannelHandle from);
+    /** Management traffic arrived (OOB or any connected channel). */
+    virtual void onManagement(const Bytes &payload, ChannelHandle from);
+
+    /** Context access (valid after doInitialize). */
+    OffcodeContext &context() { return ctx_; }
+    ExecutionSite &site() { return *ctx_.site; }
+    Runtime &runtime() { return *ctx_.runtime; }
+
+  protected:
+    using MethodFn = std::function<Result<Bytes>(const Bytes &)>;
+
+    /** Hook: acquire local resources (phase one). */
+    virtual Status initialize() { return Status::success(); }
+    /** Hook: peers are deployed; channels may be created (phase 2). */
+    virtual Status start() { return Status::success(); }
+    /** Hook: release resources. */
+    virtual void stop() {}
+
+    /** Register a method for default invoke() dispatch. */
+    void registerMethod(const std::string &name, MethodFn fn);
+
+    OffcodeContext ctx_;
+
+  private:
+    std::string bindname_;
+    Guid guid_;
+    OffcodeState state_ = OffcodeState::Created;
+    std::map<std::string, MethodFn> methods_;
+    std::vector<Guid> interfaces_;
+};
+
+} // namespace hydra::core
+
+#endif // HYDRA_CORE_OFFCODE_HH

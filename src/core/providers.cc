@@ -1,0 +1,338 @@
+#include "core/providers.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hydra::core {
+
+namespace {
+
+/** Transport cost constants shared by the ring channel. */
+struct RingCosts
+{
+    std::uint64_t hostDescriptorCycles = 400;
+    std::uint64_t deviceDescriptorCycles = 300;
+    std::uint64_t deviceRxCycles = 500;
+    std::uint64_t hostRxCopySetupCycles = 250;
+    sim::SimTime localLatency = sim::nanoseconds(600);
+};
+
+/** Both endpoints live on the same execution locus. */
+class LocalChannel : public Channel
+{
+  public:
+    LocalChannel(ChannelConfig config, sim::Simulator &simulator)
+        : Channel(std::move(config)), sim_(simulator)
+    {
+    }
+
+    Status
+    writeFrom(std::size_t from, const Bytes &message) override
+    {
+        if (closed_)
+            return Status(ErrorCode::ChannelClosed, "channel closed");
+        if (from >= endpoints_.size())
+            return Status(ErrorCode::OutOfRange, "bad endpoint");
+        if (endpoints_.size() < 2)
+            return Status(ErrorCode::ChannelNotConnected,
+                          "no peer endpoint");
+        if (message.size() > config_.maxMessageBytes)
+            return Status(ErrorCode::MessageTooLarge, "message too large");
+
+        ++stats_.messagesSent;
+        stats_.bytesSent += message.size();
+
+        // Enqueue costs a little compute at the sender's site.
+        if (endpoints_[from].site)
+            endpoints_[from].site->run(250);
+
+        for (std::size_t ep = 0; ep < endpoints_.size(); ++ep) {
+            if (ep == from)
+                continue;
+            sim_.schedule(costs_.localLatency,
+                          [this, ep, from, msg = message]() {
+                              deliverTo(ep, msg, from);
+                          });
+        }
+        return Status::success();
+    }
+
+  private:
+    sim::Simulator &sim_;
+    RingCosts costs_;
+};
+
+/**
+ * The paper's zero-copy channel: per-destination descriptor rings,
+ * pre-posted buffers, device DMA, host interrupts.
+ */
+class RingChannel : public Channel
+{
+  public:
+    RingChannel(ChannelConfig config, sim::Simulator &simulator,
+                bool bus_multicast)
+        : Channel(std::move(config)), sim_(simulator),
+          busMulticast_(bus_multicast)
+    {
+    }
+
+    Result<std::size_t>
+    addEndpoint(ExecutionSite &site) override
+    {
+        auto index = Channel::addEndpoint(site);
+        if (!index)
+            return index;
+        EpState state;
+        if (site.isHost()) {
+            // Host endpoints own ring buffers in host memory (the
+            // InRing/OutRing of Fig. 6) plus a user-visible buffer
+            // for Copying mode.
+            hw::OsKernel &os = site.machine().os();
+            state.ringBuffer = os.allocRegion(config_.ringDepth *
+                                              config_.maxMessageBytes);
+            state.userBuffer = os.allocRegion(config_.maxMessageBytes);
+        }
+        state_.push_back(state);
+        return index;
+    }
+
+    Status
+    writeFrom(std::size_t from, const Bytes &message) override
+    {
+        if (closed_)
+            return Status(ErrorCode::ChannelClosed, "channel closed");
+        if (from >= endpoints_.size())
+            return Status(ErrorCode::OutOfRange, "bad endpoint");
+        if (endpoints_.size() < 2)
+            return Status(ErrorCode::ChannelNotConnected,
+                          "no peer endpoint");
+        if (message.size() > config_.maxMessageBytes)
+            return Status(ErrorCode::MessageTooLarge, "message too large");
+
+        ++stats_.messagesSent;
+        stats_.bytesSent += message.size();
+
+        // Sender-side descriptor preparation.
+        ExecutionSite *src = endpoints_[from].site;
+        if (src->isHost()) {
+            hw::Machine &machine = src->machine();
+            machine.cpu().runCycles(costs_.hostDescriptorCycles);
+            if (config_.buffering == ChannelConfig::Buffering::Copying) {
+                // Staged copy into the ring slot (pollutes L2).
+                EpState &st = state_[from];
+                const hw::Addr slot =
+                    st.ringBuffer +
+                    st.slot * config_.maxMessageBytes;
+                st.slot = (st.slot + 1) % config_.ringDepth;
+                machine.os().copyBytes(st.userBuffer, slot,
+                                       message.size());
+            }
+        } else {
+            src->run(costs_.deviceDescriptorCycles);
+        }
+
+        // One multicast bus transaction can cover all device
+        // destinations when the fabric supports it.
+        bool sharedCrossingCharged = false;
+        for (std::size_t ep = 0; ep < endpoints_.size(); ++ep) {
+            if (ep == from)
+                continue;
+            const bool charge =
+                !busMulticast_ || !sharedCrossingCharged ||
+                endpoints_[ep].site->isHost();
+            transport(from, ep, message, charge);
+            if (!endpoints_[ep].site->isHost())
+                sharedCrossingCharged = true;
+        }
+        return Status::success();
+    }
+
+  private:
+    struct EpState
+    {
+        std::size_t inFlight = 0;
+        std::deque<std::pair<std::size_t, Bytes>> backlog;
+        hw::Addr ringBuffer = 0;
+        hw::Addr userBuffer = 0;
+        std::size_t slot = 0;
+    };
+
+    /** Move one message from endpoint @p from to @p to. */
+    void
+    transport(std::size_t from, std::size_t to, const Bytes &message,
+              bool charge_bus)
+    {
+        EpState &dst_state = state_[to];
+        if (dst_state.inFlight >= config_.ringDepth) {
+            if (config_.reliable) {
+                // Backpressure: queue until a descriptor frees.
+                dst_state.backlog.emplace_back(from, message);
+            } else {
+                ++stats_.messagesDropped;
+            }
+            return;
+        }
+        ++dst_state.inFlight;
+        startDma(from, to, message, charge_bus);
+    }
+
+    void
+    startDma(std::size_t from, std::size_t to, const Bytes &message,
+             bool charge_bus)
+    {
+        ExecutionSite *src = endpoints_[from].site;
+        ExecutionSite *dst = endpoints_[to].site;
+        const std::size_t bytes = message.size();
+
+        auto finish = [this, from, to, msg = message]() {
+            completeDelivery(from, to, msg);
+        };
+
+        // Pick the bus-mastering engine: the device side of the pair.
+        dev::Device *engineOwner =
+            src->device() ? src->device() : dst->device();
+
+        if (!engineOwner) {
+            // Host-to-host ring: no bus, a kernel handoff.
+            src->machine().cpu().runCycles(costs_.hostRxCopySetupCycles);
+            sim_.schedule(costs_.localLatency, std::move(finish));
+            return;
+        }
+        if (!charge_bus) {
+            // Covered by a multicast transaction charged already.
+            sim_.schedule(sim::microseconds(1), std::move(finish));
+            return;
+        }
+        ++stats_.busCrossings;
+        engineOwner->dma().start(bytes, std::move(finish));
+    }
+
+    void
+    completeDelivery(std::size_t from, std::size_t to, const Bytes &message)
+    {
+        ExecutionSite *dst = endpoints_[to].site;
+        EpState &dst_state = state_[to];
+
+        if (dst->isHost()) {
+            hw::Machine &machine = dst->machine();
+            const hw::Addr slot =
+                dst_state.ringBuffer +
+                dst_state.slot * config_.maxMessageBytes;
+            dst_state.slot = (dst_state.slot + 1) % config_.ringDepth;
+            machine.os().dmaDelivered(slot, message.size());
+            machine.os().handleInterrupt();
+            if (config_.buffering == ChannelConfig::Buffering::Copying)
+                machine.os().copyBytes(slot, dst_state.userBuffer,
+                                       message.size());
+        } else {
+            dst->run(costs_.deviceRxCycles);
+        }
+
+        deliverTo(to, message, from);
+
+        // Descriptor recycled; drain backlog if any.
+        if (dst_state.inFlight > 0)
+            --dst_state.inFlight;
+        if (!dst_state.backlog.empty()) {
+            auto [bfrom, bmsg] = std::move(dst_state.backlog.front());
+            dst_state.backlog.pop_front();
+            ++dst_state.inFlight;
+            startDma(bfrom, to, bmsg, true);
+        }
+    }
+
+    sim::Simulator &sim_;
+    bool busMulticast_;
+    RingCosts costs_;
+    std::vector<EpState> state_;
+};
+
+} // namespace
+
+LocalChannelProvider::LocalChannelProvider(sim::Simulator &simulator)
+    : sim_(simulator)
+{
+}
+
+bool
+LocalChannelProvider::canServe(const ChannelConfig &config,
+                               ExecutionSite &creator,
+                               ExecutionSite *target) const
+{
+    (void)config;
+    if (!target)
+        return true; // connectionless until attached
+    return target == &creator ||
+           (creator.isHost() && target->isHost() &&
+            &creator.machine() == &target->machine());
+}
+
+ChannelCost
+LocalChannelProvider::estimateCost(const ChannelConfig &config,
+                                   ExecutionSite &creator,
+                                   ExecutionSite *target,
+                                   std::size_t bytes) const
+{
+    (void)config;
+    (void)creator;
+    (void)target;
+    (void)bytes;
+    return ChannelCost{sim::nanoseconds(800), 40.0};
+}
+
+std::unique_ptr<Channel>
+LocalChannelProvider::create(const ChannelConfig &config,
+                             ExecutionSite &creator)
+{
+    auto channel = std::make_unique<LocalChannel>(config, sim_);
+    channel->connectCreator(creator);
+    return channel;
+}
+
+DmaRingChannelProvider::DmaRingChannelProvider(sim::Simulator &simulator,
+                                               bool bus_multicast)
+    : sim_(simulator), busMulticast_(bus_multicast)
+{
+}
+
+bool
+DmaRingChannelProvider::canServe(const ChannelConfig &config,
+                                 ExecutionSite &creator,
+                                 ExecutionSite *target) const
+{
+    (void)config;
+    (void)creator;
+    (void)target;
+    return true; // the ring transport spans any site pair
+}
+
+ChannelCost
+DmaRingChannelProvider::estimateCost(const ChannelConfig &config,
+                                     ExecutionSite &creator,
+                                     ExecutionSite *target,
+                                     std::size_t bytes) const
+{
+    ChannelCost cost;
+    const bool crossing =
+        !target || target->device() != creator.device() ||
+        creator.device() == nullptr;
+    cost.perMessageLatency =
+        crossing ? sim::microseconds(6) : sim::microseconds(1);
+    cost.throughputGbps = creator.machine().bus().bandwidthGbps();
+    if (config.buffering == ChannelConfig::Buffering::Copying)
+        cost.perMessageLatency += sim::nanoseconds(bytes);
+    return cost;
+}
+
+std::unique_ptr<Channel>
+DmaRingChannelProvider::create(const ChannelConfig &config,
+                               ExecutionSite &creator)
+{
+    auto channel =
+        std::make_unique<RingChannel>(config, sim_, busMulticast_);
+    channel->connectCreator(creator);
+    return channel;
+}
+
+} // namespace hydra::core

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Channel providers (paper Section 4): target-specific factories
+ * that build channels to a device and advertise a cost metric (the
+ * "price" of communicating through them) which the Channel
+ * Executive uses to pick the best provider for an Offcode.
+ *
+ * Two providers are built in:
+ *  - LocalChannelProvider: both endpoints share a site; delivery is
+ *    an in-memory enqueue.
+ *  - DmaRingChannelProvider: the paper's Fig. 6 transport — per-
+ *    endpoint descriptor rings, device DMA bus-mastering, host
+ *    interrupts, zero-copy or staged-copy buffering.
+ */
+
+#ifndef HYDRA_CORE_PROVIDERS_HH
+#define HYDRA_CORE_PROVIDERS_HH
+
+#include <memory>
+#include <string>
+
+#include "core/channel.hh"
+#include "sim/simulator.hh"
+
+namespace hydra::core {
+
+/** Advertised cost of moving one message through a provider. */
+struct ChannelCost
+{
+    sim::SimTime perMessageLatency = 0;
+    double throughputGbps = 0.0;
+};
+
+/** Abstract provider: capability test, cost metric, factory. */
+class ChannelProvider
+{
+  public:
+    virtual ~ChannelProvider() = default;
+
+    virtual const std::string &name() const = 0;
+
+    /** Can this provider serve a channel from @p creator to target? */
+    virtual bool canServe(const ChannelConfig &config,
+                          ExecutionSite &creator,
+                          ExecutionSite *target) const = 0;
+
+    /** Cost estimate for a typical message of @p bytes. */
+    virtual ChannelCost estimateCost(const ChannelConfig &config,
+                                     ExecutionSite &creator,
+                                     ExecutionSite *target,
+                                     std::size_t bytes) const = 0;
+
+    virtual std::unique_ptr<Channel>
+    create(const ChannelConfig &config, ExecutionSite &creator) = 0;
+};
+
+/** Same-site transport. */
+class LocalChannelProvider : public ChannelProvider
+{
+  public:
+    explicit LocalChannelProvider(sim::Simulator &simulator);
+
+    const std::string &name() const override { return name_; }
+    bool canServe(const ChannelConfig &config, ExecutionSite &creator,
+                  ExecutionSite *target) const override;
+    ChannelCost estimateCost(const ChannelConfig &config,
+                             ExecutionSite &creator, ExecutionSite *target,
+                             std::size_t bytes) const override;
+    std::unique_ptr<Channel> create(const ChannelConfig &config,
+                                    ExecutionSite &creator) override;
+
+  private:
+    sim::Simulator &sim_;
+    std::string name_ = "local";
+};
+
+/** Cross-site DMA descriptor-ring transport (paper Fig. 6). */
+class DmaRingChannelProvider : public ChannelProvider
+{
+  public:
+    /**
+     * @param bus_multicast When true, one bus transaction reaches
+     * every device endpoint of a multicast write (the paper's PCIe
+     * aside); otherwise each device leg is a separate crossing.
+     */
+    DmaRingChannelProvider(sim::Simulator &simulator, bool bus_multicast);
+
+    const std::string &name() const override { return name_; }
+    bool canServe(const ChannelConfig &config, ExecutionSite &creator,
+                  ExecutionSite *target) const override;
+    ChannelCost estimateCost(const ChannelConfig &config,
+                             ExecutionSite &creator, ExecutionSite *target,
+                             std::size_t bytes) const override;
+    std::unique_ptr<Channel> create(const ChannelConfig &config,
+                                    ExecutionSite &creator) override;
+
+  private:
+    sim::Simulator &sim_;
+    bool busMulticast_;
+    std::string name_ = "dma-ring";
+};
+
+} // namespace hydra::core
+
+#endif // HYDRA_CORE_PROVIDERS_HH

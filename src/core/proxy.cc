@@ -1,0 +1,76 @@
+#include "core/proxy.hh"
+
+#include "common/logging.hh"
+
+namespace hydra::core {
+
+Proxy::Proxy(Channel &channel, Guid target_offcode, Guid interface_guid,
+             std::size_t endpoint)
+    : channel_(channel), endpoint_(endpoint), target_(target_offcode),
+      interface_(interface_guid)
+{
+    channel_.installHandler(endpoint_,
+                            [this](const Bytes &message, std::size_t) {
+                                onMessage(message);
+                            });
+}
+
+Call
+Proxy::makeCall(const std::string &method, const Bytes &arguments,
+                bool expects_return)
+{
+    Call call;
+    call.targetOffcode = target_;
+    call.interfaceGuid = interface_;
+    call.method = method;
+    call.arguments = arguments;
+    call.callId = nextCallId_++;
+    call.expectsReturn = expects_return;
+    return call;
+}
+
+Status
+Proxy::invoke(const std::string &method, const Bytes &arguments,
+              ReturnCallback on_return)
+{
+    Call call = makeCall(method, arguments, true);
+    const std::uint64_t id = call.callId;
+    Status sent = channel_.writeFrom(endpoint_, call.serialize());
+    if (!sent)
+        return sent;
+    pending_[id] = std::move(on_return);
+    return Status::success();
+}
+
+Status
+Proxy::invokeOneWay(const std::string &method, const Bytes &arguments)
+{
+    Call call = makeCall(method, arguments, false);
+    return channel_.writeFrom(endpoint_, call.serialize());
+}
+
+void
+Proxy::onMessage(const Bytes &message)
+{
+    auto kind = peekKind(message);
+    if (!kind || kind.value() != MessageKind::Return) {
+        LOG_DEBUG << "proxy: ignoring non-Return message";
+        return;
+    }
+    auto ret = CallReturn::deserialize(message);
+    if (!ret) {
+        LOG_WARN << "proxy: bad Return message";
+        return;
+    }
+    auto it = pending_.find(ret.value().callId);
+    if (it == pending_.end())
+        return;
+    ReturnCallback callback = std::move(it->second);
+    pending_.erase(it);
+    if (ret.value().ok)
+        callback(std::move(ret).value().value);
+    else
+        callback(Error(ErrorCode::OffcodeFaulted, ret.value().error));
+}
+
+} // namespace hydra::core

@@ -1,0 +1,566 @@
+#include "core/runtime.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace hydra::core {
+
+namespace {
+
+/** "hydra.Runtime" pseudo Offcode: runtime services by interface. */
+class RuntimePseudoOffcode : public Offcode
+{
+  public:
+    explicit RuntimePseudoOffcode(Runtime &runtime)
+        : Offcode("hydra.Runtime"), rt_(runtime)
+    {
+        registerMethod("GetOffcode", [this](const Bytes &args) {
+            return getOffcode(args);
+        });
+        registerMethod("Ping", [](const Bytes &) -> Result<Bytes> {
+            return Bytes{'p', 'o', 'n', 'g'};
+        });
+    }
+
+  private:
+    Result<Bytes>
+    getOffcode(const Bytes &args)
+    {
+        ByteReader reader(args);
+        auto name = reader.readString();
+        if (!name)
+            return Error(ErrorCode::InvalidArgument, "expected bindname");
+        auto handle = rt_.getOffcode(name.value());
+        if (!handle)
+            return handle.error();
+        Bytes out;
+        ByteWriter writer(out);
+        writer.writeU64(handle.value().offcode->guid().value());
+        writer.writeString(handle.value().deviceAddr());
+        return out;
+    }
+
+    Runtime &rt_;
+};
+
+/** "hydra.Heap" pseudo Offcode: OS memory routines. */
+class HeapPseudoOffcode : public Offcode
+{
+  public:
+    explicit HeapPseudoOffcode(Runtime &runtime)
+        : Offcode("hydra.Heap"), rt_(runtime)
+    {
+        registerMethod("Allocate", [this](const Bytes &args) {
+            return allocate(args);
+        });
+    }
+
+  private:
+    Result<Bytes>
+    allocate(const Bytes &args)
+    {
+        ByteReader reader(args);
+        auto bytes = reader.readU64();
+        if (!bytes || bytes.value() == 0)
+            return Error(ErrorCode::InvalidArgument, "expected size");
+        const hw::Addr addr = rt_.memory().allocBuffer(bytes.value());
+        Bytes out;
+        ByteWriter writer(out);
+        writer.writeU64(addr);
+        return out;
+    }
+
+    Runtime &rt_;
+};
+
+/** "hydra.ChannelExecutive" pseudo Offcode. */
+class ExecutivePseudoOffcode : public Offcode
+{
+  public:
+    explicit ExecutivePseudoOffcode(Runtime &runtime)
+        : Offcode("hydra.ChannelExecutive"), rt_(runtime)
+    {
+        registerMethod("ProviderNames",
+                       [this](const Bytes &) -> Result<Bytes> {
+                           Bytes out;
+                           ByteWriter writer(out);
+                           const auto names =
+                               rt_.executive().providerNames();
+                           writer.writeU32(static_cast<std::uint32_t>(
+                               names.size()));
+                           for (const auto &name : names)
+                               writer.writeString(name);
+                           return out;
+                       });
+    }
+
+  private:
+    Runtime &rt_;
+};
+
+/** Minimal ODF for a host-resident pseudo Offcode. */
+std::string
+pseudoOdf(const std::string &bindname)
+{
+    return "<offcode><package><bindname>" + bindname +
+           "</bindname></package>"
+           "<targets><host-fallback/></targets></offcode>";
+}
+
+} // namespace
+
+Runtime::Runtime(hw::Machine &machine, RuntimeConfig config)
+    : machine_(machine), config_(config), resolver_(config.resolver)
+{
+    hostSite_ = std::make_unique<HostSite>(machine_);
+    hostLoader_ =
+        std::make_unique<HostLoader>(machine_, config_.loaderCosts);
+    memory_ = std::make_unique<MemoryManager>(machine_.os(),
+                                              config_.pinLimitBytes);
+    executive_ = std::make_unique<ChannelExecutive>(
+        [this](const std::string &name) { return siteByName(name); });
+    executive_->registerProvider(
+        std::make_unique<LocalChannelProvider>(machine_.simulator()));
+    executive_->registerProvider(std::make_unique<DmaRingChannelProvider>(
+        machine_.simulator(), config_.busMulticast));
+
+    registerPseudoOffcodes();
+}
+
+Runtime::~Runtime()
+{
+    // Stop everything deliberately (children before parents is
+    // handled by the resource tree; map order is fine here because
+    // each entry owns an independent subtree).
+    for (auto &[name, dep] : deployed_)
+        if (dep.instance)
+            dep.instance->doStop();
+}
+
+void
+Runtime::registerPseudoOffcodes()
+{
+    struct PseudoSpec
+    {
+        std::string bindname;
+        std::function<std::unique_ptr<Offcode>(Runtime &)> make;
+    };
+    const PseudoSpec specs[] = {
+        {"hydra.Runtime",
+         [](Runtime &rt) {
+             return std::make_unique<RuntimePseudoOffcode>(rt);
+         }},
+        {"hydra.Heap",
+         [](Runtime &rt) {
+             return std::make_unique<HeapPseudoOffcode>(rt);
+         }},
+        {"hydra.ChannelExecutive",
+         [](Runtime &rt) {
+             return std::make_unique<ExecutivePseudoOffcode>(rt);
+         }},
+    };
+
+    for (const PseudoSpec &spec : specs) {
+        Status registered = depot_.registerOffcode(
+            pseudoOdf(spec.bindname),
+            [this, make = spec.make]() { return make(*this); },
+            /*image_bytes=*/4096);
+        if (!registered) {
+            LOG_ERROR << "pseudo offcode registration failed: "
+                      << registered.error().describe();
+            continue;
+        }
+        // Pseudo Offcodes deploy eagerly and synchronously on the
+        // host; they are part of the runtime itself.
+        auto entry = depot_.findByBindname(spec.bindname);
+        Deployed dep;
+        dep.entry = entry.value();
+        dep.site = hostSite_.get();
+        dep.instance = entry.value()->factory();
+
+        auto oob = makeOobChannel(*hostSite_);
+        if (oob)
+            dep.oob = oob.value();
+
+        OffcodeContext ctx;
+        ctx.runtime = this;
+        ctx.site = hostSite_.get();
+        ctx.oobChannel = dep.oob;
+        auto resource = resources_.create(resources_.root(), "offcode",
+                                          spec.bindname);
+        ctx.resource = resource ? resource.value() : kNoResource;
+        dep.resource = ctx.resource;
+
+        dep.instance->doInitialize(ctx);
+        if (dep.oob)
+            dep.oob->connectOffcode(*dep.instance);
+        dep.instance->doStart();
+        deployed_[spec.bindname] = std::move(dep);
+    }
+}
+
+Status
+Runtime::attachDevice(dev::Device &device, double link_capacity_gbps)
+{
+    for (const AttachedDevice &attached : devices_)
+        if (attached.device == &device ||
+            attached.device->name() == device.name())
+            return Status(ErrorCode::AlreadyExists,
+                          "device already attached: " + device.name());
+
+    AttachedDevice attached;
+    attached.device = &device;
+    attached.site = std::make_unique<DeviceSite>(machine_, device);
+    attached.loader = std::make_unique<DeviceDmaLoader>(
+        machine_, device, config_.loaderCosts);
+    attached.linkCapacityGbps = link_capacity_gbps;
+    devices_.push_back(std::move(attached));
+    return Status::success();
+}
+
+ExecutionSite *
+Runtime::siteByName(const std::string &name)
+{
+    if (name == hostSite_->name() || name == "host")
+        return hostSite_.get();
+    for (const AttachedDevice &attached : devices_)
+        if (attached.site->name() == name)
+            return attached.site.get();
+    return nullptr;
+}
+
+std::vector<SiteInfo>
+Runtime::placementSites()
+{
+    std::vector<SiteInfo> sites;
+    sites.push_back(SiteInfo{hostSite_.get(), nullptr, 1e9});
+    for (const AttachedDevice &attached : devices_)
+        sites.push_back(SiteInfo{attached.site.get(), attached.device,
+                                 attached.linkCapacityGbps});
+    return sites;
+}
+
+Result<Channel *>
+Runtime::makeOobChannel(ExecutionSite &site)
+{
+    // The OOB channel is the default, non-performance-critical
+    // management pathway: copying buffers, shallow rings.
+    ChannelConfig config;
+    config.type = ChannelConfig::Type::Unicast;
+    config.reliable = true;
+    config.buffering = ChannelConfig::Buffering::Copying;
+    config.ringDepth = 16;
+    config.maxMessageBytes = 8 * 1024;
+    config.targetDevice = site.name();
+    return executive_->createChannel(config, *hostSite_, 512);
+}
+
+OffcodeLoader *
+Runtime::loaderFor(ExecutionSite &site)
+{
+    if (site.isHost())
+        return hostLoader_.get();
+    for (const AttachedDevice &attached : devices_)
+        if (attached.site.get() == &site)
+            return attached.loader.get();
+    return nullptr;
+}
+
+void
+Runtime::deployNode(const DepotEntry &entry, ExecutionSite &site,
+                    std::function<void(Status)> done)
+{
+    OffcodeLoader *loader = loaderFor(site);
+    if (!loader) {
+        done(Status(ErrorCode::NotFound,
+                    "no loader for site " + site.name()));
+        return;
+    }
+
+    loader->load(entry, [this, &entry, &site, loader,
+                         done = std::move(done)](Status loaded) {
+        if (!loaded) {
+            done(loaded);
+            return;
+        }
+
+        Deployed dep;
+        dep.entry = &entry;
+        dep.site = &site;
+        dep.instance = entry.factory();
+        if (!dep.instance) {
+            done(Status(ErrorCode::Internal, "factory returned null"));
+            return;
+        }
+
+        auto oob = makeOobChannel(site);
+        if (!oob) {
+            done(Status(oob.error()));
+            return;
+        }
+        dep.oob = oob.value();
+
+        const std::string bindname = entry.manifest.bindname;
+        Offcode *instance = dep.instance.get();
+        Channel *oobChannel = dep.oob;
+
+        auto resource = resources_.create(
+            resources_.root(), "offcode", bindname,
+            [this, instance, oobChannel, loader, &entry]() {
+                instance->doStop();
+                executive_->destroyChannel(oobChannel);
+                loader->unload(entry);
+            });
+        if (!resource) {
+            done(Status(resource.error()));
+            return;
+        }
+        dep.resource = resource.value();
+
+        OffcodeContext ctx;
+        ctx.runtime = this;
+        ctx.site = &site;
+        ctx.oobChannel = dep.oob;
+        ctx.resource = dep.resource;
+
+        // Publish the manifest's interface GUIDs so Call dispatch can
+        // reject mismatched invocations.
+        for (const odf::InterfaceSpec &iface : entry.manifest.interfaces)
+            if (!iface.guid.isNull())
+                dep.instance->declareInterface(iface.guid);
+
+        Status initialized = dep.instance->doInitialize(ctx);
+        if (!initialized) {
+            resources_.release(dep.resource);
+            done(initialized);
+            return;
+        }
+        dep.oob->connectOffcode(*dep.instance);
+
+        ++stats_.offcodesDeployed;
+        if (site.isHost())
+            ++stats_.hostPlacedCount;
+        else
+            ++stats_.offloadedCount;
+
+        deployed_[bindname] = std::move(dep);
+        done(Status::success());
+    });
+}
+
+void
+Runtime::deployGraph(LayoutGraph graph,
+                     std::vector<std::string> root_bindnames,
+                     GroupDeployCallback done)
+{
+    auto placement = resolver_.resolve(graph, placementSites());
+    if (!placement) {
+        ++stats_.deploymentsFailed;
+        done(placement.error());
+        return;
+    }
+
+    // Deploy the not-yet-deployed nodes one after another (the host
+    // drives the loaders serially, as real firmware updates do).
+    struct Pending
+    {
+        LayoutGraph graph;
+        Placement placement;
+        std::vector<std::size_t> toDeploy;
+        std::size_t next = 0;
+        GroupDeployCallback done;
+        std::vector<std::string> roots;
+        /**
+         * Continuation for the next load step. Pending owns it and
+         * the closure captures Pending, an intentional cycle that is
+         * broken explicitly (finish() clears it) on every terminal
+         * path, so nothing leaks.
+         */
+        std::function<void()> step;
+
+        void
+        finish(Result<std::vector<OffcodeHandle>> outcome)
+        {
+            auto callback = std::move(done);
+            step = nullptr; // break the ownership cycle
+            callback(std::move(outcome));
+        }
+    };
+    auto pending = std::make_shared<Pending>();
+    pending->graph = std::move(graph);
+    pending->placement = std::move(placement).value();
+    pending->done = std::move(done);
+    pending->roots = std::move(root_bindnames);
+
+    for (std::size_t n = 0; n < pending->graph.nodes().size(); ++n) {
+        const std::string &name =
+            pending->graph.nodes()[n]->manifest.bindname;
+        if (!deployed_.count(name))
+            pending->toDeploy.push_back(n);
+    }
+
+    pending->step = [this, pending]() {
+        if (pending->next >= pending->toDeploy.size()) {
+            // All loaded and initialized: run phase two in reverse
+            // graph order so imports start before their importers.
+            for (auto it = pending->toDeploy.rbegin();
+                 it != pending->toDeploy.rend(); ++it) {
+                const std::string &name =
+                    pending->graph.nodes()[*it]->manifest.bindname;
+                auto dit = deployed_.find(name);
+                if (dit == deployed_.end())
+                    continue;
+                Status started = dit->second.instance->doStart();
+                if (!started) {
+                    ++stats_.deploymentsFailed;
+                    pending->finish(started.error());
+                    return;
+                }
+            }
+            ++stats_.deploymentsCompleted;
+            std::vector<OffcodeHandle> handles;
+            for (const std::string &root : pending->roots) {
+                auto handle = getOffcode(root);
+                if (!handle) {
+                    pending->finish(handle.error());
+                    return;
+                }
+                handles.push_back(handle.value());
+            }
+            pending->finish(std::move(handles));
+            return;
+        }
+
+        const std::size_t n = pending->toDeploy[pending->next++];
+        const DepotEntry &entry = *pending->graph.nodes()[n];
+        ExecutionSite &site = *pending->placement.site[n];
+        deployNode(entry, site, [this, pending](Status status) {
+            if (!status) {
+                ++stats_.deploymentsFailed;
+                pending->finish(status.error());
+                return;
+            }
+            pending->step();
+        });
+    };
+    pending->step();
+}
+
+void
+Runtime::createOffcode(const std::string &odf_reference,
+                       DeployCallback done)
+{
+    auto rootEntry = depot_.resolve(odf_reference);
+    if (!rootEntry) {
+        ++stats_.deploymentsFailed;
+        done(rootEntry.error());
+        return;
+    }
+
+    auto graph = LayoutGraph::build(depot_, *rootEntry.value());
+    if (!graph) {
+        ++stats_.deploymentsFailed;
+        done(graph.error());
+        return;
+    }
+
+    deployGraph(std::move(graph).value(),
+                {rootEntry.value()->manifest.bindname},
+                [done = std::move(done)](
+                    Result<std::vector<OffcodeHandle>> handles) {
+                    if (!handles) {
+                        done(handles.error());
+                        return;
+                    }
+                    done(handles.value().front());
+                });
+}
+
+void
+Runtime::createOffcodeGroup(const std::vector<std::string> &odf_references,
+                            GroupDeployCallback done)
+{
+    std::vector<const DepotEntry *> roots;
+    std::vector<std::string> bindnames;
+    for (const std::string &reference : odf_references) {
+        auto entry = depot_.resolve(reference);
+        if (!entry) {
+            ++stats_.deploymentsFailed;
+            done(entry.error());
+            return;
+        }
+        roots.push_back(entry.value());
+        bindnames.push_back(entry.value()->manifest.bindname);
+    }
+
+    auto graph = LayoutGraph::buildMany(depot_, roots);
+    if (!graph) {
+        ++stats_.deploymentsFailed;
+        done(graph.error());
+        return;
+    }
+    deployGraph(std::move(graph).value(), std::move(bindnames),
+                std::move(done));
+}
+
+Result<OffcodeHandle>
+Runtime::getOffcode(const std::string &bindname)
+{
+    auto it = deployed_.find(bindname);
+    if (it == deployed_.end())
+        return Error(ErrorCode::NotFound,
+                     "offcode not deployed: " + bindname);
+    return OffcodeHandle{it->second.instance.get(), it->second.site};
+}
+
+Status
+Runtime::destroyOffcode(const std::string &bindname)
+{
+    auto it = deployed_.find(bindname);
+    if (it == deployed_.end())
+        return Status(ErrorCode::NotFound,
+                      "offcode not deployed: " + bindname);
+    // Release the resource subtree first: its callbacks stop the
+    // Offcode and tear down channels while the instance is alive.
+    const ResourceId resource = it->second.resource;
+    Status released = Status::success();
+    if (resource != kNoResource)
+        released = resources_.release(resource);
+    deployed_.erase(it);
+    return released;
+}
+
+Status
+Runtime::invokeAsync(const std::string &bindname, const std::string &method,
+                     const Bytes &arguments,
+                     Proxy::ReturnCallback on_return)
+{
+    auto it = deployed_.find(bindname);
+    if (it == deployed_.end())
+        return Status(ErrorCode::NotFound,
+                      "offcode not deployed: " + bindname);
+    Deployed &dep = it->second;
+    if (!dep.oob)
+        return Status(ErrorCode::ChannelNotConnected,
+                      bindname + " has no OOB channel");
+    if (!dep.controlProxy)
+        dep.controlProxy = std::make_unique<Proxy>(
+            *dep.oob, dep.instance->guid(), dep.instance->guid());
+    return dep.controlProxy->invoke(method, arguments,
+                                    std::move(on_return));
+}
+
+Result<Channel *>
+Runtime::oobChannelOf(const std::string &bindname)
+{
+    auto it = deployed_.find(bindname);
+    if (it == deployed_.end())
+        return Error(ErrorCode::NotFound,
+                     "offcode not deployed: " + bindname);
+    if (!it->second.oob)
+        return Error(ErrorCode::ChannelNotConnected, "no OOB channel");
+    return it->second.oob;
+}
+
+} // namespace hydra::core

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The HYDRA runtime — the Offloading Access Layer (paper Section 4).
+ *
+ * One Runtime instance exists per host machine. It owns the Offcode
+ * Depot, Channel Executive, Resource/Memory/Layout Management units,
+ * per-device loaders, and the deployed Offcode instances. The
+ * deployment pipeline implements the paper's Fig. 5 control flow:
+ * process ODFs -> build offloading layout graph -> resolve device
+ * mapping -> adapt/link -> offload -> two-phase initialization.
+ *
+ * Pseudo Offcodes "hydra.Runtime", "hydra.Heap" and
+ * "hydra.ChannelExecutive" are pre-registered and deployed at the
+ * host, exactly as in the paper.
+ */
+
+#ifndef HYDRA_CORE_RUNTIME_HH
+#define HYDRA_CORE_RUNTIME_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/depot.hh"
+#include "core/executive.hh"
+#include "core/layout.hh"
+#include "core/loader.hh"
+#include "core/memory.hh"
+#include "core/offcode.hh"
+#include "core/proxy.hh"
+#include "core/resource.hh"
+
+namespace hydra::core {
+
+/** Reference to a deployed Offcode. */
+struct OffcodeHandle
+{
+    Offcode *offcode = nullptr;
+    ExecutionSite *site = nullptr;
+
+    bool valid() const { return offcode != nullptr; }
+    std::string deviceAddr() const { return site ? site->name() : ""; }
+};
+
+/** Runtime configuration. */
+struct RuntimeConfig
+{
+    ResolverConfig resolver;
+    /** Bus supports single-transaction multicast (PCIe-style). */
+    bool busMulticast = false;
+    std::size_t pinLimitBytes = 64 * 1024 * 1024;
+    LoaderCosts loaderCosts;
+};
+
+/** Aggregate deployment statistics. */
+struct RuntimeStats
+{
+    std::size_t offcodesDeployed = 0;
+    std::size_t offloadedCount = 0;
+    std::size_t hostPlacedCount = 0;
+    std::size_t deploymentsCompleted = 0;
+    std::size_t deploymentsFailed = 0;
+};
+
+/** The Offloading Access Layer. */
+class Runtime
+{
+  public:
+    using DeployCallback = std::function<void(Result<OffcodeHandle>)>;
+
+    explicit Runtime(hw::Machine &machine, RuntimeConfig config = {});
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    // --- topology ---
+    /** Register a programmable device as an offload target. */
+    Status attachDevice(dev::Device &device,
+                        double link_capacity_gbps = 8.0);
+
+    hw::Machine &machine() { return machine_; }
+    HostSite &hostSite() { return *hostSite_; }
+    ExecutionSite *siteByName(const std::string &name);
+    std::vector<SiteInfo> placementSites();
+
+    // --- subsystems ---
+    OffcodeDepot &depot() { return depot_; }
+    ChannelExecutive &executive() { return *executive_; }
+    ResourceManager &resources() { return resources_; }
+    MemoryManager &memory() { return *memory_; }
+    const RuntimeConfig &config() const { return config_; }
+    const RuntimeStats &stats() const { return stats_; }
+
+    // --- deployment (paper: CreateOffcode) ---
+    /**
+     * Deploy the Offcode named by @p odf_reference (a depot bindname
+     * or an ODF file path) together with its transitive imports,
+     * placing each per the resolved offloading layout. Asynchronous:
+     * @p done fires with the root Offcode's handle after every
+     * member Offcode is loaded, initialized and started.
+     *
+     * Offcodes already deployed are reused, as the paper's model
+     * encourages ("a single Decoder could be used instead of
+     * duplicating the component").
+     */
+    void createOffcode(const std::string &odf_reference,
+                       DeployCallback done);
+
+    using GroupDeployCallback =
+        std::function<void(Result<std::vector<OffcodeHandle>>)>;
+
+    /**
+     * Deploy several applications' root Offcodes jointly: one union
+     * layout graph, one ILP solve, shared Offcodes instantiated once
+     * (paper Section 5's multi-application scenario). @p done
+     * receives one handle per requested root, in order.
+     */
+    void createOffcodeGroup(const std::vector<std::string> &odf_references,
+                            GroupDeployCallback done);
+
+    /** Look up a deployed (or pseudo) Offcode by bindname. */
+    Result<OffcodeHandle> getOffcode(const std::string &bindname);
+
+    /** Tear down a deployed Offcode and its runtime resources. */
+    Status destroyOffcode(const std::string &bindname);
+
+    // --- invocation convenience ---
+    /**
+     * Invoke a method on a deployed Offcode through its OOB channel
+     * (management path; create a dedicated channel for data paths).
+     */
+    Status invokeAsync(const std::string &bindname,
+                       const std::string &method, const Bytes &arguments,
+                       Proxy::ReturnCallback on_return);
+
+    /** The OOB channel of a deployed Offcode (creator side). */
+    Result<Channel *> oobChannelOf(const std::string &bindname);
+
+  private:
+    struct Deployed
+    {
+        std::unique_ptr<Offcode> instance;
+        ExecutionSite *site = nullptr;
+        const DepotEntry *entry = nullptr;
+        Channel *oob = nullptr;
+        std::unique_ptr<Proxy> controlProxy;
+        ResourceId resource = kNoResource;
+    };
+
+    void registerPseudoOffcodes();
+    Result<Channel *> makeOobChannel(ExecutionSite &site);
+    OffcodeLoader *loaderFor(ExecutionSite &site);
+
+    /** Shared deployment driver behind both createOffcode flavours. */
+    void deployGraph(LayoutGraph graph,
+                     std::vector<std::string> root_bindnames,
+                     GroupDeployCallback done);
+
+    /** Deploy one node; calls done when initialized (not started). */
+    void deployNode(const DepotEntry &entry, ExecutionSite &site,
+                    std::function<void(Status)> done);
+
+    hw::Machine &machine_;
+    RuntimeConfig config_;
+    std::unique_ptr<HostSite> hostSite_;
+    std::unique_ptr<HostLoader> hostLoader_;
+
+    struct AttachedDevice
+    {
+        dev::Device *device = nullptr;
+        std::unique_ptr<DeviceSite> site;
+        std::unique_ptr<DeviceDmaLoader> loader;
+        double linkCapacityGbps = 0.0;
+    };
+    std::vector<AttachedDevice> devices_;
+
+    OffcodeDepot depot_;
+    ResourceManager resources_;
+    std::unique_ptr<MemoryManager> memory_;
+    std::unique_ptr<ChannelExecutive> executive_;
+    LayoutResolver resolver_;
+
+    std::map<std::string, Deployed> deployed_;
+    RuntimeStats stats_;
+};
+
+} // namespace hydra::core
+
+#endif // HYDRA_CORE_RUNTIME_HH

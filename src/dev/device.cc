@@ -1,0 +1,84 @@
+#include "dev/device.hh"
+
+#include <cmath>
+
+namespace hydra::dev {
+
+bool
+DeviceClassSpec::satisfies(const DeviceClassSpec &required) const
+{
+    if (required.id != 0 && required.id != id)
+        return false;
+    if (!required.name.empty() && required.name != name)
+        return false;
+    if (!required.bus.empty() && required.bus != bus)
+        return false;
+    if (!required.mac.empty() && required.mac != mac)
+        return false;
+    if (!required.vendor.empty() && required.vendor != vendor)
+        return false;
+    return true;
+}
+
+Device::Device(sim::Simulator &simulator, hw::Bus &host_bus,
+               DeviceConfig config, DeviceClassSpec klass)
+    : sim_(simulator), hostBus_(host_bus), config_(std::move(config)),
+      class_(std::move(klass)), rng_(config_.noiseSeed)
+{
+    firmwareCpu_ = std::make_unique<hw::Cpu>(sim_, config_.name + ".fw",
+                                             config_.firmwareGhz);
+    dma_ = std::make_unique<hw::DmaEngine>(sim_, hostBus_,
+                                           config_.dmaDescriptorCost);
+}
+
+bool
+Device::hasCapability(const std::string &cap) const
+{
+    return caps_.count(cap) != 0;
+}
+
+void
+Device::addCapability(std::string cap)
+{
+    caps_.insert(std::move(cap));
+}
+
+Result<std::uint64_t>
+Device::allocateLocal(std::size_t bytes)
+{
+    if (localUsed_ + bytes > config_.localMemoryBytes)
+        return Error(ErrorCode::OutOfMemory,
+                     name() + ": device memory exhausted");
+    const std::uint64_t base = 0x8000'0000ull + localUsed_;
+    localUsed_ += bytes;
+    return base;
+}
+
+void
+Device::freeLocal(std::size_t bytes)
+{
+    localUsed_ = bytes > localUsed_ ? 0 : localUsed_ - bytes;
+}
+
+std::size_t
+Device::localMemoryFree() const
+{
+    return config_.localMemoryBytes - localUsed_;
+}
+
+void
+Device::timerAfter(sim::SimTime delay, std::function<void()> done)
+{
+    const double noise = std::abs(
+        rng_.normal(0.0, static_cast<double>(config_.timerNoiseSigma)));
+    sim_.schedule(delay + static_cast<sim::SimTime>(noise),
+                  std::move(done));
+}
+
+sim::SimTime
+Device::runFirmware(std::uint64_t cycles)
+{
+    return firmwareCpu_->runCycles(cycles);
+}
+
+} // namespace hydra::dev

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Base model for programmable peripheral devices.
+ *
+ * Every device owns a firmware processor (low-clocked, XScale-class),
+ * a bounded local memory, a bus-mastering DMA engine on the host I/O
+ * bus, and a precise hardware timer. The timer is the mechanism
+ * behind the paper's "timeliness guarantees" argument: peripheral
+ * firmware schedules in microseconds while the host OS quantizes to
+ * scheduler ticks.
+ */
+
+#ifndef HYDRA_DEV_DEVICE_HH
+#define HYDRA_DEV_DEVICE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/result.hh"
+#include "common/rng.hh"
+#include "hw/bus.hh"
+#include "hw/cpu.hh"
+#include "sim/simulator.hh"
+
+namespace hydra::dev {
+
+/**
+ * Attributes describing what kind of device this is, matched against
+ * the <device-class> section of an ODF (paper Fig. 4). Empty optional
+ * fields match anything.
+ */
+struct DeviceClassSpec
+{
+    std::uint32_t id = 0;
+    std::string name;
+    std::string bus;    // optional, e.g. "pci"
+    std::string mac;    // optional, e.g. "ethernet"
+    std::string vendor; // optional, e.g. "3COM"
+
+    /** True when @p other (an ODF requirement) is satisfied by this. */
+    bool satisfies(const DeviceClassSpec &required) const;
+};
+
+/** Construction parameters common to all devices. */
+struct DeviceConfig
+{
+    std::string name = "dev";
+    double firmwareGhz = 0.6; // XScale-class
+    std::size_t localMemoryBytes = 8 * 1024 * 1024;
+    sim::SimTime dmaDescriptorCost = sim::nanoseconds(500);
+    /** Firmware scheduling noise sigma (bus/DMA contention). */
+    sim::SimTime timerNoiseSigma = sim::microseconds(60);
+    std::uint64_t noiseSeed = 99;
+};
+
+/** A programmable peripheral attached to a host bus. */
+class Device
+{
+  public:
+    Device(sim::Simulator &simulator, hw::Bus &host_bus,
+           DeviceConfig config, DeviceClassSpec klass);
+    virtual ~Device() = default;
+
+    Device(const Device &) = delete;
+    Device &operator=(const Device &) = delete;
+
+    const std::string &name() const { return config_.name; }
+    const DeviceClassSpec &deviceClass() const { return class_; }
+    const DeviceConfig &config() const { return config_; }
+
+    hw::Cpu &firmwareCpu() { return *firmwareCpu_; }
+    hw::DmaEngine &dma() { return *dma_; }
+    sim::Simulator &simulator() { return sim_; }
+
+    /** Device capability tags, e.g. "mpeg-decode", "block-store". */
+    const std::set<std::string> &capabilities() const { return caps_; }
+    bool hasCapability(const std::string &cap) const;
+    void addCapability(std::string cap);
+
+    /** Bounded device-local memory (firmware heap + Offcode images). */
+    Result<std::uint64_t> allocateLocal(std::size_t bytes);
+    void freeLocal(std::size_t bytes);
+    std::size_t localMemoryFree() const;
+    std::size_t localMemoryUsed() const { return localUsed_; }
+
+    /**
+     * Hardware timer: fires @p done after @p delay plus a small
+     * half-normal contention delay (microsecond-class, vs. the host's
+     * millisecond tick quantization).
+     */
+    void timerAfter(sim::SimTime delay, std::function<void()> done);
+
+    /** Charge firmware cycles; returns completion time. */
+    sim::SimTime runFirmware(std::uint64_t cycles);
+
+  protected:
+    sim::Simulator &sim_;
+    hw::Bus &hostBus_;
+
+  private:
+    DeviceConfig config_;
+    DeviceClassSpec class_;
+    std::unique_ptr<hw::Cpu> firmwareCpu_;
+    std::unique_ptr<hw::DmaEngine> dma_;
+    std::set<std::string> caps_;
+    std::size_t localUsed_ = 0;
+    hydra::Rng rng_;
+};
+
+} // namespace hydra::dev
+
+#endif // HYDRA_DEV_DEVICE_HH

@@ -1,0 +1,148 @@
+#include "dev/disk.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hydra::dev {
+
+namespace {
+
+/** NFS file name holding the NAS-backed block store. */
+const char *const kBackingFile = "smartdisk.img";
+
+} // namespace
+
+DeviceConfig
+SmartDisk::diskDefaultConfig()
+{
+    DeviceConfig config;
+    config.name = "disk";
+    config.firmwareGhz = 0.5;
+    config.localMemoryBytes = 32 * 1024 * 1024;
+    return config;
+}
+
+DeviceClassSpec
+SmartDisk::diskClassSpec()
+{
+    DeviceClassSpec spec;
+    spec.id = 0x0002;
+    spec.name = "Storage Controller";
+    spec.bus = "pci";
+    return spec;
+}
+
+SmartDisk::SmartDisk(sim::Simulator &simulator, hw::Bus &host_bus,
+                     DeviceConfig config, DiskConfig disk)
+    : Device(simulator, host_bus, std::move(config), diskClassSpec()),
+      disk_(disk), backend_(DiskBackend::Local)
+{
+    addCapability("block-store");
+    addCapability("programmable");
+}
+
+SmartDisk::SmartDisk(sim::Simulator &simulator, hw::Bus &host_bus,
+                     net::Network &network, net::NodeId node,
+                     net::NodeId nas, DeviceConfig config, DiskConfig disk)
+    : Device(simulator, host_bus, std::move(config), diskClassSpec()),
+      disk_(disk), backend_(DiskBackend::NfsBacked)
+{
+    addCapability("block-store");
+    addCapability("programmable");
+    addCapability("nfs-client");
+    nfs_ = std::make_unique<net::NfsClient>(network, node, nas,
+                                            /*reply_port=*/33050);
+}
+
+Status
+SmartDisk::validate(std::uint64_t lba, std::uint64_t blocks) const
+{
+    if (blocks == 0)
+        return Status(ErrorCode::InvalidArgument, "zero-length request");
+    if (lba + blocks > disk_.capacityBlocks)
+        return Status(ErrorCode::OutOfRange, "beyond media capacity");
+    return Status::success();
+}
+
+void
+SmartDisk::readBlocks(std::uint64_t lba, std::uint32_t count,
+                      ReadCallback done)
+{
+    Status valid = validate(lba, count);
+    if (!valid) {
+        done(valid.error());
+        return;
+    }
+
+    runFirmware(disk_.perBlockFirmwareCycles * count);
+    blocksRead_ += count;
+
+    if (backend_ == DiskBackend::NfsBacked) {
+        nfs_->read(kBackingFile, lba * disk_.blockBytes,
+                   static_cast<std::uint32_t>(count * disk_.blockBytes),
+                   [this, count, done = std::move(done)](Result<Bytes> r) {
+                       if (!r) {
+                           done(r.error());
+                           return;
+                       }
+                       // Short reads (sparse tail) zero-fill to size.
+                       Bytes data = std::move(r).value();
+                       data.resize(count * disk_.blockBytes, 0);
+                       done(std::move(data));
+                   });
+        return;
+    }
+
+    // Local media: latency then completion.
+    Bytes data;
+    data.reserve(count * disk_.blockBytes);
+    for (std::uint64_t b = lba; b < lba + count; ++b) {
+        auto it = media_.find(b);
+        if (it == media_.end())
+            data.insert(data.end(), disk_.blockBytes, 0);
+        else
+            data.insert(data.end(), it->second.begin(), it->second.end());
+    }
+    sim_.schedule(disk_.localAccessLatency,
+                  [data = std::move(data), done = std::move(done)]() mutable {
+                      done(std::move(data));
+                  });
+}
+
+void
+SmartDisk::writeBlocks(std::uint64_t lba, const Bytes &data,
+                       WriteCallback done)
+{
+    if (data.empty() || data.size() % disk_.blockBytes != 0) {
+        done(Status(ErrorCode::InvalidArgument,
+                    "write must be a whole number of blocks"));
+        return;
+    }
+    const std::uint64_t count = data.size() / disk_.blockBytes;
+    Status valid = validate(lba, count);
+    if (!valid) {
+        done(valid);
+        return;
+    }
+
+    runFirmware(disk_.perBlockFirmwareCycles * count);
+    blocksWritten_ += count;
+
+    if (backend_ == DiskBackend::NfsBacked) {
+        nfs_->write(kBackingFile, lba * disk_.blockBytes, data,
+                    [done = std::move(done)](Status s) { done(s); });
+        return;
+    }
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Bytes &block = media_[lba + i];
+        block.assign(data.begin() +
+                         static_cast<std::ptrdiff_t>(i * disk_.blockBytes),
+                     data.begin() + static_cast<std::ptrdiff_t>(
+                                        (i + 1) * disk_.blockBytes));
+    }
+    sim_.schedule(disk_.localAccessLatency,
+                  [done = std::move(done)]() { done(Status::success()); });
+}
+
+} // namespace hydra::dev

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * "Smart Disk": a programmable storage controller.
+ *
+ * The paper prototypes its smart disk by running an NFS Offcode on a
+ * programmable NIC that exports a block device backed by a remote
+ * NAS. SmartDisk models both that arrangement (NfsBacked mode, where
+ * every block lands on a remote NfsServer) and a plain local
+ * controller (Local mode, in-memory media with seek/transfer
+ * latency).
+ */
+
+#ifndef HYDRA_DEV_DISK_HH
+#define HYDRA_DEV_DISK_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dev/device.hh"
+#include "net/nfs.hh"
+
+namespace hydra::dev {
+
+/** Storage backend selection. */
+enum class DiskBackend { Local, NfsBacked };
+
+/** Disk-specific parameters. */
+struct DiskConfig
+{
+    std::size_t blockBytes = 4096;
+    std::size_t capacityBlocks = 64 * 1024; // 256 MB
+    /** Local-media access latency (seek + rotational, averaged). */
+    sim::SimTime localAccessLatency = sim::microseconds(400);
+    /** Firmware cycles per block command. */
+    std::uint64_t perBlockFirmwareCycles = 2000;
+};
+
+/** Programmable disk controller. */
+class SmartDisk : public Device
+{
+  public:
+    using ReadCallback = std::function<void(Result<Bytes>)>;
+    using WriteCallback = std::function<void(Status)>;
+
+    /** Local-media controller. */
+    SmartDisk(sim::Simulator &simulator, hw::Bus &host_bus,
+              DeviceConfig config = diskDefaultConfig(),
+              DiskConfig disk = {});
+
+    /** NAS-backed controller (the paper's prototype arrangement). */
+    SmartDisk(sim::Simulator &simulator, hw::Bus &host_bus,
+              net::Network &network, net::NodeId node, net::NodeId nas,
+              DeviceConfig config = diskDefaultConfig(),
+              DiskConfig disk = {});
+
+    static DeviceConfig diskDefaultConfig();
+    static DeviceClassSpec diskClassSpec();
+
+    const DiskConfig &diskConfig() const { return disk_; }
+    DiskBackend backend() const { return backend_; }
+
+    /** Read @p count blocks starting at @p lba. */
+    void readBlocks(std::uint64_t lba, std::uint32_t count,
+                    ReadCallback done);
+
+    /** Write @p data (block-aligned length) starting at @p lba. */
+    void writeBlocks(std::uint64_t lba, const Bytes &data,
+                     WriteCallback done);
+
+    std::uint64_t blocksRead() const { return blocksRead_; }
+    std::uint64_t blocksWritten() const { return blocksWritten_; }
+
+  private:
+    Status validate(std::uint64_t lba, std::uint64_t blocks) const;
+
+    DiskConfig disk_;
+    DiskBackend backend_;
+    /** Local-mode media, allocated lazily per block. */
+    std::unordered_map<std::uint64_t, Bytes> media_;
+    std::unique_ptr<net::NfsClient> nfs_;
+    std::uint64_t blocksRead_ = 0;
+    std::uint64_t blocksWritten_ = 0;
+};
+
+} // namespace hydra::dev
+
+#endif // HYDRA_DEV_DISK_HH

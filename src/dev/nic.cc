@@ -1,0 +1,150 @@
+#include "dev/nic.hh"
+
+#include "common/logging.hh"
+
+namespace hydra::dev {
+
+DeviceConfig
+ProgrammableNic::nicDefaultConfig()
+{
+    DeviceConfig config;
+    config.name = "nic";
+    config.firmwareGhz = 0.6;
+    config.localMemoryBytes = 16 * 1024 * 1024;
+    return config;
+}
+
+DeviceClassSpec
+ProgrammableNic::nicClassSpec()
+{
+    DeviceClassSpec spec;
+    spec.id = 0x0001;
+    spec.name = "Network Device";
+    spec.bus = "pci";
+    spec.mac = "ethernet";
+    spec.vendor = "3COM";
+    return spec;
+}
+
+ProgrammableNic::ProgrammableNic(sim::Simulator &simulator,
+                                 hw::Bus &host_bus, net::Network &network,
+                                 net::NodeId node, DeviceConfig config,
+                                 NicCosts costs)
+    : Device(simulator, host_bus, std::move(config), nicClassSpec()),
+      net_(network), node_(node), costs_(costs)
+{
+    addCapability("mac-ethernet");
+    addCapability("dma");
+    addCapability("programmable");
+}
+
+ProgrammableNic::~ProgrammableNic()
+{
+    for (const auto &[port, binding] : bindings_)
+        net_.unbind(node_, port);
+}
+
+Status
+ProgrammableNic::bindHostPort(net::Port port, hw::OsKernel &os,
+                              hw::Addr host_buffer,
+                              net::PacketHandler handler)
+{
+    PortBinding binding;
+    binding.hostPath = true;
+    binding.os = &os;
+    binding.hostBuffer = host_buffer;
+    binding.handler = std::move(handler);
+
+    Status bound = net_.bind(node_, port, [this](const net::Packet &p) {
+        onReceive(p);
+    });
+    if (!bound)
+        return bound;
+    bindings_[port] = std::move(binding);
+    return Status::success();
+}
+
+Status
+ProgrammableNic::bindDevicePort(net::Port port, net::PacketHandler handler)
+{
+    PortBinding binding;
+    binding.hostPath = false;
+    binding.handler = std::move(handler);
+
+    Status bound = net_.bind(node_, port, [this](const net::Packet &p) {
+        onReceive(p);
+    });
+    if (!bound)
+        return bound;
+    bindings_[port] = std::move(binding);
+    return Status::success();
+}
+
+void
+ProgrammableNic::unbindPort(net::Port port)
+{
+    net_.unbind(node_, port);
+    bindings_.erase(port);
+}
+
+void
+ProgrammableNic::onReceive(const net::Packet &packet)
+{
+    auto it = bindings_.find(packet.dstPort);
+    if (it == bindings_.end())
+        return;
+    PortBinding &binding = it->second;
+
+    // Firmware classification runs on the NIC core either way.
+    runFirmware(costs_.rxFirmwareCycles);
+
+    if (!binding.hostPath) {
+        ++toDevice_;
+        binding.handler(packet);
+        return;
+    }
+
+    // Host path: DMA payload to host memory, then interrupt.
+    ++toHost_;
+    const std::size_t bytes = packet.payload.size();
+    hw::OsKernel *os = binding.os;
+    const hw::Addr buffer = binding.hostBuffer;
+    auto handler = binding.handler; // copy: binding may be unbound later
+    dma().start(bytes, [this, os, buffer, bytes, handler,
+                        pkt = packet]() mutable {
+        os->dmaDelivered(buffer, bytes);
+        os->handleInterrupt();
+        handler(pkt);
+    });
+}
+
+Status
+ProgrammableNic::sendFromDevice(net::Packet packet)
+{
+    runFirmware(costs_.txFirmwareCycles);
+    packet.src = node_;
+    ++sent_;
+    return net_.send(std::move(packet));
+}
+
+Status
+ProgrammableNic::sendFromHost(net::Packet packet, hw::Addr host_buffer)
+{
+    (void)host_buffer; // the cache/copy interaction is the caller's
+    packet.src = node_;
+    const std::uint64_t bytes = packet.payload.size();
+    ++sent_;
+
+    // One bus crossing host -> device, then firmware tx processing,
+    // then the wire.
+    dma().start(bytes, [this, pkt = std::move(packet)]() mutable {
+        runFirmware(costs_.txFirmwareCycles);
+        Status sent = net_.send(std::move(pkt));
+        if (!sent) {
+            LOG_DEBUG << "nic tx failed: " << sent.error().describe();
+        }
+    });
+    return Status::success();
+}
+
+} // namespace hydra::dev

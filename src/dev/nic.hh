@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Programmable network interface card (the paper's 3Com 3C985B).
+ *
+ * Two receive paths exist per port:
+ *  - the host path: firmware classifies the packet, DMAs the payload
+ *    into a host buffer (one bus crossing, cache lines invalidated),
+ *    raises an interrupt, and the host handler runs; and
+ *  - the device path: a device-resident handler (an Offcode deployed
+ *    onto the NIC) consumes the packet entirely in firmware — no bus
+ *    crossing and no host involvement, the crux of the paper.
+ */
+
+#ifndef HYDRA_DEV_NIC_HH
+#define HYDRA_DEV_NIC_HH
+
+#include <cstdint>
+#include <map>
+
+#include "dev/device.hh"
+#include "hw/os.hh"
+#include "net/network.hh"
+
+namespace hydra::dev {
+
+/** NIC-specific cost constants. */
+struct NicCosts
+{
+    /** Firmware cycles to classify/process one packet. */
+    std::uint64_t rxFirmwareCycles = 1200;
+    std::uint64_t txFirmwareCycles = 1000;
+};
+
+/** Programmable NIC attached to a host bus and a network node. */
+class ProgrammableNic : public Device
+{
+  public:
+    ProgrammableNic(sim::Simulator &simulator, hw::Bus &host_bus,
+                    net::Network &network, net::NodeId node,
+                    DeviceConfig config = nicDefaultConfig(),
+                    NicCosts costs = {});
+    ~ProgrammableNic() override;
+
+    static DeviceConfig nicDefaultConfig();
+    static DeviceClassSpec nicClassSpec();
+
+    net::NodeId nodeId() const { return node_; }
+    net::Network &network() { return net_; }
+
+    /**
+     * Host receive path: packets to @p port are DMA'd into
+     * @p host_buffer (allocated from the host OS address space) and
+     * @p handler runs after the host interrupt. Requires a host OS.
+     */
+    Status bindHostPort(net::Port port, hw::OsKernel &os,
+                        hw::Addr host_buffer, net::PacketHandler handler);
+
+    /** Device receive path: @p handler runs on NIC firmware. */
+    Status bindDevicePort(net::Port port, net::PacketHandler handler);
+
+    void unbindPort(net::Port port);
+
+    /** Transmit a packet assembled in device memory (no crossing). */
+    Status sendFromDevice(net::Packet packet);
+
+    /**
+     * Transmit a packet whose payload lives in host memory: one DMA
+     * crossing device-ward, then the wire. @p host_buffer is the
+     * payload's host address (cache interaction handled by caller).
+     */
+    Status sendFromHost(net::Packet packet, hw::Addr host_buffer);
+
+    std::uint64_t packetsToHost() const { return toHost_; }
+    std::uint64_t packetsToDevice() const { return toDevice_; }
+    std::uint64_t packetsSent() const { return sent_; }
+
+  private:
+    struct PortBinding
+    {
+        bool hostPath = false;
+        hw::OsKernel *os = nullptr;
+        hw::Addr hostBuffer = 0;
+        net::PacketHandler handler;
+    };
+
+    void onReceive(const net::Packet &packet);
+
+    net::Network &net_;
+    net::NodeId node_;
+    NicCosts costs_;
+    std::map<net::Port, PortBinding> bindings_;
+    std::uint64_t toHost_ = 0;
+    std::uint64_t toDevice_ = 0;
+    std::uint64_t sent_ = 0;
+};
+
+} // namespace hydra::dev
+
+#endif // HYDRA_DEV_NIC_HH

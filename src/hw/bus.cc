@@ -1,0 +1,56 @@
+#include "hw/bus.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hydra::hw {
+
+Bus::Bus(sim::Simulator &simulator, std::string name, double bandwidth_gbps,
+         sim::SimTime setup_latency)
+    : sim_(simulator), name_(std::move(name)),
+      bandwidthGbps_(bandwidth_gbps), setupLatency_(setup_latency)
+{
+    assert(bandwidth_gbps > 0.0);
+}
+
+void
+Bus::transfer(std::uint64_t bytes, Callback done)
+{
+    const sim::SimTime start = std::max(sim_.now(), freeAt_);
+    const sim::SimTime payload = sim::transferTime(bytes, bandwidthGbps_);
+    const sim::SimTime duration = setupLatency_ + payload;
+    freeAt_ = start + duration;
+
+    ++stats_.transactions;
+    stats_.bytesMoved += bytes;
+    stats_.busyTime += duration;
+
+    sim_.scheduleAt(freeAt_, std::move(done));
+}
+
+sim::SimTime
+Bus::estimateCompletion(std::uint64_t bytes) const
+{
+    const sim::SimTime start = std::max(sim_.now(), freeAt_);
+    return start + setupLatency_ + sim::transferTime(bytes, bandwidthGbps_);
+}
+
+DmaEngine::DmaEngine(sim::Simulator &simulator, Bus &bus,
+                     sim::SimTime per_descriptor_cost)
+    : sim_(simulator), bus_(bus), perDescriptorCost_(per_descriptor_cost)
+{
+}
+
+void
+DmaEngine::start(std::uint64_t bytes, Bus::Callback done)
+{
+    ++transfers_;
+    // Descriptor fetch/setup happens on the device before the payload
+    // crosses the bus.
+    sim_.schedule(perDescriptorCost_,
+                  [this, bytes, done = std::move(done)]() mutable {
+                      bus_.transfer(bytes, std::move(done));
+                  });
+}
+
+} // namespace hydra::hw

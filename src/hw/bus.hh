@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared I/O interconnect (PCI-class bus) and DMA engine models.
+ *
+ * Bus crossings are the central currency of the paper's layout
+ * arguments: Gang/Pull constraints exist to minimize them. The Bus
+ * therefore counts every transaction and serializes transfers at a
+ * configured bandwidth with a per-transaction setup latency.
+ */
+
+#ifndef HYDRA_HW_BUS_HH
+#define HYDRA_HW_BUS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hh"
+#include "sim/time.hh"
+
+namespace hydra::hw {
+
+/** Aggregate counters exposed for tests and benches. */
+struct BusStats
+{
+    std::uint64_t transactions = 0;
+    std::uint64_t bytesMoved = 0;
+    sim::SimTime busyTime = 0;
+};
+
+/** Shared interconnect: serializes transfers, counts crossings. */
+class Bus
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * @param bandwidth_gbps Payload bandwidth in gigabits per second.
+     * @param setup_latency Fixed per-transaction arbitration cost.
+     */
+    Bus(sim::Simulator &simulator, std::string name, double bandwidth_gbps,
+        sim::SimTime setup_latency);
+
+    /**
+     * Queue a transfer of @p bytes; @p done fires when the payload has
+     * fully crossed the bus. Transfers are serviced FIFO.
+     */
+    void transfer(std::uint64_t bytes, Callback done);
+
+    /** Completion time of a transfer queued now (without queuing it). */
+    sim::SimTime estimateCompletion(std::uint64_t bytes) const;
+
+    const BusStats &stats() const { return stats_; }
+    const std::string &name() const { return name_; }
+    double bandwidthGbps() const { return bandwidthGbps_; }
+
+  private:
+    sim::Simulator &sim_;
+    std::string name_;
+    double bandwidthGbps_;
+    sim::SimTime setupLatency_;
+    sim::SimTime freeAt_ = 0;
+    BusStats stats_;
+};
+
+/**
+ * Bus-mastering DMA engine owned by a device: moves data between
+ * device memory and host memory in a single bus crossing, optionally
+ * snoop-invalidating the host cache (handled by the caller).
+ */
+class DmaEngine
+{
+  public:
+    DmaEngine(sim::Simulator &simulator, Bus &bus,
+              sim::SimTime per_descriptor_cost);
+
+    /** Start a DMA of @p bytes; @p done fires at completion. */
+    void start(std::uint64_t bytes, Bus::Callback done);
+
+    std::uint64_t transfersStarted() const { return transfers_; }
+
+  private:
+    sim::Simulator &sim_;
+    Bus &bus_;
+    sim::SimTime perDescriptorCost_;
+    std::uint64_t transfers_ = 0;
+};
+
+} // namespace hydra::hw
+
+#endif // HYDRA_HW_BUS_HH

@@ -1,0 +1,110 @@
+#include "hw/cache.hh"
+
+#include <cassert>
+
+namespace hydra::hw {
+
+CacheModel::CacheModel(std::size_t capacity_bytes, std::size_t line_bytes,
+                       std::size_t ways)
+    : lineBytes_(line_bytes)
+{
+    assert(line_bytes > 0 && ways > 0);
+    assert(capacity_bytes % (line_bytes * ways) == 0);
+    const std::size_t num_sets = capacity_bytes / (line_bytes * ways);
+    sets_.resize(num_sets);
+    for (auto &set : sets_)
+        set.ways.resize(ways);
+}
+
+bool
+CacheModel::touchLine(Addr line_addr, bool is_write)
+{
+    (void)is_write; // write-allocate: reads and writes behave alike here
+    const std::size_t set_idx =
+        static_cast<std::size_t>(line_addr / lineBytes_) % sets_.size();
+    const Addr tag = line_addr / lineBytes_;
+    Set &set = sets_[set_idx];
+
+    ++useClock_;
+    for (auto &line : set.ways) {
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock_;
+            return false; // hit
+        }
+    }
+
+    // Miss: fill into the LRU way.
+    Line *victim = &set.ways[0];
+    for (auto &line : set.ways) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    return true;
+}
+
+void
+CacheModel::access(Addr addr, std::size_t size, bool is_write)
+{
+    if (size == 0)
+        return;
+    const Addr first = addr / lineBytes_ * lineBytes_;
+    const Addr last = (addr + size - 1) / lineBytes_ * lineBytes_;
+    for (Addr line = first; line <= last; line += lineBytes_) {
+        ++totals_.accesses;
+        if (touchLine(line, is_write))
+            ++totals_.misses;
+    }
+}
+
+void
+CacheModel::snoopInvalidate(Addr addr, std::size_t size)
+{
+    if (size == 0)
+        return;
+    const Addr first = addr / lineBytes_ * lineBytes_;
+    const Addr last = (addr + size - 1) / lineBytes_ * lineBytes_;
+    for (Addr line_addr = first; line_addr <= last;
+         line_addr += lineBytes_) {
+        const std::size_t set_idx =
+            static_cast<std::size_t>(line_addr / lineBytes_) % sets_.size();
+        const Addr tag = line_addr / lineBytes_;
+        for (auto &line : sets_[set_idx].ways) {
+            if (line.valid && line.tag == tag) {
+                line.valid = false;
+                break;
+            }
+        }
+    }
+}
+
+CacheStats
+CacheModel::windowStats() const
+{
+    CacheStats out;
+    out.accesses = totals_.accesses - windowBase_.accesses;
+    out.misses = totals_.misses - windowBase_.misses;
+    return out;
+}
+
+void
+CacheModel::beginWindow()
+{
+    windowBase_ = totals_;
+}
+
+void
+CacheModel::flush()
+{
+    for (auto &set : sets_)
+        for (auto &line : set.ways)
+            line.valid = false;
+}
+
+} // namespace hydra::hw

@@ -1,0 +1,50 @@
+#include "hw/cpu.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hydra::hw {
+
+Cpu::Cpu(sim::Simulator &simulator, std::string name, double clock_ghz)
+    : sim_(simulator), name_(std::move(name)), clockGhz_(clock_ghz)
+{
+    assert(clock_ghz > 0.0);
+}
+
+sim::SimTime
+Cpu::runCycles(std::uint64_t cycles)
+{
+    return runFor(cycleTime(cycles));
+}
+
+sim::SimTime
+Cpu::runFor(sim::SimTime duration)
+{
+    const sim::SimTime start = std::max(sim_.now(), freeAt_);
+    freeAt_ = start + duration;
+    busyTime_ += duration;
+    return freeAt_;
+}
+
+CpuMeter::CpuMeter(const Cpu &cpu) : cpu_(cpu) {}
+
+void
+CpuMeter::beginWindow(sim::SimTime now)
+{
+    windowStart_ = now;
+    busyAtStart_ = cpu_.busyTime();
+}
+
+double
+CpuMeter::sample(sim::SimTime now)
+{
+    if (now <= windowStart_)
+        return 0.0;
+    const auto busy =
+        static_cast<double>(cpu_.busyTime() - busyAtStart_);
+    const auto span = static_cast<double>(now - windowStart_);
+    beginWindow(now);
+    return std::min(1.0, busy / span);
+}
+
+} // namespace hydra::hw

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Processor models with cycle accounting.
+ *
+ * A Cpu is a serially-occupied resource: work items acquire it for a
+ * duration and it tracks cumulative busy time, from which the paper's
+ * CPU-utilization tables (Tables 3 and 4) are computed. The same
+ * class models the 2.4 GHz host Pentium IV and the low-clocked
+ * firmware processors on peripherals (e.g. an XScale-class core).
+ */
+
+#ifndef HYDRA_HW_CPU_HH
+#define HYDRA_HW_CPU_HH
+
+#include <string>
+
+#include "sim/simulator.hh"
+#include "sim/time.hh"
+
+namespace hydra::hw {
+
+/** A single hardware execution resource (host core or firmware core). */
+class Cpu
+{
+  public:
+    Cpu(sim::Simulator &simulator, std::string name, double clock_ghz);
+
+    const std::string &name() const { return name_; }
+    double clockGhz() const { return clockGhz_; }
+
+    /**
+     * Occupy the CPU for @p cycles starting no earlier than now.
+     * Returns the absolute completion time (start is delayed past any
+     * previously queued work, modeling serial execution).
+     */
+    sim::SimTime runCycles(std::uint64_t cycles);
+
+    /** Occupy the CPU for a wall-clock duration. */
+    sim::SimTime runFor(sim::SimTime duration);
+
+    /** Cumulative busy time since construction. */
+    sim::SimTime busyTime() const { return busyTime_; }
+
+    /** Time at which currently queued work completes. */
+    sim::SimTime freeAt() const { return freeAt_; }
+
+    /** Convert cycles to duration at this CPU's clock. */
+    sim::SimTime
+    cycleTime(std::uint64_t cycles) const
+    {
+        return sim::cyclesToTime(cycles, clockGhz_);
+    }
+
+  private:
+    sim::Simulator &sim_;
+    std::string name_;
+    double clockGhz_;
+    sim::SimTime busyTime_ = 0;
+    sim::SimTime freeAt_ = 0;
+};
+
+/**
+ * Samples a Cpu's utilization over fixed windows, as the paper does
+ * (samples every 5 s during a 10 minute run).
+ */
+class CpuMeter
+{
+  public:
+    explicit CpuMeter(const Cpu &cpu);
+
+    /** Begin a new measurement window at the current time. */
+    void beginWindow(sim::SimTime now);
+
+    /** Utilization (0..1) of the window ending at @p now. */
+    double sample(sim::SimTime now);
+
+  private:
+    const Cpu &cpu_;
+    sim::SimTime windowStart_ = 0;
+    sim::SimTime busyAtStart_ = 0;
+};
+
+} // namespace hydra::hw
+
+#endif // HYDRA_HW_CPU_HH

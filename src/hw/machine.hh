@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A modeled host machine: CPU + L2 + I/O bus + OS, mirroring the
+ * paper's testbed (2.4 GHz Pentium IV, 256 kB L2, PCI-attached
+ * programmable peripherals).
+ */
+
+#ifndef HYDRA_HW_MACHINE_HH
+#define HYDRA_HW_MACHINE_HH
+
+#include <memory>
+#include <string>
+
+#include "hw/bus.hh"
+#include "hw/cache.hh"
+#include "hw/cpu.hh"
+#include "hw/os.hh"
+#include "sim/simulator.hh"
+
+namespace hydra::hw {
+
+/** Construction parameters for a Machine. */
+struct MachineConfig
+{
+    std::string name = "host";
+    double cpuGhz = 2.4;
+    std::size_t l2Bytes = 256 * 1024;
+    std::size_t l2LineBytes = 64;
+    std::size_t l2Ways = 8;
+    double busGbps = 8.0; // PCI-X-class aggregate
+    sim::SimTime busSetupLatency = sim::nanoseconds(700);
+    OsConfig os;
+    std::uint64_t noiseSeed = 1;
+};
+
+/** Owns and wires the per-host hardware and OS models. */
+class Machine
+{
+  public:
+    Machine(sim::Simulator &simulator, MachineConfig config);
+
+    sim::Simulator &simulator() { return sim_; }
+    const std::string &name() const { return name_; }
+
+    Cpu &cpu() { return *cpu_; }
+    CacheModel &l2() { return *l2_; }
+    Bus &bus() { return *bus_; }
+    OsKernel &os() { return *os_; }
+
+  private:
+    sim::Simulator &sim_;
+    std::string name_;
+    std::unique_ptr<Cpu> cpu_;
+    std::unique_ptr<CacheModel> l2_;
+    std::unique_ptr<Bus> bus_;
+    std::unique_ptr<OsKernel> os_;
+};
+
+} // namespace hydra::hw
+
+#endif // HYDRA_HW_MACHINE_HH

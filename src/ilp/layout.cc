@@ -1,0 +1,426 @@
+#include "ilp/layout.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hydra::ilp {
+
+namespace {
+
+Status
+checkSpec(const LayoutSpec &spec)
+{
+    if (spec.numDevices == 0)
+        return Status(ErrorCode::InvalidArgument, "no devices");
+    if (spec.compatible.size() != spec.numOffcodes)
+        return Status(ErrorCode::InvalidArgument,
+                      "compatibility matrix row count mismatch");
+    for (const auto &row : spec.compatible)
+        if (row.size() != spec.numDevices)
+            return Status(ErrorCode::InvalidArgument,
+                          "compatibility matrix column count mismatch");
+    for (const LayoutEdge &edge : spec.edges)
+        if (edge.a >= spec.numOffcodes || edge.b >= spec.numOffcodes)
+            return Status(ErrorCode::OutOfRange, "edge index out of range");
+    if (spec.objective == LayoutObjective::MaximizeBusUsage &&
+        spec.busPrice.size() != spec.numOffcodes)
+        return Status(ErrorCode::InvalidArgument,
+                      "bus objective requires a price per offcode");
+    return Status::success();
+}
+
+double
+price(const LayoutSpec &spec, std::size_t n)
+{
+    return n < spec.busPrice.size() ? spec.busPrice[n] : 0.0;
+}
+
+double
+memDemand(const LayoutSpec &spec, std::size_t n)
+{
+    return n < spec.memoryDemand.size() ? spec.memoryDemand[n] : 0.0;
+}
+
+} // namespace
+
+Result<Model>
+buildLayoutModel(const LayoutSpec &spec)
+{
+    Status valid = checkSpec(spec);
+    if (!valid)
+        return valid.error();
+
+    Model model;
+    const std::size_t N = spec.numOffcodes;
+    const std::size_t K = spec.numDevices;
+
+    // X[n][k] exists only where compatible (C^k_n = 1); incompatible
+    // placements are simply absent rather than pinned to zero.
+    std::vector<std::vector<VarId>> x(N, std::vector<VarId>(K, SIZE_MAX));
+    for (std::size_t n = 0; n < N; ++n) {
+        bool any = false;
+        for (std::size_t k = 0; k < K; ++k) {
+            if (!spec.compatible[n][k])
+                continue;
+            const std::string nm =
+                "x[" +
+                (n < spec.offcodeNames.size() ? spec.offcodeNames[n]
+                                              : std::to_string(n)) +
+                "][" +
+                (k < spec.deviceNames.size() ? spec.deviceNames[k]
+                                             : std::to_string(k)) +
+                "]";
+            x[n][k] = model.addBinaryVar(nm);
+            any = true;
+        }
+        if (!any)
+            return Error(ErrorCode::DeviceIncompatible,
+                         "offcode " + std::to_string(n) +
+                             " is compatible with no device");
+    }
+
+    // Eq. 1 — unique placement per Offcode.
+    for (std::size_t n = 0; n < N; ++n) {
+        LinearExpr sum;
+        for (std::size_t k = 0; k < K; ++k)
+            if (x[n][k] != SIZE_MAX)
+                sum.add(1.0, x[n][k]);
+        model.addConstraint(std::move(sum), Relation::Eq, 1.0,
+                            "place[" + std::to_string(n) + "]");
+    }
+
+    // Constraint edges (Eqs. 2-4).
+    for (const LayoutEdge &edge : spec.edges) {
+        switch (edge.kind) {
+          case LayoutConstraint::Pull:
+            for (std::size_t k = 0; k < K; ++k) {
+                LinearExpr diff;
+                if (x[edge.a][k] != SIZE_MAX)
+                    diff.add(1.0, x[edge.a][k]);
+                if (x[edge.b][k] != SIZE_MAX)
+                    diff.add(-1.0, x[edge.b][k]);
+                if (diff.terms().empty())
+                    continue;
+                model.addConstraint(std::move(diff), Relation::Eq, 0.0,
+                                    "pull");
+            }
+            break;
+          case LayoutConstraint::Gang: {
+            LinearExpr diff;
+            for (std::size_t k = 1; k < K; ++k) {
+                if (x[edge.a][k] != SIZE_MAX)
+                    diff.add(1.0, x[edge.a][k]);
+                if (x[edge.b][k] != SIZE_MAX)
+                    diff.add(-1.0, x[edge.b][k]);
+            }
+            model.addConstraint(std::move(diff), Relation::Eq, 0.0,
+                                "gang");
+            break;
+          }
+          case LayoutConstraint::AsymGang: {
+            // offload(a) <= offload(b)
+            LinearExpr diff;
+            for (std::size_t k = 1; k < K; ++k) {
+                if (x[edge.a][k] != SIZE_MAX)
+                    diff.add(1.0, x[edge.a][k]);
+                if (x[edge.b][k] != SIZE_MAX)
+                    diff.add(-1.0, x[edge.b][k]);
+            }
+            model.addConstraint(std::move(diff), Relation::Le, 0.0,
+                                "asym-gang");
+            break;
+          }
+        }
+    }
+
+    // Capacity constraints (bus link bandwidth, device memory).
+    for (std::size_t k = 1; k < K; ++k) {
+        if (k < spec.linkCapacity.size()) {
+            LinearExpr load;
+            bool any = false;
+            for (std::size_t n = 0; n < N; ++n)
+                if (x[n][k] != SIZE_MAX && price(spec, n) > 0.0) {
+                    load.add(price(spec, n), x[n][k]);
+                    any = true;
+                }
+            if (any)
+                model.addConstraint(std::move(load), Relation::Le,
+                                    spec.linkCapacity[k],
+                                    "buscap[" + std::to_string(k) + "]");
+        }
+        if (k < spec.memoryLimit.size()) {
+            LinearExpr load;
+            bool any = false;
+            for (std::size_t n = 0; n < N; ++n)
+                if (x[n][k] != SIZE_MAX && memDemand(spec, n) > 0.0) {
+                    load.add(memDemand(spec, n), x[n][k]);
+                    any = true;
+                }
+            if (any)
+                model.addConstraint(std::move(load), Relation::Le,
+                                    spec.memoryLimit[k],
+                                    "memcap[" + std::to_string(k) + "]");
+        }
+    }
+
+    // Objective.
+    LinearExpr objective;
+    for (std::size_t n = 0; n < N; ++n)
+        for (std::size_t k = 1; k < K; ++k)
+            if (x[n][k] != SIZE_MAX) {
+                const double weight =
+                    spec.objective == LayoutObjective::MaximizeOffloading
+                        ? 1.0
+                        : price(spec, n);
+                if (weight != 0.0)
+                    objective.add(weight, x[n][k]);
+            }
+    model.setObjective(std::move(objective), Sense::Maximize);
+    return model;
+}
+
+Result<LayoutAssignment>
+solveLayout(const LayoutSpec &spec, SolverLimits limits)
+{
+    auto model = buildLayoutModel(spec);
+    if (!model)
+        return model.error();
+
+    Solver solver(limits);
+    auto solution = solver.solve(model.value());
+    if (!solution)
+        return solution.error();
+
+    // Decode X back into per-Offcode device indices.
+    LayoutAssignment assignment;
+    assignment.device.assign(spec.numOffcodes, 0);
+    assignment.objective = solution.value().objective;
+    assignment.nodesExplored = solution.value().nodesExplored;
+
+    std::size_t var = 0;
+    for (std::size_t n = 0; n < spec.numOffcodes; ++n)
+        for (std::size_t k = 0; k < spec.numDevices; ++k) {
+            if (!spec.compatible[n][k])
+                continue;
+            if (solution.value().values[var] == 1)
+                assignment.device[n] = k;
+            ++var;
+        }
+    return assignment;
+}
+
+Status
+validateAssignment(const LayoutSpec &spec,
+                   const std::vector<std::size_t> &device)
+{
+    if (device.size() != spec.numOffcodes)
+        return Status(ErrorCode::InvalidArgument, "size mismatch");
+    for (std::size_t n = 0; n < spec.numOffcodes; ++n) {
+        if (device[n] >= spec.numDevices)
+            return Status(ErrorCode::OutOfRange, "bad device index");
+        if (!spec.compatible[n][device[n]])
+            return Status(ErrorCode::DeviceIncompatible,
+                          "offcode " + std::to_string(n) +
+                              " placed on incompatible device");
+    }
+    for (const LayoutEdge &edge : spec.edges) {
+        const bool aOff = device[edge.a] != 0;
+        const bool bOff = device[edge.b] != 0;
+        switch (edge.kind) {
+          case LayoutConstraint::Pull:
+            if (device[edge.a] != device[edge.b])
+                return Status(ErrorCode::NoFeasibleLayout,
+                              "Pull constraint violated");
+            break;
+          case LayoutConstraint::Gang:
+            if (aOff != bOff)
+                return Status(ErrorCode::NoFeasibleLayout,
+                              "Gang constraint violated");
+            break;
+          case LayoutConstraint::AsymGang:
+            if (aOff && !bOff)
+                return Status(ErrorCode::NoFeasibleLayout,
+                              "Asymmetric Gang constraint violated");
+            break;
+        }
+    }
+    // Capacities.
+    for (std::size_t k = 1; k < spec.numDevices; ++k) {
+        if (k < spec.linkCapacity.size()) {
+            double load = 0.0;
+            for (std::size_t n = 0; n < spec.numOffcodes; ++n)
+                if (device[n] == k)
+                    load += price(spec, n);
+            if (load > spec.linkCapacity[k] + 1e-9)
+                return Status(ErrorCode::ResourceExhausted,
+                              "bus capacity exceeded on device " +
+                                  std::to_string(k));
+        }
+        if (k < spec.memoryLimit.size()) {
+            double load = 0.0;
+            for (std::size_t n = 0; n < spec.numOffcodes; ++n)
+                if (device[n] == k)
+                    load += memDemand(spec, n);
+            if (load > spec.memoryLimit[k] + 1e-9)
+                return Status(ErrorCode::ResourceExhausted,
+                              "memory capacity exceeded on device " +
+                                  std::to_string(k));
+        }
+    }
+    return Status::success();
+}
+
+double
+assignmentObjective(const LayoutSpec &spec,
+                    const std::vector<std::size_t> &device)
+{
+    double out = 0.0;
+    for (std::size_t n = 0; n < spec.numOffcodes; ++n) {
+        if (device[n] == 0)
+            continue;
+        out += spec.objective == LayoutObjective::MaximizeOffloading
+                   ? 1.0
+                   : price(spec, n);
+    }
+    return out;
+}
+
+Result<LayoutAssignment>
+greedyLayout(const LayoutSpec &spec)
+{
+    Status valid = checkSpec(spec);
+    if (!valid)
+        return valid.error();
+
+    std::vector<std::size_t> device(spec.numOffcodes, SIZE_MAX);
+    std::vector<double> busLoad(spec.numDevices, 0.0);
+    std::vector<double> memLoad(spec.numDevices, 0.0);
+
+    auto fits = [&](std::size_t n, std::size_t k) {
+        if (!spec.compatible[n][k])
+            return false;
+        if (k == 0)
+            return true;
+        if (k < spec.linkCapacity.size() &&
+            busLoad[k] + price(spec, n) > spec.linkCapacity[k] + 1e-9)
+            return false;
+        if (k < spec.memoryLimit.size() &&
+            memLoad[k] + memDemand(spec, n) > spec.memoryLimit[k] + 1e-9)
+            return false;
+        return true;
+    };
+
+    auto place = [&](std::size_t n, std::size_t k) {
+        device[n] = k;
+        if (k != 0) {
+            busLoad[k] += price(spec, n);
+            memLoad[k] += memDemand(spec, n);
+        }
+    };
+
+    // Pass 1: place each Offcode on the first non-host device that
+    // fits, honoring Pull edges toward already-placed peers.
+    for (std::size_t n = 0; n < spec.numOffcodes; ++n) {
+        std::size_t forced = SIZE_MAX;
+        for (const LayoutEdge &edge : spec.edges) {
+            if (edge.kind != LayoutConstraint::Pull)
+                continue;
+            const std::size_t peer =
+                edge.a == n ? edge.b : (edge.b == n ? edge.a : SIZE_MAX);
+            if (peer != SIZE_MAX && device[peer] != SIZE_MAX) {
+                forced = device[peer];
+                break;
+            }
+        }
+        if (forced != SIZE_MAX) {
+            if (!fits(n, forced)) {
+                // Greedy repair: drag the whole Pull group to host.
+                place(n, 0);
+            } else {
+                place(n, forced);
+            }
+            continue;
+        }
+        std::size_t chosen = 0;
+        for (std::size_t k = 1; k < spec.numDevices; ++k)
+            if (fits(n, k)) {
+                chosen = k;
+                break;
+            }
+        if (chosen == 0 && !spec.compatible[n][0]) {
+            // Cannot fall back to host; take any compatible device.
+            for (std::size_t k = 1; k < spec.numDevices; ++k)
+                if (spec.compatible[n][k]) {
+                    chosen = k;
+                    break;
+                }
+            if (chosen == 0)
+                return Error(ErrorCode::NoFeasibleLayout,
+                             "greedy: offcode " + std::to_string(n) +
+                                 " has no compatible device");
+        }
+        place(n, chosen);
+    }
+
+    // Pass 2: repair Pull/Gang violations by de-offloading to host
+    // until a fixed point (host placement trivially satisfies both
+    // sides of Gang and, when host-compatible, Pull).
+    bool changed = true;
+    int guard = 0;
+    while (changed && guard++ < 64) {
+        changed = false;
+        for (const LayoutEdge &edge : spec.edges) {
+            const bool aOff = device[edge.a] != 0;
+            const bool bOff = device[edge.b] != 0;
+            switch (edge.kind) {
+              case LayoutConstraint::Pull:
+                if (device[edge.a] != device[edge.b]) {
+                    if (spec.compatible[edge.a][0] &&
+                        spec.compatible[edge.b][0]) {
+                        device[edge.a] = 0;
+                        device[edge.b] = 0;
+                    } else if (spec.compatible[edge.a][device[edge.b]]) {
+                        device[edge.a] = device[edge.b];
+                    } else if (spec.compatible[edge.b][device[edge.a]]) {
+                        device[edge.b] = device[edge.a];
+                    } else {
+                        return Error(ErrorCode::NoFeasibleLayout,
+                                     "greedy: cannot repair Pull edge");
+                    }
+                    changed = true;
+                }
+                break;
+              case LayoutConstraint::Gang:
+                if (aOff != bOff) {
+                    const std::size_t victim = aOff ? edge.a : edge.b;
+                    if (!spec.compatible[victim][0])
+                        return Error(ErrorCode::NoFeasibleLayout,
+                                     "greedy: cannot repair Gang edge");
+                    device[victim] = 0;
+                    changed = true;
+                }
+                break;
+              case LayoutConstraint::AsymGang:
+                if (aOff && !bOff) {
+                    if (!spec.compatible[edge.a][0])
+                        return Error(ErrorCode::NoFeasibleLayout,
+                                     "greedy: cannot repair AsymGang edge");
+                    device[edge.a] = 0;
+                    changed = true;
+                }
+                break;
+            }
+        }
+    }
+
+    Status feasible = validateAssignment(spec, device);
+    if (!feasible)
+        return feasible.error();
+
+    LayoutAssignment assignment;
+    assignment.device = std::move(device);
+    assignment.objective = assignmentObjective(spec, assignment.device);
+    return assignment;
+}
+
+} // namespace hydra::ilp

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The paper's Section 5 formulation: an offloading layout graph
+ * expressed as a 0/1 ILP, plus a greedy baseline placer.
+ *
+ * Notation follows the paper: device index 0 is the host CPU; an
+ * Offcode n is "offloaded" when it is placed on any device k >= 1.
+ *
+ *  - placement:        forall n:  sum_k X[n][k] = 1          (Eq. 1)
+ *  - Pull(a,b):        forall k:  X[a][k] = X[b][k]          (Eq. 2)
+ *  - Gang(a,b):        sum_{k>=1} X[a][k] = sum_{k>=1} X[b][k]  (Eq. 3)
+ *  - AsymGang(a->b):   sum_{k>=1} X[a][k] <= sum_{k>=1} X[b][k] (Eq. 4)
+ *
+ * Objectives: Maximized Offloading (count of offloaded Offcodes) and
+ * Maximize Bus Usage (total offloaded bus "price", subject to
+ * per-device-link bandwidth capacity — our linear stand-in for the
+ * paper's pairwise bus capability matrix; a pairwise product term
+ * would not be linear in X).
+ */
+
+#ifndef HYDRA_ILP_LAYOUT_HH
+#define HYDRA_ILP_LAYOUT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hh"
+#include "ilp/solver.hh"
+
+namespace hydra::ilp {
+
+/** Placement-relevant constraint kinds (Link imposes nothing). */
+enum class LayoutConstraint : std::uint8_t { Pull, Gang, AsymGang };
+
+/** A constraint edge between two Offcodes (a -> b for AsymGang). */
+struct LayoutEdge
+{
+    std::size_t a = 0;
+    std::size_t b = 0;
+    LayoutConstraint kind = LayoutConstraint::Pull;
+};
+
+/** Objective selection. */
+enum class LayoutObjective { MaximizeOffloading, MaximizeBusUsage };
+
+/** A layout problem instance. Device 0 is always the host CPU. */
+struct LayoutSpec
+{
+    std::size_t numOffcodes = 0;
+    std::size_t numDevices = 1; // including the host at index 0
+
+    /** compatible[n][k]: Offcode n can run on device k (C in §5). */
+    std::vector<std::vector<bool>> compatible;
+
+    std::vector<LayoutEdge> edges;
+
+    LayoutObjective objective = LayoutObjective::MaximizeOffloading;
+
+    /** Per-Offcode bus-bandwidth demand (busPrice; Gbps). */
+    std::vector<double> busPrice;
+    /** Per-device link capacity (Gbps); empty = unbounded. */
+    std::vector<double> linkCapacity;
+
+    /** Per-Offcode device memory demand (bytes); optional. */
+    std::vector<double> memoryDemand;
+    /** Per-device memory limit (bytes); empty = unbounded. */
+    std::vector<double> memoryLimit;
+
+    /** Human-readable names, for diagnostics (optional). */
+    std::vector<std::string> offcodeNames;
+    std::vector<std::string> deviceNames;
+};
+
+/** A placement: device index per Offcode. */
+struct LayoutAssignment
+{
+    std::vector<std::size_t> device;
+    double objective = 0.0;
+    std::uint64_t nodesExplored = 0;
+
+    std::size_t
+    offloadedCount() const
+    {
+        std::size_t count = 0;
+        for (std::size_t d : device)
+            if (d != 0)
+                ++count;
+        return count;
+    }
+};
+
+/** Build the ILP model for a spec (exposed for tests). */
+Result<Model> buildLayoutModel(const LayoutSpec &spec);
+
+/** Solve a layout to proven optimality via branch-and-bound. */
+Result<LayoutAssignment> solveLayout(const LayoutSpec &spec,
+                                     SolverLimits limits = {});
+
+/**
+ * Greedy baseline: place Offcodes in index order on the first
+ * compatible non-host device with remaining capacity, falling back
+ * to the host; repairs Pull/Gang violations by de-offloading. The
+ * paper notes such greedy placement "is not always optimal" on
+ * complex graphs — the ilp_layout bench quantifies that.
+ */
+Result<LayoutAssignment> greedyLayout(const LayoutSpec &spec);
+
+/** Check a placement against the spec's constraints. */
+Status validateAssignment(const LayoutSpec &spec,
+                          const std::vector<std::size_t> &device);
+
+/** Objective value of a placement under the spec's objective. */
+double assignmentObjective(const LayoutSpec &spec,
+                           const std::vector<std::size_t> &device);
+
+} // namespace hydra::ilp
+
+#endif // HYDRA_ILP_LAYOUT_HH

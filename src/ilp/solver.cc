@@ -1,0 +1,252 @@
+#include "ilp/solver.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hydra::ilp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/** Per-constraint running bounds under the current partial fix. */
+struct ConstraintState
+{
+    /** Sum achievable if all unfixed vars pick their min contribution. */
+    double lo = 0.0;
+    /** Sum achievable if all unfixed vars pick their max contribution. */
+    double hi = 0.0;
+};
+
+/** Search engine: keeps the model in flattened arrays for speed. */
+class Engine
+{
+  public:
+    Engine(const Model &model, const SolverLimits &limits)
+        : model_(model), limits_(limits)
+    {
+        const std::size_t n = model.numVars();
+        values_.assign(n, -1); // -1 = unfixed
+
+        // Flip minimization into maximization of the negated objective.
+        negate_ = model.sense() == Sense::Minimize;
+
+        objCoeff_.assign(n, 0.0);
+        objConst_ = model.objective().constant() * (negate_ ? -1.0 : 1.0);
+        for (const Term &term : model.objective().terms())
+            objCoeff_[term.var] += negate_ ? -term.coeff : term.coeff;
+
+        // Constraint states start with everything unfixed.
+        const auto &constraints = model.constraints();
+        states_.resize(constraints.size());
+        varCons_.assign(n, {});
+        consCoeff_.resize(constraints.size());
+        for (std::size_t c = 0; c < constraints.size(); ++c) {
+            ConstraintState &state = states_[c];
+            state.lo = constraints[c].expr.constant();
+            state.hi = constraints[c].expr.constant();
+            auto &coeffs = consCoeff_[c];
+            coeffs.assign(n, 0.0);
+            for (const Term &term : constraints[c].expr.terms())
+                coeffs[term.var] += term.coeff;
+            for (VarId v = 0; v < n; ++v) {
+                if (coeffs[v] == 0.0)
+                    continue;
+                varCons_[v].push_back(c);
+                if (coeffs[v] > 0.0)
+                    state.hi += coeffs[v];
+                else
+                    state.lo += coeffs[v];
+            }
+        }
+
+        // Branch on variables with large |objective| first.
+        order_.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            order_[i] = i;
+        std::stable_sort(order_.begin(), order_.end(),
+                         [this](VarId a, VarId b) {
+                             return std::abs(objCoeff_[a]) >
+                                    std::abs(objCoeff_[b]);
+                         });
+    }
+
+    Result<Solution>
+    run()
+    {
+        if (!feasibleSoFar())
+            return Error(ErrorCode::Infeasible, "constraints conflict");
+        search(0, objConst_);
+        const bool exhausted = nodes_ < limits_.maxNodes;
+        if (!hasIncumbent_) {
+            if (!exhausted)
+                return Error(ErrorCode::SolverLimitReached,
+                             "node limit reached with no incumbent");
+            return Error(ErrorCode::Infeasible,
+                         "no feasible assignment exists");
+        }
+        Solution solution;
+        solution.values = best_;
+        solution.objective = negate_ ? -bestObj_ : bestObj_;
+        solution.nodesExplored = nodes_;
+        solution.proven = exhausted;
+        return solution;
+    }
+
+  private:
+    /** True while every constraint can still be satisfied. */
+    bool
+    feasibleSoFar() const
+    {
+        const auto &constraints = model_.constraints();
+        for (std::size_t c = 0; c < constraints.size(); ++c) {
+            const ConstraintState &state = states_[c];
+            const double rhs = constraints[c].rhs;
+            switch (constraints[c].rel) {
+              case Relation::Eq:
+                if (state.lo > rhs + kEps || state.hi < rhs - kEps)
+                    return false;
+                break;
+              case Relation::Le:
+                if (state.lo > rhs + kEps)
+                    return false;
+                break;
+              case Relation::Ge:
+                if (state.hi < rhs - kEps)
+                    return false;
+                break;
+            }
+        }
+        return true;
+    }
+
+    /** Apply (or undo with sign=-1) fixing var to value. */
+    void
+    fix(VarId var, std::int8_t value, int sign)
+    {
+        for (std::size_t c : varCons_[var]) {
+            const double coeff = consCoeff_[c][var];
+            ConstraintState &state = states_[c];
+            if (sign > 0) {
+                // Previously unfixed: remove the slack contribution,
+                // then add the chosen one.
+                if (coeff > 0.0)
+                    state.hi -= coeff;
+                else
+                    state.lo -= coeff;
+                if (value == 1) {
+                    state.lo += coeff;
+                    state.hi += coeff;
+                }
+            } else {
+                if (value == 1) {
+                    state.lo -= coeff;
+                    state.hi -= coeff;
+                }
+                if (coeff > 0.0)
+                    state.hi += coeff;
+                else
+                    state.lo += coeff;
+            }
+        }
+        values_[var] = sign > 0 ? value : std::int8_t(-1);
+    }
+
+    /** Optimistic bound: current objective + best possible rest. */
+    double
+    optimisticRest(std::size_t depth) const
+    {
+        double rest = 0.0;
+        for (std::size_t i = depth; i < order_.size(); ++i) {
+            const double coeff = objCoeff_[order_[i]];
+            if (coeff > 0.0)
+                rest += coeff;
+        }
+        return rest;
+    }
+
+    void
+    search(std::size_t depth, double objSoFar)
+    {
+        if (nodes_ >= limits_.maxNodes)
+            return;
+        ++nodes_;
+
+        if (!feasibleSoFar())
+            return;
+        if (hasIncumbent_ &&
+            objSoFar + optimisticRest(depth) <= bestObj_ + kEps)
+            return;
+
+        if (depth == order_.size()) {
+            hasIncumbent_ = true;
+            bestObj_ = objSoFar;
+            best_ = values_;
+            return;
+        }
+
+        const VarId var = order_[depth];
+        // Explore the objective-preferred value first.
+        const std::int8_t preferred = objCoeff_[var] >= 0.0 ? 1 : 0;
+        for (int attempt = 0; attempt < 2; ++attempt) {
+            const std::int8_t value =
+                attempt == 0 ? preferred : std::int8_t(1 - preferred);
+            fix(var, value, +1);
+            search(depth + 1,
+                   objSoFar + (value == 1 ? objCoeff_[var] : 0.0));
+            fix(var, value, -1);
+        }
+    }
+
+    const Model &model_;
+    SolverLimits limits_;
+    bool negate_ = false;
+
+    std::vector<std::int8_t> values_;
+    std::vector<double> objCoeff_;
+    double objConst_ = 0.0;
+    std::vector<ConstraintState> states_;
+    std::vector<std::vector<std::size_t>> varCons_;
+    std::vector<std::vector<double>> consCoeff_;
+    std::vector<VarId> order_;
+
+    bool hasIncumbent_ = false;
+    double bestObj_ = -std::numeric_limits<double>::infinity();
+    std::vector<std::int8_t> best_;
+    std::uint64_t nodes_ = 0;
+};
+
+} // namespace
+
+Result<Solution>
+Solver::solve(const Model &model) const
+{
+    Engine engine(model, limits_);
+    return engine.run();
+}
+
+bool
+satisfies(const Model &model, const std::vector<std::int8_t> &values)
+{
+    for (const Constraint &constraint : model.constraints()) {
+        const double lhs = constraint.expr.evaluate(values);
+        switch (constraint.rel) {
+          case Relation::Eq:
+            if (std::abs(lhs - constraint.rhs) > kEps)
+                return false;
+            break;
+          case Relation::Le:
+            if (lhs > constraint.rhs + kEps)
+                return false;
+            break;
+          case Relation::Ge:
+            if (lhs < constraint.rhs - kEps)
+                return false;
+            break;
+        }
+    }
+    return true;
+}
+
+} // namespace hydra::ilp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Exact 0/1 ILP solver: depth-first branch-and-bound with per-
+ * constraint interval propagation and an optimistic objective bound.
+ *
+ * Layout problems are small (tens of Offcodes × a handful of
+ * devices), so exact search is tractable; a node limit guards
+ * against adversarial instances.
+ */
+
+#ifndef HYDRA_ILP_SOLVER_HH
+#define HYDRA_ILP_SOLVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hh"
+#include "ilp/model.hh"
+
+namespace hydra::ilp {
+
+/** Search limits. */
+struct SolverLimits
+{
+    std::uint64_t maxNodes = 20'000'000;
+};
+
+/** An optimal assignment (when status is Ok). */
+struct Solution
+{
+    std::vector<std::int8_t> values; ///< 0/1 per variable
+    double objective = 0.0;
+    std::uint64_t nodesExplored = 0;
+    /** True when the search space was exhausted (proven optimal). */
+    bool proven = true;
+};
+
+/** Branch-and-bound solver over a Model. */
+class Solver
+{
+  public:
+    explicit Solver(SolverLimits limits = {}) : limits_(limits) {}
+
+    /**
+     * Solve to proven optimality. Returns Infeasible when no
+     * assignment satisfies the constraints, SolverLimitReached when
+     * the node budget ran out before the search space was exhausted.
+     */
+    Result<Solution> solve(const Model &model) const;
+
+  private:
+    SolverLimits limits_;
+};
+
+/** Check an assignment against every constraint (for tests). */
+bool satisfies(const Model &model, const std::vector<std::int8_t> &values);
+
+} // namespace hydra::ilp
+
+#endif // HYDRA_ILP_SOLVER_HH

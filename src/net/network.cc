@@ -1,0 +1,103 @@
+#include "net/network.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hh"
+
+namespace hydra::net {
+
+Network::Network(sim::Simulator &simulator, NetworkConfig config)
+    : sim_(simulator), config_(config), rng_(config.seed)
+{
+}
+
+NodeId
+Network::addNode(std::string name)
+{
+    nodes_.push_back(Node{std::move(name), 0, 0, {}});
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Status
+Network::bind(NodeId node, Port port, PacketHandler handler)
+{
+    if (node >= nodes_.size())
+        return Status(ErrorCode::NotFound, "no such node");
+    auto &handlers = nodes_[node].handlers;
+    if (handlers.count(port))
+        return Status(ErrorCode::AlreadyExists, "port already bound");
+    handlers[port] = std::move(handler);
+    return Status::success();
+}
+
+void
+Network::unbind(NodeId node, Port port)
+{
+    if (node < nodes_.size())
+        nodes_[node].handlers.erase(port);
+}
+
+const std::string &
+Network::nodeName(NodeId node) const
+{
+    static const std::string unknown = "<unknown>";
+    return node < nodes_.size() ? nodes_[node].name : unknown;
+}
+
+Status
+Network::send(Packet packet)
+{
+    if (packet.src >= nodes_.size() || packet.dst >= nodes_.size())
+        return Status(ErrorCode::NetworkUnreachable, "bad address");
+    if (packet.payload.size() > config_.maxPayload)
+        return Status(ErrorCode::MessageTooLarge, "payload too large");
+
+    ++stats_.packetsSent;
+    packet.sentAt = sim_.now();
+
+    if (config_.dropProbability > 0.0 &&
+        (config_.lossPort == 0 || packet.dstPort == config_.lossPort) &&
+        rng_.chance(config_.dropProbability)) {
+        ++stats_.packetsDropped;
+        return Status::success(); // datagram semantics: loss is silent
+    }
+
+    // Serialize on the sender's uplink.
+    Node &src = nodes_[packet.src];
+    const sim::SimTime wire =
+        sim::transferTime(packet.wireBytes(), config_.linkGbps);
+    const sim::SimTime tx_start = std::max(sim_.now(), src.txFreeAt);
+    src.txFreeAt = tx_start + wire;
+
+    // Propagate, switch, then serialize on the receiver's downlink.
+    Node &dst = nodes_[packet.dst];
+    const sim::SimTime arrive_at_switch =
+        src.txFreeAt + config_.linkLatency + config_.switchLatency;
+    const sim::SimTime rx_start = std::max(arrive_at_switch, dst.rxFreeAt);
+    dst.rxFreeAt = rx_start + wire;
+    const sim::SimTime delivered = dst.rxFreeAt + config_.linkLatency;
+
+    sim_.scheduleAt(delivered, [this, pkt = std::move(packet)]() mutable {
+        deliver(std::move(pkt));
+    });
+    return Status::success();
+}
+
+void
+Network::deliver(Packet packet)
+{
+    Node &dst = nodes_[packet.dst];
+    auto it = dst.handlers.find(packet.dstPort);
+    if (it == dst.handlers.end()) {
+        ++stats_.packetsDropped;
+        LOG_DEBUG << "packet to " << dst.name << ":" << packet.dstPort
+                  << " dropped (no listener)";
+        return;
+    }
+    ++stats_.packetsDelivered;
+    stats_.bytesDelivered += packet.payload.size();
+    it->second(packet);
+}
+
+} // namespace hydra::net

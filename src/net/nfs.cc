@@ -1,0 +1,328 @@
+#include "net/nfs.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hydra::net {
+
+namespace {
+
+/** Request wire format shared by client encoder and server decoder. */
+struct Request
+{
+    NfsOp op = NfsOp::Lookup;
+    std::uint64_t xid = 0;
+    std::string file;
+    std::uint64_t offset = 0;
+    std::uint32_t length = 0;
+    Bytes data;
+};
+
+Bytes
+encodeRequest(const Request &req)
+{
+    Bytes out;
+    ByteWriter writer(out);
+    writer.writeU8(static_cast<std::uint8_t>(req.op));
+    writer.writeU64(req.xid);
+    writer.writeString(req.file);
+    writer.writeU64(req.offset);
+    writer.writeU32(req.length);
+    writer.writeBytes(req.data);
+    return out;
+}
+
+bool
+decodeRequest(const Bytes &wire, Request &out)
+{
+    ByteReader reader(wire);
+    auto op = reader.readU8();
+    auto xid = reader.readU64();
+    auto file = reader.readString();
+    auto offset = reader.readU64();
+    auto length = reader.readU32();
+    auto data = reader.readBytes();
+    if (!op || !xid || !file || !offset || !length || !data)
+        return false;
+    out.op = static_cast<NfsOp>(op.value());
+    out.xid = xid.value();
+    out.file = std::move(file).value();
+    out.offset = offset.value();
+    out.length = length.value();
+    out.data = std::move(data).value();
+    return true;
+}
+
+Bytes
+encodeReply(std::uint64_t xid, NfsOp orig_op, bool ok, const Bytes &payload,
+            std::string_view error_message)
+{
+    Bytes out;
+    ByteWriter writer(out);
+    writer.writeU8(static_cast<std::uint8_t>(ok ? NfsOp::ReplyOk
+                                                : NfsOp::ReplyError));
+    writer.writeU64(xid);
+    writer.writeU8(static_cast<std::uint8_t>(orig_op));
+    if (ok)
+        writer.writeBytes(payload);
+    else
+        writer.writeString(error_message);
+    return out;
+}
+
+} // namespace
+
+NfsServer::NfsServer(Network &network, NodeId node)
+    : net_(network), node_(node)
+{
+    Status bound = net_.bind(node_, kNfsPort,
+                             [this](const Packet &p) { onRequest(p); });
+    if (!bound) {
+        LOG_ERROR << "NfsServer: bind failed: " << bound.error().describe();
+    }
+}
+
+NfsServer::~NfsServer()
+{
+    net_.unbind(node_, kNfsPort);
+}
+
+void
+NfsServer::putFile(const std::string &name, Bytes content)
+{
+    files_[name] = std::move(content);
+}
+
+Result<Bytes>
+NfsServer::fileContent(const std::string &name) const
+{
+    auto it = files_.find(name);
+    if (it == files_.end())
+        return Error(ErrorCode::NotFound, name);
+    return it->second;
+}
+
+bool
+NfsServer::hasFile(const std::string &name) const
+{
+    return files_.count(name) != 0;
+}
+
+void
+NfsServer::onRequest(const Packet &request)
+{
+    Request req;
+    if (!decodeRequest(request.payload, req)) {
+        LOG_WARN << "NfsServer: malformed request dropped";
+        return;
+    }
+    ++requestsServed_;
+
+    bool ok = true;
+    Bytes payload;
+    std::string error_message;
+
+    auto it = files_.find(req.file);
+    switch (req.op) {
+      case NfsOp::Lookup:
+        ok = it != files_.end();
+        if (!ok)
+            error_message = "no such file";
+        break;
+      case NfsOp::GetSize:
+        if (it == files_.end()) {
+            ok = false;
+            error_message = "no such file";
+        } else {
+            ByteWriter writer(payload);
+            writer.writeU64(it->second.size());
+        }
+        break;
+      case NfsOp::Read:
+        if (it == files_.end()) {
+            ok = false;
+            error_message = "no such file";
+        } else {
+            const Bytes &content = it->second;
+            const std::uint64_t start =
+                std::min<std::uint64_t>(req.offset, content.size());
+            const std::uint64_t end =
+                std::min<std::uint64_t>(start + req.length, content.size());
+            payload.assign(content.begin() +
+                               static_cast<std::ptrdiff_t>(start),
+                           content.begin() +
+                               static_cast<std::ptrdiff_t>(end));
+        }
+        break;
+      case NfsOp::Write: {
+        Bytes &content = files_[req.file]; // creates on first write
+        const std::uint64_t end = req.offset + req.data.size();
+        if (content.size() < end)
+            content.resize(end);
+        std::copy(req.data.begin(), req.data.end(),
+                  content.begin() + static_cast<std::ptrdiff_t>(req.offset));
+        ByteWriter writer(payload);
+        writer.writeU32(static_cast<std::uint32_t>(req.data.size()));
+        break;
+      }
+      default:
+        ok = false;
+        error_message = "bad op";
+        break;
+    }
+
+    Packet reply;
+    reply.src = node_;
+    reply.dst = request.src;
+    reply.srcPort = kNfsPort;
+    reply.dstPort = request.srcPort;
+    reply.payload = encodeReply(req.xid, req.op, ok, payload, error_message);
+    net_.send(std::move(reply));
+}
+
+NfsClient::NfsClient(Network &network, NodeId node, NodeId server,
+                     Port reply_port)
+    : net_(network), node_(node), server_(server), replyPort_(reply_port)
+{
+    Status bound = net_.bind(node_, replyPort_,
+                             [this](const Packet &p) { onReply(p); });
+    if (!bound) {
+        LOG_ERROR << "NfsClient: bind failed: " << bound.error().describe();
+    }
+}
+
+NfsClient::~NfsClient()
+{
+    net_.unbind(node_, replyPort_);
+}
+
+std::uint64_t
+NfsClient::sendRequest(NfsOp op, const std::string &file,
+                       std::uint64_t offset, std::uint32_t length,
+                       const Bytes *data)
+{
+    Request req;
+    req.op = op;
+    req.xid = nextXid_++;
+    req.file = file;
+    req.offset = offset;
+    req.length = length;
+    if (data)
+        req.data = *data;
+
+    Packet packet;
+    packet.src = node_;
+    packet.dst = server_;
+    packet.srcPort = replyPort_;
+    packet.dstPort = kNfsPort;
+    packet.payload = encodeRequest(req);
+    net_.send(std::move(packet));
+    return req.xid;
+}
+
+void
+NfsClient::read(const std::string &file, std::uint64_t offset,
+                std::uint32_t length, ReadCallback done)
+{
+    const std::uint64_t xid =
+        sendRequest(NfsOp::Read, file, offset, length, nullptr);
+    Pending pending;
+    pending.op = NfsOp::Read;
+    pending.onRead = std::move(done);
+    pending_[xid] = std::move(pending);
+}
+
+void
+NfsClient::write(const std::string &file, std::uint64_t offset,
+                 const Bytes &data, WriteCallback done)
+{
+    const std::uint64_t xid =
+        sendRequest(NfsOp::Write, file, offset, 0, &data);
+    Pending pending;
+    pending.op = NfsOp::Write;
+    pending.onWrite = std::move(done);
+    pending_[xid] = std::move(pending);
+}
+
+void
+NfsClient::getSize(const std::string &file, SizeCallback done)
+{
+    const std::uint64_t xid =
+        sendRequest(NfsOp::GetSize, file, 0, 0, nullptr);
+    Pending pending;
+    pending.op = NfsOp::GetSize;
+    pending.onSize = std::move(done);
+    pending_[xid] = std::move(pending);
+}
+
+void
+NfsClient::onReply(const Packet &reply)
+{
+    ByteReader reader(reply.payload);
+    auto status = reader.readU8();
+    auto xid = reader.readU64();
+    auto orig = reader.readU8();
+    if (!status || !xid || !orig) {
+        LOG_WARN << "NfsClient: malformed reply dropped";
+        return;
+    }
+    (void)orig;
+
+    auto it = pending_.find(xid.value());
+    if (it == pending_.end())
+        return; // stale or duplicate reply
+    Pending pending = std::move(it->second);
+    pending_.erase(it);
+
+    const bool ok =
+        static_cast<NfsOp>(status.value()) == NfsOp::ReplyOk;
+
+    if (!ok) {
+        auto message = reader.readString();
+        Error error(ErrorCode::NotFound,
+                    message ? message.value() : "nfs error");
+        switch (pending.op) {
+          case NfsOp::Read:
+            pending.onRead(error);
+            break;
+          case NfsOp::Write:
+            pending.onWrite(Status(error));
+            break;
+          case NfsOp::GetSize:
+            pending.onSize(error);
+            break;
+          default:
+            break;
+        }
+        return;
+    }
+
+    auto payload = reader.readBytes();
+    if (!payload) {
+        LOG_WARN << "NfsClient: truncated reply";
+        return;
+    }
+
+    switch (pending.op) {
+      case NfsOp::Read:
+        pending.onRead(std::move(payload).value());
+        break;
+      case NfsOp::Write:
+        pending.onWrite(Status::success());
+        break;
+      case NfsOp::GetSize: {
+        ByteReader inner(payload.value());
+        auto size = inner.readU64();
+        if (size)
+            pending.onSize(size.value());
+        else
+            pending.onSize(Error(ErrorCode::ParseError, "bad size reply"));
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+} // namespace hydra::net

@@ -1,0 +1,317 @@
+#include "odf/odf.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/strings.hh"
+#include "odf/xml.hh"
+
+namespace hydra::odf {
+
+std::string_view
+constraintName(ConstraintType type)
+{
+    switch (type) {
+      case ConstraintType::Link: return "Link";
+      case ConstraintType::Pull: return "Pull";
+      case ConstraintType::Gang: return "Gang";
+      case ConstraintType::AsymmetricGang: return "AsymmetricGang";
+    }
+    return "?";
+}
+
+Result<ConstraintType>
+constraintFromName(std::string_view name)
+{
+    const std::string lower = toLower(name);
+    if (lower == "link")
+        return ConstraintType::Link;
+    if (lower == "pull")
+        return ConstraintType::Pull;
+    if (lower == "gang")
+        return ConstraintType::Gang;
+    if (lower == "asymmetricgang" || lower == "asym-gang" ||
+        lower == "gang-asym")
+        return ConstraintType::AsymmetricGang;
+    return Error(ErrorCode::ParseError,
+                 "unknown constraint type: " + std::string(name));
+}
+
+namespace {
+
+Result<Guid>
+parseGuidText(std::string_view text, const std::string &context)
+{
+    Guid guid;
+    if (!Guid::parse(trim(text), guid))
+        return Error(ErrorCode::ParseError,
+                     "bad GUID in " + context + ": " + std::string(text));
+    return guid;
+}
+
+Result<InterfaceSpec>
+parseInterface(const XmlNode &node)
+{
+    InterfaceSpec spec;
+    spec.name = std::string(node.attr("name"));
+    spec.includePath = node.childText("include");
+    const std::string guid_text = node.childText("GUID");
+    if (!guid_text.empty()) {
+        auto guid = parseGuidText(guid_text, "interface");
+        if (!guid)
+            return guid.error();
+        spec.guid = guid.value();
+    } else if (!spec.name.empty()) {
+        spec.guid = Guid::fromName(spec.name);
+    }
+    for (const XmlNode *method : node.childrenNamed("method")) {
+        std::string method_name = std::string(method->attr("name"));
+        if (method_name.empty())
+            return Error(ErrorCode::ManifestInvalid,
+                         "interface method missing name attribute");
+        spec.methods.push_back(std::move(method_name));
+    }
+    return spec;
+}
+
+Result<ImportSpec>
+parseImport(const XmlNode &node)
+{
+    ImportSpec spec;
+    spec.file = node.childText("file");
+    spec.bindname = node.childText("bindname");
+
+    if (const XmlNode *ref = node.child("reference")) {
+        const std::string_view type = ref->attr("type");
+        if (!type.empty()) {
+            auto parsed = constraintFromName(type);
+            if (!parsed)
+                return parsed.error();
+            spec.constraint = parsed.value();
+        }
+        const std::string_view pri = ref->attr("pri");
+        if (!pri.empty()) {
+            long long value = 0;
+            if (!parseInt(pri, value))
+                return Error(ErrorCode::ParseError,
+                             "bad import priority: " + std::string(pri));
+            spec.priority = static_cast<int>(value);
+        }
+        const std::string guid_text = ref->childText("GUID");
+        if (!guid_text.empty()) {
+            auto guid = parseGuidText(guid_text, "import reference");
+            if (!guid)
+                return guid.error();
+            spec.guid = guid.value();
+        }
+    }
+    // Fall back to a name-derived GUID so imports always resolve.
+    if (spec.guid.isNull() && !spec.bindname.empty())
+        spec.guid = Guid::fromName(spec.bindname);
+    return spec;
+}
+
+Result<dev::DeviceClassSpec>
+parseDeviceClass(const XmlNode &node)
+{
+    dev::DeviceClassSpec spec;
+    const std::string_view id = node.attr("id");
+    if (!id.empty()) {
+        Guid as_guid;
+        if (!Guid::parse(id, as_guid))
+            return Error(ErrorCode::ParseError,
+                         "bad device-class id: " + std::string(id));
+        spec.id = static_cast<std::uint32_t>(as_guid.value());
+    }
+    spec.name = node.childText("name");
+    spec.bus = node.childText("bus");
+    spec.mac = node.childText("mac");
+    spec.vendor = node.childText("vendor");
+    return spec;
+}
+
+} // namespace
+
+Result<OdfDocument>
+OdfDocument::parse(std::string_view xml_text)
+{
+    auto parsed = parseXml(xml_text);
+    if (!parsed)
+        return parsed.error();
+    const XmlNode &root = *parsed.value();
+    if (root.name != "offcode")
+        return Error(ErrorCode::ManifestInvalid,
+                     "root element must be <offcode>, got <" + root.name +
+                         ">");
+
+    OdfDocument doc;
+    doc.hostFallback = false;
+
+    // --- package ---
+    const XmlNode *package = root.child("package");
+    if (!package)
+        return Error(ErrorCode::ManifestInvalid, "missing <package>");
+    doc.bindname = package->childText("bindname");
+    const std::string guid_text = package->childText("GUID");
+    if (!guid_text.empty()) {
+        auto guid = parseGuidText(guid_text, "package");
+        if (!guid)
+            return guid.error();
+        doc.guid = guid.value();
+    } else if (!doc.bindname.empty()) {
+        doc.guid = Guid::fromName(doc.bindname);
+    }
+    for (const XmlNode *iface : package->childrenNamed("interface")) {
+        auto spec = parseInterface(*iface);
+        if (!spec)
+            return spec.error();
+        doc.interfaces.push_back(std::move(spec).value());
+    }
+
+    // --- sw-env ---
+    if (const XmlNode *sw = root.child("sw-env")) {
+        for (const XmlNode *import : sw->childrenNamed("import")) {
+            auto spec = parseImport(*import);
+            if (!spec)
+                return spec.error();
+            doc.imports.push_back(std::move(spec).value());
+        }
+        if (const XmlNode *req = sw->child("requires")) {
+            const std::string_view memory = req->attr("memory");
+            if (!memory.empty()) {
+                long long bytes = 0;
+                if (!parseInt(memory, bytes) || bytes < 0)
+                    return Error(ErrorCode::ParseError,
+                                 "bad memory requirement");
+                doc.requiredMemoryBytes =
+                    static_cast<std::size_t>(bytes);
+            }
+            for (const XmlNode *cap : req->childrenNamed("capability")) {
+                std::string cap_name = std::string(cap->attr("name"));
+                if (cap_name.empty())
+                    cap_name = std::string(trim(cap->text));
+                if (!cap_name.empty())
+                    doc.requiredCapabilities.push_back(std::move(cap_name));
+            }
+        }
+    }
+
+    // --- targets ---
+    if (const XmlNode *targets = root.child("targets")) {
+        for (const XmlNode *klass : targets->childrenNamed("device-class")) {
+            auto spec = parseDeviceClass(*klass);
+            if (!spec)
+                return spec.error();
+            doc.targets.push_back(std::move(spec).value());
+        }
+        doc.hostFallback = targets->child("host-fallback") != nullptr;
+    }
+
+    // --- price (bus bandwidth demand, for the ILP objective) ---
+    if (const XmlNode *price = root.child("price")) {
+        const std::string_view bus = price->attr("bus");
+        if (!bus.empty()) {
+            double value = 0.0;
+            if (!parseDouble(bus, value) || value < 0.0)
+                return Error(ErrorCode::ParseError, "bad bus price");
+            doc.busPrice = value;
+        }
+    }
+
+    Status valid = doc.validate();
+    if (!valid)
+        return valid.error();
+    return doc;
+}
+
+Result<OdfDocument>
+OdfDocument::loadFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        return Error(ErrorCode::NotFound, "cannot open " + path);
+    std::ostringstream content;
+    content << file.rdbuf();
+    return parse(content.str());
+}
+
+Status
+OdfDocument::validate() const
+{
+    if (bindname.empty())
+        return Status(ErrorCode::ManifestInvalid, "empty bindname");
+    if (guid.isNull())
+        return Status(ErrorCode::ManifestInvalid, "null GUID");
+    if (targets.empty() && !hostFallback)
+        return Status(ErrorCode::ManifestInvalid,
+                      bindname + ": no targets and no host fallback");
+    for (const ImportSpec &import : imports) {
+        if (import.bindname.empty())
+            return Status(ErrorCode::ManifestInvalid,
+                          bindname + ": import missing bindname");
+    }
+    return Status::success();
+}
+
+std::string
+OdfDocument::toXml() const
+{
+    std::ostringstream out;
+    out << "<offcode>\n";
+    out << "  <package>\n";
+    out << "    <bindname>" << bindname << "</bindname>\n";
+    out << "    <GUID>" << guid.toString() << "</GUID>\n";
+    for (const InterfaceSpec &iface : interfaces) {
+        out << "    <interface name=\"" << iface.name << "\">\n";
+        out << "      <GUID>" << iface.guid.toString() << "</GUID>\n";
+        if (!iface.includePath.empty())
+            out << "      <include>" << iface.includePath << "</include>\n";
+        for (const std::string &method : iface.methods)
+            out << "      <method name=\"" << method << "\"/>\n";
+        out << "    </interface>\n";
+    }
+    out << "  </package>\n";
+
+    out << "  <sw-env>\n";
+    for (const ImportSpec &import : imports) {
+        out << "    <import>\n";
+        if (!import.file.empty())
+            out << "      <file>" << import.file << "</file>\n";
+        out << "      <bindname>" << import.bindname << "</bindname>\n";
+        out << "      <reference type=\"" << constraintName(import.constraint)
+            << "\" pri=\"" << import.priority << "\">\n";
+        out << "        <GUID>" << import.guid.toString() << "</GUID>\n";
+        out << "      </reference>\n";
+        out << "    </import>\n";
+    }
+    out << "    <requires memory=\"" << requiredMemoryBytes << "\">\n";
+    for (const std::string &cap : requiredCapabilities)
+        out << "      <capability name=\"" << cap << "\"/>\n";
+    out << "    </requires>\n";
+    out << "  </sw-env>\n";
+
+    out << "  <targets>\n";
+    for (const dev::DeviceClassSpec &target : targets) {
+        out << "    <device-class id=\"0x" << std::hex << target.id
+            << std::dec << "\">\n";
+        if (!target.name.empty())
+            out << "      <name>" << target.name << "</name>\n";
+        if (!target.bus.empty())
+            out << "      <bus>" << target.bus << "</bus>\n";
+        if (!target.mac.empty())
+            out << "      <mac>" << target.mac << "</mac>\n";
+        if (!target.vendor.empty())
+            out << "      <vendor>" << target.vendor << "</vendor>\n";
+        out << "    </device-class>\n";
+    }
+    if (hostFallback)
+        out << "    <host-fallback/>\n";
+    out << "  </targets>\n";
+    out << "  <price bus=\"" << std::setprecision(12) << busPrice
+        << "\"/>\n";
+    out << "</offcode>\n";
+    return out.str();
+}
+
+} // namespace hydra::odf

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The Offcode manifesto: Offcode Description File model.
+ *
+ * An ODF (paper Section 3.3, Fig. 4) has three parts:
+ *  1. package — bindname, GUID, and supported interfaces;
+ *  2. sw-env — dependencies on peer Offcodes with layout constraints
+ *     (Link / Pull / Gang / Asymmetric Gang) plus software
+ *     requirements (memory, capabilities);
+ *  3. targets — the device classes the Offcode can execute on, and
+ *     whether a host-CPU fallback implementation exists.
+ */
+
+#ifndef HYDRA_ODF_ODF_HH
+#define HYDRA_ODF_ODF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/guid.hh"
+#include "common/result.hh"
+#include "dev/device.hh"
+
+namespace hydra::odf {
+
+/** Layout constraint kinds between two Offcodes (paper §3.3). */
+enum class ConstraintType : std::uint8_t {
+    /** No placement constraint; just a usage dependency. */
+    Link,
+    /** Both Offcodes must land on the same device. */
+    Pull,
+    /** If one is offloaded, so is the other (possibly elsewhere). */
+    Gang,
+    /** Offloading *this* Offcode requires offloading the peer. */
+    AsymmetricGang,
+};
+
+std::string_view constraintName(ConstraintType type);
+Result<ConstraintType> constraintFromName(std::string_view name);
+
+/** One interface the Offcode implements (WSDL-lite). */
+struct InterfaceSpec
+{
+    std::string name;
+    Guid guid;
+    /** Declared method names (may be empty for include-by-path). */
+    std::vector<std::string> methods;
+    /** Path of an external WSDL include, when used. */
+    std::string includePath;
+};
+
+/** A dependency on a peer Offcode. */
+struct ImportSpec
+{
+    std::string file;     ///< peer ODF path
+    std::string bindname; ///< peer binding name
+    Guid guid;            ///< peer Offcode GUID
+    ConstraintType constraint = ConstraintType::Link;
+    int priority = 0;
+};
+
+/** Parsed Offcode Description File. */
+struct OdfDocument
+{
+    std::string bindname;
+    Guid guid;
+    std::vector<InterfaceSpec> interfaces;
+    std::vector<ImportSpec> imports;
+    std::vector<dev::DeviceClassSpec> targets;
+
+    /** Device memory the Offcode image + heap needs. */
+    std::size_t requiredMemoryBytes = 64 * 1024;
+    /** Capabilities the target device must expose. */
+    std::vector<std::string> requiredCapabilities;
+    /** True when a host-CPU implementation exists as fallback. */
+    bool hostFallback = true;
+    /**
+     * Estimated average bus bandwidth demand ("Price" in the
+     * paper's Maximize-Bus-Usage objective), in Gbps.
+     */
+    double busPrice = 0.0;
+
+    /** Parse an ODF from XML text. */
+    static Result<OdfDocument> parse(std::string_view xml_text);
+
+    /** Parse an ODF from a file on disk. */
+    static Result<OdfDocument> loadFile(const std::string &path);
+
+    /** Serialize back to canonical XML (round-trip tested). */
+    std::string toXml() const;
+
+    /** Structural validity check (non-empty bindname, GUID, ...). */
+    Status validate() const;
+};
+
+} // namespace hydra::odf
+
+#endif // HYDRA_ODF_ODF_HH

@@ -1,0 +1,111 @@
+#include "sim/simulator.hh"
+
+#include <cassert>
+#include <memory>
+
+namespace hydra::sim {
+
+EventId
+Simulator::schedule(SimTime delay, Callback fn)
+{
+    return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId
+Simulator::scheduleAt(SimTime when, Callback fn)
+{
+    assert(when >= now_);
+    const EventId id = nextId_++;
+    queue_.push(Record{when, id, std::move(fn)});
+    return id;
+}
+
+EventId
+Simulator::schedulePeriodic(SimTime period, std::function<bool()> fn)
+{
+    assert(period > 0);
+    // The series lives in the periodics_ registry; each firing looks
+    // itself up by id, so cancellation is just an erase and nothing
+    // holds a self-referential closure.
+    const EventId seriesId = nextId_++;
+    periodics_[seriesId] = Periodic{period, std::move(fn)};
+    queue_.push(Record{now_ + period, nextId_++,
+                       [this, seriesId]() { firePeriodic(seriesId); }});
+    return seriesId;
+}
+
+void
+Simulator::firePeriodic(EventId series_id)
+{
+    auto it = periodics_.find(series_id);
+    if (it == periodics_.end())
+        return; // cancelled
+    if (!it->second.fn()) {
+        periodics_.erase(series_id);
+        return;
+    }
+    // The callback may have cancelled its own series.
+    it = periodics_.find(series_id);
+    if (it == periodics_.end())
+        return;
+    queue_.push(Record{now_ + it->second.period, nextId_++,
+                       [this, series_id]() { firePeriodic(series_id); }});
+}
+
+void
+Simulator::cancel(EventId id)
+{
+    if (periodics_.erase(id))
+        return;
+    cancelled_.insert(id);
+}
+
+bool
+Simulator::step()
+{
+    while (!queue_.empty()) {
+        Record rec = queue_.top();
+        queue_.pop();
+        if (cancelled_.erase(rec.id))
+            continue;
+        assert(rec.when >= now_);
+        now_ = rec.when;
+        ++dispatched_;
+        rec.fn();
+        return true;
+    }
+    return false;
+}
+
+void
+Simulator::runUntil(SimTime until)
+{
+    while (!queue_.empty()) {
+        const Record &top = queue_.top();
+        if (cancelled_.count(top.id)) {
+            cancelled_.erase(top.id);
+            queue_.pop();
+            continue;
+        }
+        if (top.when > until)
+            break;
+        step();
+    }
+    if (now_ < until)
+        now_ = until;
+}
+
+void
+Simulator::runToCompletion()
+{
+    while (step()) {
+    }
+}
+
+std::size_t
+Simulator::pendingEvents() const
+{
+    return queue_.size();
+}
+
+} // namespace hydra::sim

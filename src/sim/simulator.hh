@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * Every hardware and software model in the substrate (host CPUs, OS
+ * kernel, bus, devices, network links) advances by scheduling
+ * callbacks on a single Simulator instance. Events at equal
+ * timestamps fire in scheduling order, which keeps runs
+ * deterministic for a fixed seed.
+ */
+
+#ifndef HYDRA_SIM_SIMULATOR_HH
+#define HYDRA_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace hydra::sim {
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/** Central event queue and clock. */
+class Simulator
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Schedule @p fn to run @p delay after now. */
+    EventId schedule(SimTime delay, Callback fn);
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    EventId scheduleAt(SimTime when, Callback fn);
+
+    /**
+     * Schedule @p fn every @p period, starting one period from now,
+     * until it returns false or the event is cancelled.
+     */
+    EventId schedulePeriodic(SimTime period, std::function<bool()> fn);
+
+    /** Cancel a pending event; no-op if already fired or cancelled. */
+    void cancel(EventId id);
+
+    /** Run until the queue drains or the clock passes @p until. */
+    void runUntil(SimTime until);
+
+    /** Run until the event queue is empty. */
+    void runToCompletion();
+
+    /** Fire exactly one event; returns false when the queue is empty. */
+    bool step();
+
+    /** Number of events dispatched so far (for tests/diagnostics). */
+    std::uint64_t eventsDispatched() const { return dispatched_; }
+
+    /** Number of events currently pending. */
+    std::size_t pendingEvents() const;
+
+  private:
+    struct Record
+    {
+        SimTime when;
+        EventId id;
+        Callback fn;
+
+        bool
+        operator>(const Record &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return id > other.id; // FIFO among equal timestamps
+        }
+    };
+
+    struct Periodic
+    {
+        SimTime period;
+        std::function<bool()> fn;
+    };
+
+    void firePeriodic(EventId series_id);
+
+    std::priority_queue<Record, std::vector<Record>, std::greater<>> queue_;
+    std::unordered_set<EventId> cancelled_;
+    std::unordered_map<EventId, Periodic> periodics_;
+    SimTime now_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t dispatched_ = 0;
+};
+
+} // namespace hydra::sim
+
+#endif // HYDRA_SIM_SIMULATOR_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The two Video Client implementations of the paper's evaluation
+ * (Table 4): the conventional user-space client (every packet and
+ * every frame crosses the host CPU) and the offload-aware client
+ * (five Offcodes deployed across NIC, smart disk and GPU; the host
+ * runs only the GUI).
+ */
+
+#ifndef HYDRA_TIVO_CLIENT_HH
+#define HYDRA_TIVO_CLIENT_HH
+
+#include <memory>
+
+#include "core/runtime.hh"
+#include "dev/disk.hh"
+#include "dev/gpu.hh"
+#include "dev/nic.hh"
+#include "tivo/components.hh"
+#include "tivo/mpeg.hh"
+
+namespace hydra::tivo {
+
+/** Parameters for the user-space client. */
+struct ClientConfig
+{
+    net::Port videoPort = 5004;
+    std::size_t chunkBytes = 1024;
+
+    /**
+     * Per-packet host-path cost beyond the modeled operations,
+     * calibrated against Table 4 (see EXPERIMENTS.md).
+     */
+    std::uint64_t pathOverheadCycles = 470000;
+    /** Software MPEG decode cost. */
+    double decodeCyclesPerByte = 6.0;
+};
+
+/** Common interface for the harness. */
+class VideoClient
+{
+  public:
+    virtual ~VideoClient() = default;
+
+    virtual Status startWatching() = 0;
+    virtual void stop() = 0;
+
+    virtual std::uint64_t packetsReceived() const = 0;
+    virtual std::uint64_t framesDisplayed() const = 0;
+};
+
+/** Conventional client: everything on the host CPU. */
+class UserSpaceClient : public VideoClient
+{
+  public:
+    UserSpaceClient(hw::Machine &machine, dev::ProgrammableNic &nic,
+                    dev::Gpu &gpu, dev::SmartDisk *disk,
+                    ClientConfig config);
+    ~UserSpaceClient() override;
+
+    Status startWatching() override;
+    void stop() override;
+
+    std::uint64_t packetsReceived() const override { return packets_; }
+    std::uint64_t framesDisplayed() const override { return frames_; }
+    std::uint64_t decodeErrors() const { return decodeErrors_; }
+
+    /** Measurement tap fired at packet arrival (client jitter). */
+    std::function<void(sim::SimTime)> onPacketArrival;
+
+  private:
+    void onPacket(const net::Packet &packet);
+
+    hw::Machine &machine_;
+    dev::ProgrammableNic &nic_;
+    dev::Gpu &gpu_;
+    dev::SmartDisk *disk_;
+    ClientConfig config_;
+
+    hw::Addr rxKernelBuffer_ = 0;
+    hw::Addr rxUserBuffer_ = 0;
+    hw::Addr frameBuffers_ = 0;
+    hw::Addr gpuStaging_ = 0;
+    hw::Addr diskStaging_ = 0;
+    std::size_t frameBufferSlot_ = 0;
+
+    StreamAssembler assembler_;
+    MpegDecoder decoder_;
+    std::uint64_t recordOffset_ = 0;
+    Bytes recordBlockBuffer_;
+
+    std::uint64_t packets_ = 0;
+    std::uint64_t frames_ = 0;
+    std::uint64_t decodeErrors_ = 0;
+    bool running_ = false;
+};
+
+/** Offload-aware client: deploys the TiVoPC layout over HYDRA. */
+class OffloadedClient : public VideoClient
+{
+  public:
+    OffloadedClient(core::Runtime &runtime, TivoEnvPtr env);
+
+    Status startWatching() override;
+    void stop() override;
+
+    std::uint64_t packetsReceived() const override;
+    std::uint64_t framesDisplayed() const override;
+
+    bool deployed() const { return deployed_; }
+    const std::string &deploymentError() const { return error_; }
+
+    /** GUI controls (valid after deployment). */
+    Status replay();
+    Status stopReplay();
+
+    /** Typed access to a deployed component (nullptr if missing). */
+    template <typename T>
+    T *
+    component(const std::string &bindname) const
+    {
+        auto handle =
+            const_cast<core::Runtime &>(runtime_).getOffcode(bindname);
+        if (!handle)
+            return nullptr;
+        return dynamic_cast<T *>(handle.value().offcode);
+    }
+
+  private:
+    core::Runtime &runtime_;
+    TivoEnvPtr env_;
+    bool deployed_ = false;
+    bool startRequested_ = false;
+    std::string error_;
+};
+
+} // namespace hydra::tivo
+
+#endif // HYDRA_TIVO_CLIENT_HH

@@ -1,0 +1,274 @@
+#include "tivo/mpeg.hh"
+
+#include <cassert>
+
+namespace hydra::tivo {
+
+namespace {
+
+constexpr std::uint16_t kFrameMagic = 0x4d4c; // "ML"
+
+/** Run-length encode (count, value) pairs; count in [1, 255]. */
+Bytes
+rleEncode(const Bytes &input)
+{
+    Bytes out;
+    out.reserve(input.size() / 4 + 16);
+    std::size_t i = 0;
+    while (i < input.size()) {
+        const std::uint8_t value = input[i];
+        std::size_t run = 1;
+        while (i + run < input.size() && input[i + run] == value &&
+               run < 255)
+            ++run;
+        out.push_back(static_cast<std::uint8_t>(run));
+        out.push_back(value);
+        i += run;
+    }
+    return out;
+}
+
+Result<Bytes>
+rleDecode(const Bytes &input, std::size_t expected_size)
+{
+    Bytes out;
+    out.reserve(expected_size);
+    if (input.size() % 2 != 0)
+        return Error(ErrorCode::ParseError, "odd RLE payload");
+    for (std::size_t i = 0; i < input.size(); i += 2) {
+        const std::uint8_t run = input[i];
+        const std::uint8_t value = input[i + 1];
+        if (run == 0)
+            return Error(ErrorCode::ParseError, "zero-length RLE run");
+        out.insert(out.end(), run, value);
+    }
+    if (out.size() != expected_size)
+        return Error(ErrorCode::ParseError, "RLE size mismatch");
+    return out;
+}
+
+} // namespace
+
+SyntheticVideo::SyntheticVideo(MpegConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed)
+{
+}
+
+RawFrame
+SyntheticVideo::frame(std::uint32_t sequence) const
+{
+    RawFrame out;
+    out.width = config_.width;
+    out.height = config_.height;
+    out.sequence = sequence;
+    out.pixels.resize(static_cast<std::size_t>(config_.width) *
+                      config_.height);
+
+    // A banded gradient that drifts with time: smooth enough that
+    // delta frames compress well, structured enough to detect
+    // corruption anywhere in the pipeline.
+    const std::uint32_t shift =
+        static_cast<std::uint32_t>((seed_ + sequence * 3) & 0xff);
+    for (std::uint32_t y = 0; y < config_.height; ++y) {
+        const std::uint8_t row_base =
+            static_cast<std::uint8_t>((y / 8) * 16 + shift);
+        for (std::uint32_t x = 0; x < config_.width; ++x) {
+            const std::size_t i =
+                static_cast<std::size_t>(y) * config_.width + x;
+            std::uint8_t pixel =
+                static_cast<std::uint8_t>(row_base + (x / 32));
+            // Quasi-static film grain on every fourth pixel: keeps
+            // intra-frame RLE runs short (realistic I-frame sizes)
+            // while changing slowly (every 8 frames) so delta frames
+            // stay much smaller than I frames.
+            if (x % 4 == 0) {
+                const std::uint64_t h =
+                    (seed_ ^
+                     (static_cast<std::uint64_t>(sequence / 8) << 32) ^
+                     i) *
+                    0x9e3779b97f4a7c15ull;
+                pixel = static_cast<std::uint8_t>(pixel + (h >> 61));
+            }
+            out.pixels[i] = pixel;
+        }
+    }
+    return out;
+}
+
+MpegEncoder::MpegEncoder(MpegConfig config) : config_(config)
+{
+    assert(config_.gopLength > 0);
+    assert(config_.pSpacing > 0);
+}
+
+FrameType
+MpegEncoder::frameTypeFor(std::uint32_t sequence) const
+{
+    const std::uint32_t pos = sequence % config_.gopLength;
+    if (pos == 0)
+        return FrameType::I;
+    return pos % config_.pSpacing == 0 ? FrameType::P : FrameType::B;
+}
+
+void
+MpegEncoder::reset()
+{
+    reference_.clear();
+    hasReference_ = false;
+}
+
+Result<EncodedFrame>
+MpegEncoder::encode(const RawFrame &frame)
+{
+    const std::size_t expected =
+        static_cast<std::size_t>(frame.width) * frame.height;
+    if (frame.pixels.size() != expected)
+        return Error(ErrorCode::InvalidArgument, "frame size mismatch");
+
+    EncodedFrame out;
+    out.sequence = frame.sequence;
+    out.width = frame.width;
+    out.height = frame.height;
+    out.type = frameTypeFor(frame.sequence);
+
+    if (out.type == FrameType::I || !hasReference_) {
+        out.type = FrameType::I;
+        out.payload = rleEncode(frame.pixels);
+    } else {
+        Bytes delta(frame.pixels.size());
+        for (std::size_t i = 0; i < delta.size(); ++i)
+            delta[i] = static_cast<std::uint8_t>(frame.pixels[i] -
+                                                 reference_[i]);
+        out.payload = rleEncode(delta);
+    }
+
+    reference_ = frame.pixels;
+    hasReference_ = true;
+    return out;
+}
+
+void
+MpegDecoder::reset()
+{
+    reference_.clear();
+    hasReference_ = false;
+}
+
+Result<RawFrame>
+MpegDecoder::decode(const EncodedFrame &frame)
+{
+    const std::size_t expected =
+        static_cast<std::size_t>(frame.width) * frame.height;
+
+    RawFrame out;
+    out.width = frame.width;
+    out.height = frame.height;
+    out.sequence = frame.sequence;
+
+    if (frame.type == FrameType::I) {
+        auto pixels = rleDecode(frame.payload, expected);
+        if (!pixels)
+            return pixels.error();
+        out.pixels = std::move(pixels).value();
+    } else {
+        if (!hasReference_ || reference_.size() != expected)
+            return Error(ErrorCode::ParseError,
+                         "delta frame without matching reference");
+        auto delta = rleDecode(frame.payload, expected);
+        if (!delta)
+            return delta.error();
+        out.pixels.resize(expected);
+        for (std::size_t i = 0; i < expected; ++i)
+            out.pixels[i] = static_cast<std::uint8_t>(
+                reference_[i] + delta.value()[i]);
+    }
+
+    reference_ = out.pixels;
+    hasReference_ = true;
+    return out;
+}
+
+Bytes
+serializeFrame(const EncodedFrame &frame)
+{
+    Bytes out;
+    ByteWriter writer(out);
+    writer.writeU16(kFrameMagic);
+    writer.writeU8(static_cast<std::uint8_t>(frame.type));
+    writer.writeU32(frame.sequence);
+    writer.writeU32(frame.width);
+    writer.writeU32(frame.height);
+    writer.writeBytes(frame.payload);
+    return out;
+}
+
+void
+StreamAssembler::feed(const Bytes &chunk)
+{
+    // Compact occasionally so long streams stay bounded.
+    if (pos_ > 0 && pos_ * 2 > buffer_.size()) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+}
+
+Result<EncodedFrame>
+StreamAssembler::nextFrame()
+{
+    // Header: magic(2) type(1) seq(4) w(4) h(4) payload_len(4).
+    constexpr std::size_t kHeaderBytes = 19;
+
+    // Resynchronize on the frame magic, so a consumer that joins the
+    // stream mid-frame skips to the next frame boundary.
+    while (buffer_.size() - pos_ >= 2 &&
+           !(buffer_[pos_] == (kFrameMagic & 0xff) &&
+             buffer_[pos_ + 1] == (kFrameMagic >> 8)))
+        ++pos_;
+
+    if (buffer_.size() - pos_ < kHeaderBytes)
+        return Error(ErrorCode::NotFound, "incomplete header");
+
+    Bytes view(buffer_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               buffer_.end());
+    ByteReader reader(view);
+    auto magic = reader.readU16();
+    if (!magic || magic.value() != kFrameMagic)
+        return Error(ErrorCode::ParseError, "bad frame magic");
+    auto type = reader.readU8();
+    auto seq = reader.readU32();
+    auto width = reader.readU32();
+    auto height = reader.readU32();
+    auto payload = reader.readBytes();
+    if (!payload)
+        return Error(ErrorCode::NotFound, "incomplete frame payload");
+
+    EncodedFrame frame;
+    frame.type = static_cast<FrameType>(type.value());
+    frame.sequence = seq.value();
+    frame.width = width.value();
+    frame.height = height.value();
+    frame.payload = std::move(payload).value();
+
+    pos_ += kHeaderBytes + frame.payload.size();
+    return frame;
+}
+
+Bytes
+encodeMovie(const MpegConfig &config, std::uint32_t frames,
+            std::uint64_t seed)
+{
+    SyntheticVideo source(config, seed);
+    MpegEncoder encoder(config);
+    Bytes out;
+    for (std::uint32_t i = 0; i < frames; ++i) {
+        auto encoded = encoder.encode(source.frame(i));
+        assert(encoded);
+        const Bytes wire = serializeFrame(encoded.value());
+        out.insert(out.end(), wire.begin(), wire.end());
+    }
+    return out;
+}
+
+} // namespace hydra::tivo

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * MpegLite: a small, lossless MPEG-like codec for the TiVoPC case
+ * study. Real MPEG streams are unavailable offline, so MpegLite
+ * keeps the structural properties the paper's pipeline exercises —
+ * a GOP of I/P/B frames (I: intra-coded full frame; P/B: delta
+ * against a reference) with run-length-coded payloads framed by
+ * per-frame headers — while remaining exactly decodable so tests
+ * can verify the Streamer/Decoder/Display chain end to end.
+ */
+
+#ifndef HYDRA_TIVO_MPEG_HH
+#define HYDRA_TIVO_MPEG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hh"
+#include "common/result.hh"
+
+namespace hydra::tivo {
+
+/** MPEG frame types (paper Section 6.2). */
+enum class FrameType : std::uint8_t { I = 1, P = 2, B = 3 };
+
+/** One decoded (raw) video frame. */
+struct RawFrame
+{
+    std::uint32_t width = 0;
+    std::uint32_t height = 0;
+    std::uint32_t sequence = 0;
+    Bytes pixels; ///< width*height luma bytes
+
+    std::size_t bytes() const { return pixels.size(); }
+};
+
+/** One encoded frame as it appears in the stream. */
+struct EncodedFrame
+{
+    FrameType type = FrameType::I;
+    std::uint32_t sequence = 0;
+    std::uint32_t width = 0;
+    std::uint32_t height = 0;
+    Bytes payload; ///< RLE(-delta) coded pixel data
+};
+
+/** Codec configuration. */
+struct MpegConfig
+{
+    std::uint32_t width = 160;
+    std::uint32_t height = 120;
+    /** GOP pattern length: one I frame per gopLength frames. */
+    std::uint32_t gopLength = 9;
+    /** Within a GOP, every bFrequency-th frame is P, the rest B. */
+    std::uint32_t pSpacing = 3;
+};
+
+/** Deterministic synthetic video source (moving gradient). */
+class SyntheticVideo
+{
+  public:
+    explicit SyntheticVideo(MpegConfig config, std::uint64_t seed = 42);
+
+    /** Generate the raw frame at index @p sequence. */
+    RawFrame frame(std::uint32_t sequence) const;
+
+  private:
+    MpegConfig config_;
+    std::uint64_t seed_;
+};
+
+/** Encoder: raw frames in GOP order to encoded frames. */
+class MpegEncoder
+{
+  public:
+    explicit MpegEncoder(MpegConfig config);
+
+    /** Encode the next frame (state: reference frame for deltas). */
+    Result<EncodedFrame> encode(const RawFrame &frame);
+
+    /** Frame type the GOP assigns to @p sequence. */
+    FrameType frameTypeFor(std::uint32_t sequence) const;
+
+    void reset();
+
+  private:
+    MpegConfig config_;
+    Bytes reference_;
+    bool hasReference_ = false;
+};
+
+/** Decoder: encoded frames back to raw frames (exact). */
+class MpegDecoder
+{
+  public:
+    MpegDecoder() = default;
+
+    /**
+     * Decode one frame. P/B frames require the reference from a
+     * previously decoded frame; decoding an I frame resets state.
+     */
+    Result<RawFrame> decode(const EncodedFrame &frame);
+
+    void reset();
+
+  private:
+    Bytes reference_;
+    bool hasReference_ = false;
+};
+
+/** Serialize an encoded frame with its stream header. */
+Bytes serializeFrame(const EncodedFrame &frame);
+
+/**
+ * Incremental stream parser: feed arbitrary byte chunks (the paper
+ * streams 1 kB chunks that ignore frame boundaries) and retrieve
+ * complete frames as they form.
+ */
+class StreamAssembler
+{
+  public:
+    /** Append a chunk of stream bytes. */
+    void feed(const Bytes &chunk);
+
+    /** Pop the next complete frame, if any. */
+    Result<EncodedFrame> nextFrame();
+
+    /** Bytes buffered but not yet consumed. */
+    std::size_t bufferedBytes() const { return buffer_.size() - pos_; }
+
+  private:
+    Bytes buffer_;
+    std::size_t pos_ = 0;
+};
+
+/** Encode a whole movie to a byte stream (for NAS seeding). */
+Bytes encodeMovie(const MpegConfig &config, std::uint32_t frames,
+                  std::uint64_t seed = 42);
+
+} // namespace hydra::tivo
+
+#endif // HYDRA_TIVO_MPEG_HH

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The three Video Server implementations of the paper's evaluation
+ * (Section 6.4, Fig. 7 markers 1-3):
+ *
+ *  1. SimpleServer — user-space loop: nanosleep pacing, blocking
+ *     NFS read() into a user buffer, then a UDP send(); two copies
+ *     and two syscalls per chunk, each wakeup at the mercy of the
+ *     scheduler tick.
+ *  2. SendfileServer — sendfile(): the NAS payload lands in a kernel
+ *     page by DMA and the NIC scatter-gathers straight from it; one
+ *     syscall, no user copies, no mid-iteration blocking (readahead
+ *     keeps the page warm).
+ *  3. OffloadedVideoServer — the HYDRA version: Streamer, File and
+ *     Broadcast Offcodes Pull-constrained onto the programmable NIC;
+ *     the host CPU never sees the stream.
+ */
+
+#ifndef HYDRA_TIVO_SERVER_HH
+#define HYDRA_TIVO_SERVER_HH
+
+#include <deque>
+#include <memory>
+
+#include "common/rng.hh"
+#include "core/runtime.hh"
+#include "dev/nic.hh"
+#include "net/nfs.hh"
+#include "tivo/components.hh"
+
+namespace hydra::tivo {
+
+/** Shared server parameters. */
+struct ServerConfig
+{
+    sim::SimTime sendPeriod = sim::milliseconds(5);
+    std::size_t chunkBytes = 1024;
+    std::string movieFile = "movie.mpg";
+    net::NodeId nasNode = net::kInvalidNode;
+    net::NodeId clientNode = net::kInvalidNode;
+    net::Port videoPort = 5004;
+
+    /**
+     * Per-iteration host-path cost beyond the explicitly modeled
+     * operations (allocator churn, TLB/cache stalls, daemon
+     * interference) — calibrated against the paper's Table 3 CPU
+     * utilization (see EXPERIMENTS.md).
+     */
+    std::uint64_t simplePathOverheadCycles = 750000;
+    std::uint64_t sendfilePathOverheadCycles = 460000;
+};
+
+/** Common interface so the harness can drive any server kind. */
+class VideoServer
+{
+  public:
+    virtual ~VideoServer() = default;
+
+    /** Begin streaming (asynchronous; runs until stop()). */
+    virtual Status startStreaming() = 0;
+    virtual void stop() = 0;
+
+    virtual std::uint64_t chunksSent() const = 0;
+};
+
+/** Implementation 1: copy-everything user-space server. */
+class SimpleServer : public VideoServer
+{
+  public:
+    SimpleServer(hw::Machine &machine, dev::ProgrammableNic &nic,
+                 net::Network &network, ServerConfig config);
+    ~SimpleServer() override;
+
+    Status startStreaming() override;
+    void stop() override;
+    std::uint64_t chunksSent() const override { return chunksSent_; }
+
+  private:
+    void iteration();
+
+    hw::Machine &machine_;
+    dev::ProgrammableNic &nic_;
+    ServerConfig config_;
+    std::unique_ptr<net::NfsClient> nfs_;
+    hw::Addr kernelBuffer_ = 0;
+    hw::Addr userBuffer_ = 0;
+    hw::Addr skbPool_ = 0;
+    std::size_t skbSlot_ = 0;
+    std::uint64_t fileOffset_ = 0;
+    std::uint64_t fileSize_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t chunksSent_ = 0;
+    bool running_ = false;
+};
+
+/** Implementation 2: zero-copy sendfile server. */
+class SendfileServer : public VideoServer
+{
+  public:
+    SendfileServer(hw::Machine &machine, dev::ProgrammableNic &nic,
+                   net::Network &network, ServerConfig config);
+    ~SendfileServer() override;
+
+    Status startStreaming() override;
+    void stop() override;
+    std::uint64_t chunksSent() const override { return chunksSent_; }
+
+  private:
+    void iteration();
+    void refillReadahead();
+
+    hw::Machine &machine_;
+    dev::ProgrammableNic &nic_;
+    ServerConfig config_;
+    std::unique_ptr<net::NfsClient> nfs_;
+    hw::Addr pageCache_ = 0;
+    std::deque<Bytes> readahead_;
+    std::size_t readaheadInFlight_ = 0;
+    std::uint64_t fileOffset_ = 0;
+    std::uint64_t fileSize_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t chunksSent_ = 0;
+    bool running_ = false;
+};
+
+/**
+ * Extra baseline (paper §1.1): an "onloaded" server in the style of
+ * Piglet / Regnier et al. — a dedicated host CPU core busy-polls a
+ * microsecond-precision software timer wheel and runs the whole I/O
+ * path, bypassing the scheduler tick. Pacing jitter rivals the
+ * offloaded server, but every payload still crosses the host bus,
+ * the shared L2 still sees the copies, and an entire 68 W host core
+ * is pinned at 100 % — the trade the paper's offloading argument
+ * calls out.
+ */
+class OnloadedServer : public VideoServer
+{
+  public:
+    OnloadedServer(hw::Machine &machine, dev::ProgrammableNic &nic,
+                   net::Network &network, ServerConfig config);
+    ~OnloadedServer() override;
+
+    Status startStreaming() override;
+    void stop() override;
+    std::uint64_t chunksSent() const override { return chunksSent_; }
+
+    /** The dedicated I/O core (fully consumed by busy-polling). */
+    hw::Cpu &ioCpu() { return *ioCpu_; }
+
+  private:
+    void iteration();
+
+    hw::Machine &machine_;
+    dev::ProgrammableNic &nic_;
+    ServerConfig config_;
+    std::unique_ptr<hw::Cpu> ioCpu_;
+    std::unique_ptr<net::NfsClient> nfs_;
+    hydra::Rng rng_;
+    hw::Addr kernelBuffer_ = 0;
+    hw::Addr skbPool_ = 0;
+    std::size_t skbSlot_ = 0;
+    std::deque<Bytes> readahead_;
+    std::size_t readaheadInFlight_ = 0;
+    std::uint64_t fileOffset_ = 0;
+    std::uint64_t fileSize_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t chunksSent_ = 0;
+    bool running_ = false;
+
+    void refillReadahead();
+};
+
+/** Implementation 3: the offload-aware server on HYDRA. */
+class OffloadedVideoServer : public VideoServer
+{
+  public:
+    /**
+     * @param runtime A runtime on the server machine with the NIC
+     * attached. Registers the server Offcodes and deploys
+     * "tivo.server.Streamer" (which Pulls File and Broadcast onto
+     * the NIC).
+     */
+    OffloadedVideoServer(core::Runtime &runtime, TivoEnvPtr env);
+
+    Status startStreaming() override;
+    void stop() override;
+    std::uint64_t chunksSent() const override;
+
+    /** True once deployment finished (deployment is event-driven). */
+    bool deployed() const { return deployed_; }
+    const std::string &deploymentError() const { return error_; }
+
+  private:
+    core::Runtime &runtime_;
+    TivoEnvPtr env_;
+    bool deployed_ = false;
+    bool startRequested_ = false;
+    std::string error_;
+};
+
+} // namespace hydra::tivo
+
+#endif // HYDRA_TIVO_SERVER_HH

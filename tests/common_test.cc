@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Unit tests for the common module: Result/Status, GUIDs, byte
+ * serialization, statistics, strings, and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hh"
+#include "common/guid.hh"
+#include "common/logging.hh"
+#include "common/result.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/strings.hh"
+
+namespace hydra {
+namespace {
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue)
+{
+    Result<int> r = 42;
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(r.code(), ErrorCode::Ok);
+}
+
+TEST(ResultTest, HoldsError)
+{
+    Result<int> r = Error(ErrorCode::NotFound, "gone");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::NotFound);
+    EXPECT_EQ(r.error().message, "gone");
+    EXPECT_EQ(r.error().describe(), "NotFound: gone");
+}
+
+TEST(ResultTest, ValueOrFallsBack)
+{
+    Result<int> bad = Error(ErrorCode::Internal);
+    EXPECT_EQ(bad.valueOr(7), 7);
+    Result<int> good = 3;
+    EXPECT_EQ(good.valueOr(7), 3);
+}
+
+TEST(ResultTest, ImplicitErrorCodeConstruction)
+{
+    Result<std::string> r = ErrorCode::ParseError;
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::ParseError);
+}
+
+TEST(StatusTest, DefaultIsSuccess)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::Ok);
+}
+
+TEST(StatusTest, CarriesError)
+{
+    Status s(ErrorCode::ChannelFull, "ring exhausted");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::ChannelFull);
+    EXPECT_EQ(s.error().message, "ring exhausted");
+}
+
+TEST(ErrorNameTest, EveryCodeHasAName)
+{
+    EXPECT_EQ(errorName(ErrorCode::Ok), "Ok");
+    EXPECT_EQ(errorName(ErrorCode::NoFeasibleLayout), "NoFeasibleLayout");
+    EXPECT_EQ(errorName(ErrorCode::SolverLimitReached),
+              "SolverLimitReached");
+}
+
+// ---------------------------------------------------------------- Guid
+
+TEST(GuidTest, FromNameIsDeterministic)
+{
+    const Guid a = Guid::fromName("tivo.Decoder");
+    const Guid b = Guid::fromName("tivo.Decoder");
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.isNull());
+}
+
+TEST(GuidTest, DistinctNamesDistinctGuids)
+{
+    EXPECT_NE(Guid::fromName("a"), Guid::fromName("b"));
+    EXPECT_NE(Guid::fromName("tivo.File"), Guid::fromName("tivo.Gui"));
+}
+
+TEST(GuidTest, ParseDecimal)
+{
+    Guid g;
+    ASSERT_TRUE(Guid::parse("7070714", g));
+    EXPECT_EQ(g.value(), 7070714u);
+}
+
+TEST(GuidTest, ParseHex)
+{
+    Guid g;
+    ASSERT_TRUE(Guid::parse("0xABCDEF", g));
+    EXPECT_EQ(g.value(), 0xabcdefu);
+}
+
+TEST(GuidTest, ParseRejectsGarbage)
+{
+    Guid g;
+    EXPECT_FALSE(Guid::parse("", g));
+    EXPECT_FALSE(Guid::parse("12x4", g));
+    EXPECT_FALSE(Guid::parse("hello", g));
+}
+
+TEST(GuidTest, RoundTripsThroughString)
+{
+    const Guid g(0x1234abcd5678ef00ull);
+    Guid parsed;
+    ASSERT_TRUE(Guid::parse(g.toString(), parsed));
+    EXPECT_EQ(parsed, g);
+}
+
+// ---------------------------------------------------------------- Bytes
+
+TEST(BytesTest, PrimitiveRoundTrip)
+{
+    Bytes buffer;
+    ByteWriter writer(buffer);
+    writer.writeU8(0xab);
+    writer.writeU16(0x1234);
+    writer.writeU32(0xdeadbeef);
+    writer.writeU64(0x0102030405060708ull);
+    writer.writeI64(-42);
+    writer.writeF64(3.14159);
+    writer.writeString("hello");
+    writer.writeBytes(Bytes{1, 2, 3});
+
+    ByteReader reader(buffer);
+    EXPECT_EQ(reader.readU8().value(), 0xab);
+    EXPECT_EQ(reader.readU16().value(), 0x1234);
+    EXPECT_EQ(reader.readU32().value(), 0xdeadbeefu);
+    EXPECT_EQ(reader.readU64().value(), 0x0102030405060708ull);
+    EXPECT_EQ(reader.readI64().value(), -42);
+    EXPECT_DOUBLE_EQ(reader.readF64().value(), 3.14159);
+    EXPECT_EQ(reader.readString().value(), "hello");
+    EXPECT_EQ(reader.readBytes().value(), (Bytes{1, 2, 3}));
+    EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(BytesTest, UnderrunFails)
+{
+    Bytes buffer{1, 2};
+    ByteReader reader(buffer);
+    EXPECT_TRUE(reader.readU16().ok());
+    EXPECT_FALSE(reader.readU32().ok());
+}
+
+TEST(BytesTest, TruncatedStringFails)
+{
+    Bytes buffer;
+    ByteWriter writer(buffer);
+    writer.writeU32(100); // claims 100 bytes follow; none do
+    ByteReader reader(buffer);
+    EXPECT_FALSE(reader.readString().ok());
+}
+
+TEST(BytesTest, Crc32KnownVector)
+{
+    const char *text = "123456789";
+    const std::uint32_t crc = crc32(
+        reinterpret_cast<const std::uint8_t *>(text), 9);
+    EXPECT_EQ(crc, 0xcbf43926u); // standard check value
+}
+
+TEST(BytesTest, Crc32DetectsCorruption)
+{
+    Bytes data(100, 7);
+    const std::uint32_t clean = crc32(data);
+    data[50] ^= 1;
+    EXPECT_NE(crc32(data), clean);
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(StatsTest, SummaryStatistics)
+{
+    SampleSet s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+    EXPECT_DOUBLE_EQ(s.median(), 4.5);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, SingleSample)
+{
+    SampleSet s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.median(), 3.5);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates)
+{
+    SampleSet s;
+    for (int i = 0; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_NEAR(s.percentile(95), 95.0, 1e-9);
+}
+
+TEST(StatsTest, HistogramBinsAndClamps)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(5.6);
+    h.add(-3.0); // clamps into first bin
+    h.add(99.0); // clamps into last bin
+    EXPECT_EQ(h.totalCount(), 5u);
+    EXPECT_EQ(h.bins()[0].count, 2u);
+    EXPECT_EQ(h.bins()[5].count, 2u);
+    EXPECT_EQ(h.bins()[9].count, 1u);
+
+    const auto norm = h.normalized();
+    EXPECT_DOUBLE_EQ(norm[0], 0.4);
+}
+
+TEST(StatsTest, EmpiricalCdfMonotonicEndsAtOne)
+{
+    SampleSet s;
+    for (double v : {1.0, 1.0, 2.0, 3.0, 3.0, 3.0})
+        s.add(v);
+    const auto cdf = empiricalCdf(s);
+    ASSERT_EQ(cdf.size(), 3u);
+    EXPECT_DOUBLE_EQ(cdf[0].probability, 2.0 / 6.0);
+    EXPECT_DOUBLE_EQ(cdf[1].probability, 3.0 / 6.0);
+    EXPECT_DOUBLE_EQ(cdf.back().probability, 1.0);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GT(cdf[i].value, cdf[i - 1].value);
+        EXPECT_GT(cdf[i].probability, cdf[i - 1].probability);
+    }
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(2.0, 5.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds)
+{
+    Rng rng(9);
+    bool sawLow = false, sawHigh = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        sawLow |= v == 0;
+        sawHigh |= v == 3;
+    }
+    EXPECT_TRUE(sawLow);
+    EXPECT_TRUE(sawHigh);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect)
+{
+    Rng rng(11);
+    SampleSet s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(s.mean(), 10.0, 0.1);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect)
+{
+    Rng rng(13);
+    SampleSet s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(rng.exponential(4.0));
+    EXPECT_NEAR(s.mean(), 4.0, 0.2);
+    EXPECT_GE(s.min(), 0.0);
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringsTest, Trim)
+{
+    EXPECT_EQ(trim("  abc \t\n"), "abc");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringsTest, Split)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringsTest, PrefixSuffix)
+{
+    EXPECT_TRUE(startsWith("hydra.Runtime", "hydra."));
+    EXPECT_FALSE(startsWith("hy", "hydra"));
+    EXPECT_TRUE(endsWith("file.odf", ".odf"));
+    EXPECT_FALSE(endsWith("odf", ".odf"));
+}
+
+TEST(StringsTest, ParseNumbers)
+{
+    long long i = 0;
+    EXPECT_TRUE(parseInt(" 42 ", i));
+    EXPECT_EQ(i, 42);
+    EXPECT_TRUE(parseInt("-7", i));
+    EXPECT_EQ(i, -7);
+    EXPECT_FALSE(parseInt("4x", i));
+    EXPECT_FALSE(parseInt("", i));
+
+    double d = 0.0;
+    EXPECT_TRUE(parseDouble("3.5", d));
+    EXPECT_DOUBLE_EQ(d, 3.5);
+    EXPECT_FALSE(parseDouble("3.5z", d));
+}
+
+TEST(StringsTest, ToLower)
+{
+    EXPECT_EQ(toLower("AsymmetricGANG"), "asymmetricgang");
+}
+
+// ---------------------------------------------------------------- Logging
+
+TEST(LoggingTest, SinkCapturesAtOrAboveLevel)
+{
+    std::vector<std::string> captured;
+    Log::setSink([&](LogLevel, const std::string &msg) {
+        captured.push_back(msg);
+    });
+    const LogLevel old = Log::level();
+    Log::setLevel(LogLevel::Warn);
+
+    LOG_DEBUG << "invisible";
+    LOG_WARN << "visible " << 42;
+
+    Log::setLevel(old);
+    Log::setSink(nullptr);
+
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0], "visible 42");
+}
+
+} // namespace
+} // namespace hydra

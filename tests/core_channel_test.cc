@@ -1,0 +1,542 @@
+/**
+ * @file
+ * Tests for Call marshaling, channels (local + DMA ring), the
+ * Channel Executive's provider selection, and the invocation proxy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/call.hh"
+#include "core/executive.hh"
+#include "core/offcode.hh"
+#include "core/proxy.hh"
+#include "core/providers.hh"
+#include "dev/nic.hh"
+#include "hw/machine.hh"
+#include "net/network.hh"
+
+namespace hydra::core {
+namespace {
+
+// ---------------------------------------------------------------- Call
+
+TEST(CallTest, SerializeRoundTrip)
+{
+    Call call;
+    call.targetOffcode = Guid(111);
+    call.interfaceGuid = Guid(222);
+    call.method = "Decode";
+    call.arguments = Bytes{1, 2, 3};
+    call.callId = 77;
+    call.expectsReturn = false;
+
+    auto decoded = Call::deserialize(call.serialize());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().targetOffcode, Guid(111));
+    EXPECT_EQ(decoded.value().interfaceGuid, Guid(222));
+    EXPECT_EQ(decoded.value().method, "Decode");
+    EXPECT_EQ(decoded.value().arguments, (Bytes{1, 2, 3}));
+    EXPECT_EQ(decoded.value().callId, 77u);
+    EXPECT_FALSE(decoded.value().expectsReturn);
+}
+
+TEST(CallTest, ReturnRoundTrip)
+{
+    CallReturn ret;
+    ret.callId = 9;
+    ret.ok = false;
+    ret.error = "boom";
+    auto decoded = CallReturn::deserialize(ret.serialize());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().callId, 9u);
+    EXPECT_FALSE(decoded.value().ok);
+    EXPECT_EQ(decoded.value().error, "boom");
+}
+
+TEST(CallTest, KindMismatchRejected)
+{
+    Call call;
+    call.method = "m";
+    EXPECT_FALSE(CallReturn::deserialize(call.serialize()).ok());
+    EXPECT_FALSE(Call::deserialize(encodeData(Bytes{1})).ok());
+}
+
+TEST(CallTest, PeekKindAndDataWrapper)
+{
+    const Bytes wrapped = encodeData(Bytes{5, 6});
+    EXPECT_EQ(peekKind(wrapped).value(), MessageKind::Data);
+    EXPECT_EQ(decodeData(wrapped).value(), (Bytes{5, 6}));
+    EXPECT_FALSE(peekKind(Bytes{}).ok());
+    EXPECT_FALSE(peekKind(Bytes{99}).ok());
+}
+
+// ------------------------------------------------------------ Fixtures
+
+/** Echo Offcode: returns its arguments reversed. */
+class EchoOffcode : public Offcode
+{
+  public:
+    EchoOffcode() : Offcode("test.Echo")
+    {
+        registerMethod("Reverse", [](const Bytes &args) -> Result<Bytes> {
+            Bytes out(args.rbegin(), args.rend());
+            return out;
+        });
+        registerMethod("Fail", [](const Bytes &) -> Result<Bytes> {
+            return Error(ErrorCode::Internal, "deliberate");
+        });
+    }
+
+    void
+    onData(const Bytes &payload, ChannelHandle from) override
+    {
+        dataReceived.push_back(payload);
+        lastFrom = from;
+    }
+
+    std::vector<Bytes> dataReceived;
+    ChannelHandle lastFrom;
+};
+
+class ChannelFixture : public ::testing::Test
+{
+  protected:
+    ChannelFixture()
+        : machine_(sim_, hw::MachineConfig{}),
+          net_(sim_, net::NetworkConfig{}),
+          hostSite_(machine_)
+    {
+        nicNode_ = net_.addNode("nic");
+        nic_ = std::make_unique<dev::ProgrammableNic>(
+            sim_, machine_.bus(), net_, nicNode_);
+        deviceSite_ =
+            std::make_unique<DeviceSite>(machine_, *nic_);
+
+        executive_ = std::make_unique<ChannelExecutive>(
+            [this](const std::string &name) -> ExecutionSite * {
+                if (name == hostSite_.name())
+                    return &hostSite_;
+                if (name == deviceSite_->name())
+                    return deviceSite_.get();
+                auto it = extraSites_.find(name);
+                return it != extraSites_.end() ? it->second : nullptr;
+            });
+        executive_->registerProvider(
+            std::make_unique<LocalChannelProvider>(sim_));
+        executive_->registerProvider(
+            std::make_unique<DmaRingChannelProvider>(sim_, false));
+    }
+
+    /** Initialize an offcode at a site (minimal context). */
+    void
+    place(Offcode &offcode, ExecutionSite &site)
+    {
+        OffcodeContext ctx;
+        ctx.site = &site;
+        ASSERT_TRUE(offcode.doInitialize(ctx).ok());
+        ASSERT_TRUE(offcode.doStart().ok());
+    }
+
+    sim::Simulator sim_;
+    hw::Machine machine_;
+    net::Network net_;
+    net::NodeId nicNode_ = 0;
+    std::unique_ptr<dev::ProgrammableNic> nic_;
+    HostSite hostSite_;
+    std::unique_ptr<DeviceSite> deviceSite_;
+    std::unique_ptr<ChannelExecutive> executive_;
+    std::map<std::string, ExecutionSite *> extraSites_;
+};
+
+// ---------------------------------------------------------- Executive
+
+TEST_F(ChannelFixture, PicksLocalProviderForSameSite)
+{
+    ChannelConfig config;
+    config.targetDevice = hostSite_.name();
+    auto channel = executive_->createChannel(config, hostSite_);
+    ASSERT_TRUE(channel.ok());
+    EXPECT_EQ(executive_->activeChannels(), 1u);
+}
+
+TEST_F(ChannelFixture, UnknownTargetFails)
+{
+    ChannelConfig config;
+    config.targetDevice = "no-such-device";
+    auto channel = executive_->createChannel(config, hostSite_);
+    ASSERT_FALSE(channel.ok());
+    EXPECT_EQ(channel.error().code, ErrorCode::NotFound);
+}
+
+TEST_F(ChannelFixture, DestroyRemovesChannel)
+{
+    ChannelConfig config;
+    auto channel = executive_->createChannel(config, hostSite_);
+    ASSERT_TRUE(channel.ok());
+    EXPECT_TRUE(executive_->destroyChannel(channel.value()).ok());
+    EXPECT_EQ(executive_->activeChannels(), 0u);
+    EXPECT_FALSE(executive_->destroyChannel(channel.value()).ok());
+}
+
+TEST_F(ChannelFixture, ProviderNamesListed)
+{
+    const auto names = executive_->providerNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "local");
+    EXPECT_EQ(names[1], "dma-ring");
+}
+
+// ------------------------------------------------------------ Channels
+
+TEST_F(ChannelFixture, CrossSiteDataDelivery)
+{
+    EchoOffcode echo;
+    place(echo, *deviceSite_);
+
+    ChannelConfig config;
+    config.targetDevice = deviceSite_->name();
+    auto channel = executive_->createChannel(config, hostSite_);
+    ASSERT_TRUE(channel.ok());
+    ASSERT_TRUE(channel.value()->connectOffcode(echo).ok());
+
+    const auto busBefore = machine_.bus().stats().transactions;
+    ASSERT_TRUE(channel.value()->write(encodeData(Bytes{1, 2, 3})).ok());
+    sim_.runToCompletion();
+
+    ASSERT_EQ(echo.dataReceived.size(), 1u);
+    EXPECT_EQ(echo.dataReceived[0], (Bytes{1, 2, 3}));
+    EXPECT_GT(machine_.bus().stats().transactions, busBefore);
+}
+
+TEST_F(ChannelFixture, CallDispatchAndReturn)
+{
+    EchoOffcode echo;
+    place(echo, *deviceSite_);
+
+    ChannelConfig config;
+    config.targetDevice = deviceSite_->name();
+    auto channel = executive_->createChannel(config, hostSite_);
+    ASSERT_TRUE(channel.ok());
+    ASSERT_TRUE(channel.value()->connectOffcode(echo).ok());
+
+    Proxy proxy(*channel.value(), echo.guid(), echo.guid());
+    Bytes result;
+    ASSERT_TRUE(proxy.invoke("Reverse", Bytes{1, 2, 3},
+                             [&](Result<Bytes> r) {
+                                 ASSERT_TRUE(r.ok());
+                                 result = r.value();
+                             })
+                    .ok());
+    sim_.runToCompletion();
+    EXPECT_EQ(result, (Bytes{3, 2, 1}));
+    EXPECT_EQ(proxy.pendingCalls(), 0u);
+}
+
+TEST_F(ChannelFixture, FailedCallPropagatesError)
+{
+    EchoOffcode echo;
+    place(echo, *deviceSite_);
+
+    ChannelConfig config;
+    config.targetDevice = deviceSite_->name();
+    auto channel = executive_->createChannel(config, hostSite_);
+    ASSERT_TRUE(channel.value()->connectOffcode(echo).ok());
+
+    Proxy proxy(*channel.value(), echo.guid(), echo.guid());
+    bool failed = false;
+    std::string message;
+    proxy.invoke("Fail", Bytes{}, [&](Result<Bytes> r) {
+        failed = !r.ok();
+        if (!r.ok())
+            message = r.error().message;
+    });
+    sim_.runToCompletion();
+    EXPECT_TRUE(failed);
+    EXPECT_NE(message.find("deliberate"), std::string::npos);
+}
+
+TEST_F(ChannelFixture, DeclaredInterfacesAreEnforced)
+{
+    EchoOffcode echo;
+    echo.declareInterface(Guid::fromName("IEcho"));
+    place(echo, *deviceSite_);
+
+    ChannelConfig config;
+    config.targetDevice = deviceSite_->name();
+    auto channel = executive_->createChannel(config, hostSite_);
+    channel.value()->connectOffcode(echo);
+
+    // Wrong interface GUID: rejected with InterfaceMismatch.
+    Proxy wrong(*channel.value(), echo.guid(),
+                Guid::fromName("ISomethingElse"));
+    bool failed = false;
+    std::string message;
+    wrong.invoke("Reverse", Bytes{1}, [&](Result<Bytes> r) {
+        failed = !r.ok();
+        if (!r.ok())
+            message = r.error().message;
+    });
+    sim_.runToCompletion();
+    EXPECT_TRUE(failed);
+    EXPECT_NE(message.find("InterfaceMismatch"), std::string::npos);
+
+    // The declared interface works.
+    Proxy right(*channel.value(), echo.guid(), Guid::fromName("IEcho"));
+    Bytes result;
+    right.invoke("Reverse", Bytes{1, 2}, [&](Result<Bytes> r) {
+        ASSERT_TRUE(r.ok());
+        result = r.value();
+    });
+    sim_.runToCompletion();
+    EXPECT_EQ(result, (Bytes{2, 1}));
+
+    // The IOffcode identity (the Offcode's own GUID) always works.
+    Proxy identity(*channel.value(), echo.guid(), echo.guid());
+    bool ok = false;
+    identity.invoke("Reverse", Bytes{3}, [&](Result<Bytes> r) {
+        ok = r.ok();
+    });
+    sim_.runToCompletion();
+    EXPECT_TRUE(ok);
+
+    // Undeclared offcodes accept any interface.
+    EchoOffcode open;
+    EXPECT_TRUE(open.supportsInterface(Guid::fromName("whatever")));
+}
+
+TEST_F(ChannelFixture, UnknownMethodReturnsError)
+{
+    EchoOffcode echo;
+    place(echo, *deviceSite_);
+    ChannelConfig config;
+    config.targetDevice = deviceSite_->name();
+    auto channel = executive_->createChannel(config, hostSite_);
+    channel.value()->connectOffcode(echo);
+
+    Proxy proxy(*channel.value(), echo.guid(), echo.guid());
+    bool failed = false;
+    proxy.invoke("Nope", Bytes{}, [&](Result<Bytes> r) {
+        failed = !r.ok();
+    });
+    sim_.runToCompletion();
+    EXPECT_TRUE(failed);
+}
+
+TEST_F(ChannelFixture, WriteWithoutPeerFails)
+{
+    ChannelConfig config;
+    auto channel = executive_->createChannel(config, hostSite_);
+    Status written = channel.value()->write(Bytes{1});
+    EXPECT_FALSE(written);
+    EXPECT_EQ(written.code(), ErrorCode::ChannelNotConnected);
+}
+
+TEST_F(ChannelFixture, OversizeMessageRejected)
+{
+    EchoOffcode echo;
+    place(echo, *deviceSite_);
+    ChannelConfig config;
+    config.maxMessageBytes = 64;
+    config.targetDevice = deviceSite_->name();
+    auto channel = executive_->createChannel(config, hostSite_);
+    channel.value()->connectOffcode(echo);
+    Status written = channel.value()->write(Bytes(100, 0));
+    EXPECT_FALSE(written);
+    EXPECT_EQ(written.code(), ErrorCode::MessageTooLarge);
+}
+
+TEST_F(ChannelFixture, UnicastRejectsThirdEndpoint)
+{
+    EchoOffcode first, second;
+    place(first, *deviceSite_);
+    place(second, *deviceSite_);
+
+    ChannelConfig config;
+    config.type = ChannelConfig::Type::Unicast;
+    config.targetDevice = deviceSite_->name();
+    auto channel = executive_->createChannel(config, hostSite_);
+    EXPECT_TRUE(channel.value()->connectOffcode(first).ok());
+    Status third = channel.value()->connectOffcode(second);
+    EXPECT_FALSE(third);
+    EXPECT_EQ(third.code(), ErrorCode::Unsupported);
+}
+
+TEST_F(ChannelFixture, MulticastDeliversToAllEndpoints)
+{
+    EchoOffcode a, b;
+    place(a, *deviceSite_);
+    place(b, *deviceSite_);
+
+    ChannelConfig config;
+    config.type = ChannelConfig::Type::Multicast;
+    config.targetDevice = deviceSite_->name();
+    auto channel = executive_->createChannel(config, hostSite_);
+    ASSERT_TRUE(channel.value()->connectOffcode(a).ok());
+    ASSERT_TRUE(channel.value()->connectOffcode(b).ok());
+
+    channel.value()->write(encodeData(Bytes{9}));
+    sim_.runToCompletion();
+    EXPECT_EQ(a.dataReceived.size(), 1u);
+    EXPECT_EQ(b.dataReceived.size(), 1u);
+}
+
+TEST_F(ChannelFixture, ClosedChannelRefusesWrites)
+{
+    EchoOffcode echo;
+    place(echo, *deviceSite_);
+    ChannelConfig config;
+    config.targetDevice = deviceSite_->name();
+    auto channel = executive_->createChannel(config, hostSite_);
+    channel.value()->connectOffcode(echo);
+    channel.value()->close();
+    Status written = channel.value()->write(encodeData(Bytes{1}));
+    EXPECT_FALSE(written);
+    EXPECT_EQ(written.code(), ErrorCode::ChannelClosed);
+}
+
+TEST_F(ChannelFixture, UnreliableChannelDropsWhenRingFull)
+{
+    EchoOffcode echo;
+    place(echo, *deviceSite_);
+
+    ChannelConfig config;
+    config.reliable = false;
+    config.ringDepth = 4;
+    config.targetDevice = deviceSite_->name();
+    auto channel = executive_->createChannel(config, hostSite_);
+    channel.value()->connectOffcode(echo);
+
+    // Burst far beyond the ring depth without letting the sim drain.
+    for (int i = 0; i < 64; ++i)
+        channel.value()->write(encodeData(Bytes(1024, 1)));
+    sim_.runToCompletion();
+
+    EXPECT_GT(channel.value()->stats().messagesDropped, 0u);
+    EXPECT_LT(echo.dataReceived.size(), 64u);
+}
+
+TEST_F(ChannelFixture, ReliableChannelBacklogsInsteadOfDropping)
+{
+    EchoOffcode echo;
+    place(echo, *deviceSite_);
+
+    ChannelConfig config;
+    config.reliable = true;
+    config.ringDepth = 4;
+    config.targetDevice = deviceSite_->name();
+    auto channel = executive_->createChannel(config, hostSite_);
+    channel.value()->connectOffcode(echo);
+
+    for (int i = 0; i < 64; ++i)
+        channel.value()->write(encodeData(Bytes(1024, 1)));
+    sim_.runToCompletion();
+
+    EXPECT_EQ(channel.value()->stats().messagesDropped, 0u);
+    EXPECT_EQ(echo.dataReceived.size(), 64u);
+}
+
+TEST_F(ChannelFixture, PollWithoutHandlerQueues)
+{
+    ChannelConfig config;
+    config.targetDevice = hostSite_.name();
+    auto channel = executive_->createChannel(config, hostSite_);
+    // Second host endpoint without an offcode handler.
+    // (Use connectCreator-like path via a second offcode w/o handler
+    // is covered elsewhere; here poll on creator endpoint.)
+    EchoOffcode echo;
+    place(echo, hostSite_);
+    channel.value()->connectOffcode(echo);
+
+    // The echo writes back raw data toward the creator (endpoint 0),
+    // which has no handler -> must be pollable.
+    channel.value()->writeFrom(1, encodeData(Bytes{4}));
+    sim_.runToCompletion();
+
+    auto polled = channel.value()->poll(0);
+    ASSERT_TRUE(polled.ok());
+    EXPECT_EQ(decodeData(polled.value()).value(), (Bytes{4}));
+    EXPECT_FALSE(channel.value()->poll(0).ok());
+}
+
+TEST_F(ChannelFixture, HandlerInstallDrainsQueue)
+{
+    ChannelConfig config;
+    config.targetDevice = hostSite_.name();
+    auto channel = executive_->createChannel(config, hostSite_);
+    EchoOffcode echo;
+    place(echo, hostSite_);
+    channel.value()->connectOffcode(echo);
+
+    channel.value()->writeFrom(1, encodeData(Bytes{7}));
+    sim_.runToCompletion();
+
+    std::vector<Bytes> got;
+    channel.value()->installCallHandler(
+        [&](const Bytes &message, std::size_t) {
+            got.push_back(message);
+        });
+    ASSERT_EQ(got.size(), 1u);
+}
+
+TEST_F(ChannelFixture, DeviceToDeviceSingleCrossing)
+{
+    // Second device on the same bus.
+    const net::NodeId node2 = net_.addNode("nic2");
+    dev::DeviceConfig config2 = dev::ProgrammableNic::nicDefaultConfig();
+    config2.name = "nic2";
+    dev::ProgrammableNic nic2(sim_, machine_.bus(), net_, node2, config2);
+    DeviceSite site2(machine_, nic2);
+    extraSites_[site2.name()] = &site2;
+
+    EchoOffcode echo;
+    place(echo, site2);
+
+    ChannelConfig config;
+    config.targetDevice = site2.name();
+    auto channel = executive_->createChannel(config, *deviceSite_);
+    ASSERT_TRUE(channel.ok());
+    ASSERT_TRUE(channel.value()->connectOffcode(echo).ok());
+
+    const auto busBefore = machine_.bus().stats().transactions;
+    channel.value()->write(encodeData(Bytes(512, 2)));
+    sim_.runToCompletion();
+    EXPECT_EQ(machine_.bus().stats().transactions - busBefore, 1u);
+    EXPECT_EQ(echo.dataReceived.size(), 1u);
+}
+
+TEST_F(ChannelFixture, CopyingChannelTouchesHostCache)
+{
+    EchoOffcode echo;
+    place(echo, *deviceSite_);
+
+    ChannelConfig config;
+    config.buffering = ChannelConfig::Buffering::Copying;
+    config.targetDevice = deviceSite_->name();
+    auto channel = executive_->createChannel(config, hostSite_);
+    channel.value()->connectOffcode(echo);
+
+    const auto accessesBefore = machine_.l2().totals().accesses;
+    channel.value()->write(encodeData(Bytes(4096, 1)));
+    sim_.runToCompletion();
+    EXPECT_GT(machine_.l2().totals().accesses, accessesBefore);
+}
+
+TEST_F(ChannelFixture, ZeroCopySparesTheHostCache)
+{
+    EchoOffcode echo;
+    place(echo, *deviceSite_);
+
+    ChannelConfig config;
+    config.buffering = ChannelConfig::Buffering::ZeroCopy;
+    config.targetDevice = deviceSite_->name();
+    auto channel = executive_->createChannel(config, hostSite_);
+    channel.value()->connectOffcode(echo);
+
+    const auto accessesBefore = machine_.l2().totals().accesses;
+    channel.value()->write(encodeData(Bytes(4096, 1)));
+    sim_.runToCompletion();
+    EXPECT_EQ(machine_.l2().totals().accesses, accessesBefore);
+}
+
+} // namespace
+} // namespace hydra::core

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Unit tests for the network substrate: switched fabric, NFS-lite,
+ * and the Foong-style TCP path cost model behind Fig. 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/network.hh"
+#include "net/nfs.hh"
+#include "net/tcp_model.hh"
+#include "sim/simulator.hh"
+
+namespace hydra::net {
+namespace {
+
+class NetworkTest : public ::testing::Test
+{
+  protected:
+    NetworkTest() : net_(sim_, NetworkConfig{})
+    {
+        a_ = net_.addNode("a");
+        b_ = net_.addNode("b");
+    }
+
+    Packet
+    makePacket(NodeId src, NodeId dst, Port port, std::size_t bytes)
+    {
+        Packet p;
+        p.src = src;
+        p.dst = dst;
+        p.srcPort = 1000;
+        p.dstPort = port;
+        p.payload.assign(bytes, 0x5a);
+        return p;
+    }
+
+    sim::Simulator sim_;
+    Network net_;
+    NodeId a_ = 0, b_ = 0;
+};
+
+TEST_F(NetworkTest, DeliversToBoundHandler)
+{
+    int received = 0;
+    ASSERT_TRUE(net_.bind(b_, 80, [&](const Packet &p) {
+        ++received;
+        EXPECT_EQ(p.payload.size(), 100u);
+        EXPECT_EQ(p.src, 0u);
+    }));
+    EXPECT_TRUE(net_.send(makePacket(a_, b_, 80, 100)));
+    sim_.runToCompletion();
+    EXPECT_EQ(received, 1);
+    EXPECT_EQ(net_.stats().packetsDelivered, 1u);
+}
+
+TEST_F(NetworkTest, DeliveryTakesWireTime)
+{
+    sim::SimTime delivered = 0;
+    net_.bind(b_, 80, [&](const Packet &) { delivered = sim_.now(); });
+    net_.send(makePacket(a_, b_, 80, 1024));
+    sim_.runToCompletion();
+    // Two serializations (~8.5 us each at 1 Gbps) + latencies.
+    EXPECT_GT(delivered, sim::microseconds(17));
+    EXPECT_LT(delivered, sim::microseconds(60));
+}
+
+TEST_F(NetworkTest, UnboundPortCountsAsDrop)
+{
+    net_.send(makePacket(a_, b_, 9999, 10));
+    sim_.runToCompletion();
+    EXPECT_EQ(net_.stats().packetsDropped, 1u);
+    EXPECT_EQ(net_.stats().packetsDelivered, 0u);
+}
+
+TEST_F(NetworkTest, BadAddressFailsFast)
+{
+    Packet p = makePacket(a_, 999, 80, 10);
+    Status sent = net_.send(std::move(p));
+    EXPECT_FALSE(sent);
+    EXPECT_EQ(sent.code(), ErrorCode::NetworkUnreachable);
+}
+
+TEST_F(NetworkTest, OversizedPayloadRejected)
+{
+    Packet p = makePacket(a_, b_, 80, 128 * 1024);
+    Status sent = net_.send(std::move(p));
+    EXPECT_FALSE(sent);
+    EXPECT_EQ(sent.code(), ErrorCode::MessageTooLarge);
+}
+
+TEST_F(NetworkTest, DoubleBindRejected)
+{
+    net_.bind(b_, 80, [](const Packet &) {});
+    Status second = net_.bind(b_, 80, [](const Packet &) {});
+    EXPECT_FALSE(second);
+    EXPECT_EQ(second.code(), ErrorCode::AlreadyExists);
+}
+
+TEST_F(NetworkTest, UnbindThenRebindWorks)
+{
+    net_.bind(b_, 80, [](const Packet &) {});
+    net_.unbind(b_, 80);
+    EXPECT_TRUE(net_.bind(b_, 80, [](const Packet &) {}));
+}
+
+TEST_F(NetworkTest, InOrderPerSender)
+{
+    std::vector<std::uint64_t> seqs;
+    net_.bind(b_, 80, [&](const Packet &p) { seqs.push_back(p.seq); });
+    for (std::uint64_t i = 0; i < 20; ++i) {
+        Packet p = makePacket(a_, b_, 80, 500);
+        p.seq = i;
+        net_.send(std::move(p));
+    }
+    sim_.runToCompletion();
+    ASSERT_EQ(seqs.size(), 20u);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        EXPECT_EQ(seqs[i], i);
+}
+
+TEST(NetworkDropTest, LossyFabricDropsStatistically)
+{
+    sim::Simulator sim;
+    NetworkConfig config;
+    config.dropProbability = 0.5;
+    config.seed = 3;
+    Network net(sim, config);
+    const NodeId a = net.addNode("a");
+    const NodeId b = net.addNode("b");
+    int received = 0;
+    net.bind(b, 80, [&](const Packet &) { ++received; });
+    for (int i = 0; i < 1000; ++i) {
+        Packet p;
+        p.src = a;
+        p.dst = b;
+        p.dstPort = 80;
+        p.payload.assign(10, 1);
+        net.send(std::move(p));
+    }
+    sim.runToCompletion();
+    EXPECT_GT(received, 400);
+    EXPECT_LT(received, 600);
+    EXPECT_EQ(net.stats().packetsDropped + received, 1000u);
+}
+
+// ---------------------------------------------------------------- NFS
+
+class NfsTest : public ::testing::Test
+{
+  protected:
+    NfsTest() : net_(sim_, NetworkConfig{})
+    {
+        serverNode_ = net_.addNode("nas");
+        clientNode_ = net_.addNode("host");
+        server_ = std::make_unique<NfsServer>(net_, serverNode_);
+        client_ = std::make_unique<NfsClient>(net_, clientNode_,
+                                              serverNode_);
+    }
+
+    sim::Simulator sim_;
+    Network net_;
+    NodeId serverNode_ = 0, clientNode_ = 0;
+    std::unique_ptr<NfsServer> server_;
+    std::unique_ptr<NfsClient> client_;
+};
+
+TEST_F(NfsTest, ReadReturnsFileContent)
+{
+    server_->putFile("movie", Bytes{10, 20, 30, 40, 50});
+    Bytes got;
+    client_->read("movie", 1, 3, [&](Result<Bytes> r) {
+        ASSERT_TRUE(r.ok());
+        got = r.value();
+    });
+    sim_.runToCompletion();
+    EXPECT_EQ(got, (Bytes{20, 30, 40}));
+    EXPECT_EQ(client_->outstanding(), 0u);
+}
+
+TEST_F(NfsTest, ReadPastEndIsShort)
+{
+    server_->putFile("f", Bytes{1, 2, 3});
+    Bytes got{9}; // sentinel
+    client_->read("f", 2, 100, [&](Result<Bytes> r) {
+        ASSERT_TRUE(r.ok());
+        got = r.value();
+    });
+    sim_.runToCompletion();
+    EXPECT_EQ(got, (Bytes{3}));
+}
+
+TEST_F(NfsTest, MissingFileReportsError)
+{
+    bool failed = false;
+    client_->read("nope", 0, 10, [&](Result<Bytes> r) {
+        failed = !r.ok();
+    });
+    sim_.runToCompletion();
+    EXPECT_TRUE(failed);
+}
+
+TEST_F(NfsTest, WriteCreatesAndExtends)
+{
+    bool ok = false;
+    client_->write("new", 4, Bytes{7, 8}, [&](Status s) { ok = s.ok(); });
+    sim_.runToCompletion();
+    ASSERT_TRUE(ok);
+    auto content = server_->fileContent("new");
+    ASSERT_TRUE(content.ok());
+    EXPECT_EQ(content.value(), (Bytes{0, 0, 0, 0, 7, 8}));
+}
+
+TEST_F(NfsTest, WriteOverlaysExisting)
+{
+    server_->putFile("f", Bytes{1, 1, 1, 1});
+    client_->write("f", 1, Bytes{9, 9}, [](Status) {});
+    sim_.runToCompletion();
+    EXPECT_EQ(server_->fileContent("f").value(), (Bytes{1, 9, 9, 1}));
+}
+
+TEST_F(NfsTest, GetSize)
+{
+    server_->putFile("f", Bytes(12345, 0));
+    std::uint64_t size = 0;
+    client_->getSize("f", [&](Result<std::uint64_t> r) {
+        ASSERT_TRUE(r.ok());
+        size = r.value();
+    });
+    sim_.runToCompletion();
+    EXPECT_EQ(size, 12345u);
+}
+
+TEST_F(NfsTest, ConcurrentRequestsCorrelateByXid)
+{
+    server_->putFile("a", Bytes{1});
+    server_->putFile("b", Bytes{2});
+    Bytes gotA, gotB;
+    client_->read("a", 0, 1, [&](Result<Bytes> r) { gotA = r.value(); });
+    client_->read("b", 0, 1, [&](Result<Bytes> r) { gotB = r.value(); });
+    EXPECT_EQ(client_->outstanding(), 2u);
+    sim_.runToCompletion();
+    EXPECT_EQ(gotA, (Bytes{1}));
+    EXPECT_EQ(gotB, (Bytes{2}));
+}
+
+TEST_F(NfsTest, TwoClientsDistinctReplyPorts)
+{
+    NfsClient second(net_, clientNode_, serverNode_, 40000);
+    server_->putFile("f", Bytes{5});
+    int done = 0;
+    client_->read("f", 0, 1, [&](Result<Bytes>) { ++done; });
+    second.read("f", 0, 1, [&](Result<Bytes>) { ++done; });
+    sim_.runToCompletion();
+    EXPECT_EQ(done, 2);
+}
+
+// ---------------------------------------------------------------- Fig. 1 model
+
+TEST(TcpModelTest, RatioDecreasesWithPacketSize)
+{
+    TcpPathModel model;
+    const auto small = model.evaluate(TcpDirection::Transmit, 64);
+    const auto medium = model.evaluate(TcpDirection::Transmit, 1460);
+    const auto large = model.evaluate(TcpDirection::Transmit, 65536);
+    EXPECT_GT(small.ghzPerGbps, medium.ghzPerGbps);
+    EXPECT_GT(medium.ghzPerGbps, large.ghzPerGbps);
+}
+
+TEST(TcpModelTest, ReceiveCostsMoreThanTransmit)
+{
+    TcpPathModel model;
+    for (std::size_t bytes : {64u, 512u, 1460u, 16384u, 65536u}) {
+        const auto tx = model.evaluate(TcpDirection::Transmit, bytes);
+        const auto rx = model.evaluate(TcpDirection::Receive, bytes);
+        EXPECT_GT(rx.ghzPerGbps, tx.ghzPerGbps) << "at " << bytes;
+    }
+}
+
+TEST(TcpModelTest, SmallPacketsAreCpuBound)
+{
+    TcpPathModel model;
+    const auto point = model.evaluate(TcpDirection::Receive, 64);
+    // The CPU saturates before the wire does.
+    EXPECT_LT(point.throughputGbps, model.costs().lineRateGbps);
+    EXPECT_DOUBLE_EQ(point.cpuUtilization, 1.0);
+}
+
+TEST(TcpModelTest, LargePacketsAreLineRateBound)
+{
+    TcpPathModel model;
+    const auto point = model.evaluate(TcpDirection::Transmit, 65536);
+    EXPECT_DOUBLE_EQ(point.throughputGbps, model.costs().lineRateGbps);
+    EXPECT_LT(point.cpuUtilization, 1.0);
+}
+
+TEST(TcpModelTest, GhzPerGbpsIdentityHolds)
+{
+    // ratio == util * clock / throughput by definition.
+    TcpPathModel model;
+    const auto p = model.evaluate(TcpDirection::Receive, 1024);
+    EXPECT_NEAR(p.ghzPerGbps,
+                p.cpuUtilization * model.costs().hostClockGhz /
+                    p.throughputGbps,
+                1e-12);
+}
+
+TEST(TcpModelTest, RuleOfThumbNearOneGhzPerGbpsAtMtu)
+{
+    // Foong et al.'s headline: roughly 1 GHz of CPU per 1 Gbps of
+    // TCP at common packet sizes.
+    TcpPathModel model;
+    const auto p = model.evaluate(TcpDirection::Receive, 1460);
+    EXPECT_GT(p.ghzPerGbps, 0.5);
+    EXPECT_LT(p.ghzPerGbps, 2.0);
+}
+
+TEST(TcpModelTest, SweepCoversAllSizes)
+{
+    TcpPathModel model;
+    const std::vector<std::size_t> sizes{64, 128, 256, 512, 1024};
+    const auto sweep = model.sweep(TcpDirection::Transmit, sizes);
+    ASSERT_EQ(sweep.size(), sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i)
+        EXPECT_EQ(sweep[i].packetBytes, sizes[i]);
+}
+
+} // namespace
+} // namespace hydra::net

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+namespace hydra::sim {
+namespace {
+
+TEST(SimTimeTest, UnitConversions)
+{
+    EXPECT_EQ(milliseconds(5), 5'000'000u);
+    EXPECT_EQ(seconds(1), 1'000'000'000u);
+    EXPECT_DOUBLE_EQ(toMilliseconds(milliseconds(7)), 7.0);
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(3)), 3.0);
+}
+
+TEST(SimTimeTest, CyclesToTimeRoundsUp)
+{
+    // 1 cycle at 2.4 GHz is 0.41666 ns -> rounds up to 1 ns.
+    EXPECT_EQ(cyclesToTime(1, 2.4), 1u);
+    // 2400 cycles at 2.4 GHz is exactly 1000 ns.
+    EXPECT_EQ(cyclesToTime(2400, 2.4), 1000u);
+}
+
+TEST(SimTimeTest, TransferTime)
+{
+    // 125 bytes at 1 Gbps = 1000 bits / 1e9 bps = 1000 ns.
+    EXPECT_EQ(transferTime(125, 1.0), 1000u);
+    // Higher bandwidth, shorter time.
+    EXPECT_LT(transferTime(125, 8.0), transferTime(125, 1.0));
+}
+
+TEST(SimulatorTest, FiresInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30, [&]() { order.push_back(3); });
+    sim.schedule(10, [&]() { order.push_back(1); });
+    sim.schedule(20, [&]() { order.push_back(2); });
+    sim.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(SimulatorTest, FifoAmongEqualTimestamps)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        sim.schedule(100, [&order, i]() { order.push_back(i); });
+    sim.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NestedSchedulingAdvancesClock)
+{
+    Simulator sim;
+    SimTime inner_fired = 0;
+    sim.schedule(10, [&]() {
+        sim.schedule(5, [&]() { inner_fired = sim.now(); });
+    });
+    sim.runToCompletion();
+    EXPECT_EQ(inner_fired, 15u);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution)
+{
+    Simulator sim;
+    bool fired = false;
+    const EventId id = sim.schedule(10, [&]() { fired = true; });
+    sim.cancel(id);
+    sim.runToCompletion();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sim.eventsDispatched(), 0u);
+}
+
+TEST(SimulatorTest, CancelOneOfMany)
+{
+    Simulator sim;
+    int count = 0;
+    sim.schedule(10, [&]() { ++count; });
+    const EventId id = sim.schedule(10, [&]() { count += 100; });
+    sim.schedule(10, [&]() { ++count; });
+    sim.cancel(id);
+    sim.runToCompletion();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, RunUntilStopsAndAdvancesClock)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(10, [&]() { ++fired; });
+    sim.schedule(100, [&]() { ++fired; });
+    sim.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 50u);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.runUntil(200);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, PeriodicRunsUntilFalse)
+{
+    Simulator sim;
+    int ticks = 0;
+    sim.schedulePeriodic(10, [&]() { return ++ticks < 5; });
+    sim.runToCompletion();
+    EXPECT_EQ(ticks, 5);
+    EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(SimulatorTest, PeriodicCancellable)
+{
+    Simulator sim;
+    int ticks = 0;
+    const EventId id = sim.schedulePeriodic(10, [&]() {
+        ++ticks;
+        return true;
+    });
+    sim.schedule(35, [&]() { sim.cancel(id); });
+    sim.runUntil(1000);
+    EXPECT_EQ(ticks, 3); // fired at 10, 20, 30; cancelled before 40
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty)
+{
+    Simulator sim;
+    EXPECT_FALSE(sim.step());
+    sim.schedule(1, []() {});
+    EXPECT_TRUE(sim.step());
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime)
+{
+    Simulator sim;
+    SimTime fired_at = 0;
+    sim.scheduleAt(123, [&]() { fired_at = sim.now(); });
+    sim.runToCompletion();
+    EXPECT_EQ(fired_at, 123u);
+}
+
+TEST(SimulatorTest, ManyEventsStressOrdering)
+{
+    Simulator sim;
+    SimTime last = 0;
+    bool monotonic = true;
+    for (int i = 0; i < 10000; ++i) {
+        const SimTime when = static_cast<SimTime>((i * 7919) % 10007);
+        sim.scheduleAt(when, [&, when]() {
+            if (when < last)
+                monotonic = false;
+            last = when;
+        });
+    }
+    sim.runToCompletion();
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(sim.eventsDispatched(), 10000u);
+}
+
+} // namespace
+} // namespace hydra::sim

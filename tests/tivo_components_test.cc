@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Component-level tests for the TiVoPC Offcodes: lifecycle, the File
+ * Offcode's interface methods, the disk Streamer's replay state
+ * machine, the server File's credit-based prefetch, decoder
+ * resynchronization under packet loss, and host-fallback paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tivo/harness.hh"
+
+namespace hydra::tivo {
+namespace {
+
+TestbedConfig
+offloadedConfig()
+{
+    TestbedConfig config;
+    config.server = ServerKind::Offloaded;
+    config.client = ClientKind::Offloaded;
+    config.duration = sim::seconds(15);
+    config.warmup = sim::seconds(2);
+    config.movieFrames = 96;
+    return config;
+}
+
+TEST(ComponentTest, FileOffcodeReadAndSizeMethods)
+{
+    Testbed testbed(offloadedConfig());
+    testbed.offloadedClient()->startWatching();
+    testbed.server()->startStreaming();
+    testbed.simulator().runUntil(sim::seconds(5));
+
+    auto *file = testbed.offloadedClient()->component<FileOffcode>(
+        "tivo.File");
+    ASSERT_NE(file, nullptr);
+    const std::uint64_t stored = file->bytesStored();
+    ASSERT_GT(stored, 0u);
+
+    // Size method.
+    auto size = file->invoke("Size", Bytes{});
+    ASSERT_TRUE(size.ok());
+    ByteReader sizeReader(size.value());
+    EXPECT_EQ(sizeReader.readU64().value(), stored);
+
+    // Read method returns the recorded prefix bytes.
+    Bytes args;
+    ByteWriter writer(args);
+    writer.writeU64(0);
+    writer.writeU32(64);
+    auto data = file->invoke("Read", args);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data.value().size(), 64u);
+
+    // Reading past EOF yields empty (EOF marker for replay).
+    Bytes eofArgs;
+    ByteWriter eofWriter(eofArgs);
+    eofWriter.writeU64(stored + 100);
+    eofWriter.writeU32(64);
+    auto eof = file->invoke("Read", eofArgs);
+    ASSERT_TRUE(eof.ok());
+    EXPECT_TRUE(eof.value().empty());
+
+    // Bad arguments are rejected.
+    EXPECT_FALSE(file->invoke("Read", Bytes{1, 2}).ok());
+    EXPECT_FALSE(file->invoke("NoSuchMethod", Bytes{}).ok());
+}
+
+TEST(ComponentTest, RecordedStreamMatchesWire)
+{
+    // The disk Streamer stores chunks unmodified, so the recording
+    // must be a byte-exact prefix of the movie stream.
+    TestbedConfig config = offloadedConfig();
+    Testbed testbed(config);
+    testbed.offloadedClient()->startWatching();
+    testbed.server()->startStreaming();
+    testbed.simulator().runUntil(sim::seconds(5));
+
+    auto *file = testbed.offloadedClient()->component<FileOffcode>(
+        "tivo.File");
+    ASSERT_NE(file, nullptr);
+    ASSERT_GT(file->bytesStored(), 2048u);
+
+    Bytes args;
+    ByteWriter writer(args);
+    writer.writeU64(0);
+    writer.writeU32(2048);
+    auto recorded = file->invoke("Read", args);
+    ASSERT_TRUE(recorded.ok());
+
+    const Bytes movie =
+        encodeMovie(config.mpeg, config.movieFrames, config.seed);
+    ASSERT_GE(movie.size(), 2048u);
+    EXPECT_TRUE(std::equal(recorded.value().begin(),
+                           recorded.value().end(), movie.begin()));
+}
+
+TEST(ComponentTest, ReplayStateMachine)
+{
+    Testbed testbed(offloadedConfig());
+    testbed.offloadedClient()->startWatching();
+    testbed.server()->startStreaming();
+    testbed.simulator().runUntil(sim::seconds(5));
+    testbed.server()->stop();
+    testbed.simulator().runUntil(sim::seconds(6));
+
+    auto *diskStreamer =
+        testbed.offloadedClient()->component<StreamerDiskOffcode>(
+            "tivo.StreamerDisk");
+    ASSERT_NE(diskStreamer, nullptr);
+    EXPECT_FALSE(diskStreamer->replaying());
+
+    // Start replay; duplicate requests are idempotent.
+    testbed.offloadedClient()->replay();
+    testbed.offloadedClient()->replay();
+    testbed.simulator().runUntil(sim::seconds(8));
+    EXPECT_TRUE(diskStreamer->replaying());
+    const auto replayed = diskStreamer->chunksReplayed();
+    EXPECT_GT(replayed, 0u);
+
+    // Stop; counter freezes.
+    testbed.offloadedClient()->stopReplay();
+    testbed.simulator().runUntil(sim::seconds(9));
+    const auto frozen = diskStreamer->chunksReplayed();
+    testbed.simulator().runUntil(sim::seconds(11));
+    EXPECT_LE(diskStreamer->chunksReplayed(), frozen + 1);
+    EXPECT_FALSE(diskStreamer->replaying());
+
+    // Replay can be restarted (from the beginning of the recording).
+    testbed.offloadedClient()->replay();
+    testbed.simulator().runUntil(sim::seconds(13));
+    EXPECT_GT(diskStreamer->chunksReplayed(), frozen);
+}
+
+TEST(ComponentTest, ReplayDrainsToEndOfRecordingAndStops)
+{
+    Testbed testbed(offloadedConfig());
+    testbed.offloadedClient()->startWatching();
+    testbed.server()->startStreaming();
+    testbed.simulator().runUntil(sim::seconds(4));
+    testbed.server()->stop();
+    testbed.simulator().runUntil(sim::seconds(5));
+
+    auto *file = testbed.offloadedClient()->component<FileOffcode>(
+        "tivo.File");
+    auto *diskStreamer =
+        testbed.offloadedClient()->component<StreamerDiskOffcode>(
+            "tivo.StreamerDisk");
+    ASSERT_NE(file, nullptr);
+    ASSERT_NE(diskStreamer, nullptr);
+
+    const std::uint64_t recordedBytes = file->bytesStored();
+    const auto recordedChunks = recordedBytes / 1024;
+
+    testbed.offloadedClient()->replay();
+    // ~4 s of recording at 5 ms per chunk takes ~4 s to replay; give
+    // it ample time and verify it self-terminates at EOF.
+    testbed.simulator().runUntil(sim::seconds(5) +
+                                 sim::milliseconds(6) *
+                                     (recordedChunks + 100));
+    EXPECT_FALSE(diskStreamer->replaying());
+    EXPECT_GE(diskStreamer->chunksReplayed() + 1, recordedChunks);
+}
+
+TEST(ComponentTest, ServerFileCreditFlowKeepsBufferBounded)
+{
+    Testbed testbed(offloadedConfig());
+    testbed.server()->startStreaming();
+    testbed.simulator().runUntil(sim::seconds(10));
+
+    core::Runtime &rt = *testbed.serverRuntime();
+    auto fileHandle = rt.getOffcode("tivo.server.File");
+    auto streamerHandle = rt.getOffcode("tivo.server.Streamer");
+    ASSERT_TRUE(fileHandle.ok());
+    ASSERT_TRUE(streamerHandle.ok());
+
+    const auto *file = static_cast<const ServerFileOffcode *>(
+        fileHandle.value().offcode);
+    const auto *streamer = static_cast<const ServerStreamerOffcode *>(
+        streamerHandle.value().offcode);
+
+    // The streamer consumed ~ (10 s - startup) / 5 ms chunks; File
+    // can only ever be one prefetch window ahead of consumption.
+    EXPECT_GT(streamer->chunksSent(), 1500u);
+    EXPECT_LE(file->chunksServed(),
+              streamer->chunksSent() + 32 /*prefetchWindow*/ + 1);
+    EXPECT_GE(file->chunksServed(), streamer->chunksSent());
+    // Steady state reached without underruns after the first window.
+    EXPECT_LE(streamer->underruns(), 2u);
+}
+
+TEST(ComponentTest, DecoderResynchronizesUnderPacketLoss)
+{
+    TestbedConfig config = offloadedConfig();
+    config.dropProbability = 0.05; // 5 % video datagram loss
+    config.duration = sim::seconds(30);
+    Testbed testbed(config);
+    const ScenarioResult result = testbed.run();
+
+    ASSERT_TRUE(result.deploymentOk);
+    EXPECT_GT(result.networkDrops, 50u);
+
+    auto *decoder = testbed.offloadedClient()->component<DecoderOffcode>(
+        "tivo.Decoder");
+    ASSERT_NE(decoder, nullptr);
+    // Losses corrupt GOPs, but the decoder recovers on I frames and
+    // keeps presenting video.
+    EXPECT_GT(decoder->decodeErrors(), 0u);
+    EXPECT_GT(result.framesDisplayed, 200u);
+}
+
+TEST(ComponentTest, GuiReplayFailsBeforeDeployment)
+{
+    Testbed testbed(offloadedConfig());
+    // No startWatching(): nothing deployed yet.
+    Status replay = testbed.offloadedClient()->replay();
+    EXPECT_FALSE(replay);
+}
+
+TEST(ComponentTest, StopQuiescesThePipeline)
+{
+    Testbed testbed(offloadedConfig());
+    testbed.offloadedClient()->startWatching();
+    testbed.server()->startStreaming();
+    testbed.simulator().runUntil(sim::seconds(5));
+
+    testbed.server()->stop();
+    testbed.offloadedClient()->stop();
+    testbed.simulator().runUntil(sim::seconds(6));
+
+    auto *display = testbed.offloadedClient()->component<DisplayOffcode>(
+        "tivo.Display");
+    ASSERT_NE(display, nullptr);
+    const auto frames = display->framesPresented();
+    testbed.simulator().runUntil(sim::seconds(8));
+    // Nothing flows after stop.
+    EXPECT_EQ(display->framesPresented(), frames);
+}
+
+TEST(ComponentTest, OffcodeLifecycleOrderEnforced)
+{
+    auto env = std::make_shared<TivoEnv>();
+    DecoderOffcode decoder(env);
+
+    // Start before initialize is rejected.
+    EXPECT_FALSE(decoder.doStart().ok());
+    EXPECT_EQ(decoder.state(), core::OffcodeState::Created);
+}
+
+} // namespace
+} // namespace hydra::tivo

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the MpegLite codec: GOP structure, lossless round trips,
+ * stream framing, and the chunk-oriented assembler the Streamer and
+ * Decoder components rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tivo/mpeg.hh"
+
+namespace hydra::tivo {
+namespace {
+
+MpegConfig
+smallConfig()
+{
+    MpegConfig config;
+    config.width = 64;
+    config.height = 48;
+    config.gopLength = 9;
+    config.pSpacing = 3;
+    return config;
+}
+
+TEST(MpegTest, GopPattern)
+{
+    MpegEncoder encoder(smallConfig());
+    EXPECT_EQ(encoder.frameTypeFor(0), FrameType::I);
+    EXPECT_EQ(encoder.frameTypeFor(3), FrameType::P);
+    EXPECT_EQ(encoder.frameTypeFor(6), FrameType::P);
+    EXPECT_EQ(encoder.frameTypeFor(1), FrameType::B);
+    EXPECT_EQ(encoder.frameTypeFor(2), FrameType::B);
+    EXPECT_EQ(encoder.frameTypeFor(9), FrameType::I);
+}
+
+TEST(MpegTest, SyntheticVideoDeterministic)
+{
+    SyntheticVideo a(smallConfig(), 5), b(smallConfig(), 5);
+    EXPECT_EQ(a.frame(10).pixels, b.frame(10).pixels);
+    EXPECT_NE(a.frame(10).pixels, a.frame(11).pixels);
+}
+
+TEST(MpegTest, EncodeDecodeLossless)
+{
+    const MpegConfig config = smallConfig();
+    SyntheticVideo source(config, 42);
+    MpegEncoder encoder(config);
+    MpegDecoder decoder;
+
+    for (std::uint32_t i = 0; i < 30; ++i) {
+        const RawFrame original = source.frame(i);
+        auto encoded = encoder.encode(original);
+        ASSERT_TRUE(encoded.ok());
+        auto decoded = decoder.decode(encoded.value());
+        ASSERT_TRUE(decoded.ok()) << "frame " << i;
+        EXPECT_EQ(decoded.value().pixels, original.pixels)
+            << "frame " << i;
+        EXPECT_EQ(decoded.value().sequence, i);
+    }
+}
+
+TEST(MpegTest, DeltaFramesSmallerThanIFrames)
+{
+    const MpegConfig config = smallConfig();
+    SyntheticVideo source(config, 42);
+    MpegEncoder encoder(config);
+
+    const auto iFrame = encoder.encode(source.frame(0));
+    const auto bFrame = encoder.encode(source.frame(1));
+    ASSERT_TRUE(iFrame.ok());
+    ASSERT_TRUE(bFrame.ok());
+    EXPECT_EQ(iFrame.value().type, FrameType::I);
+    EXPECT_NE(bFrame.value().type, FrameType::I);
+    EXPECT_LT(bFrame.value().payload.size(),
+              iFrame.value().payload.size());
+}
+
+TEST(MpegTest, EncoderRejectsWrongSize)
+{
+    MpegEncoder encoder(smallConfig());
+    RawFrame bad;
+    bad.width = 64;
+    bad.height = 48;
+    bad.pixels.resize(10);
+    EXPECT_FALSE(encoder.encode(bad).ok());
+}
+
+TEST(MpegTest, DecoderRejectsDeltaWithoutReference)
+{
+    const MpegConfig config = smallConfig();
+    SyntheticVideo source(config, 42);
+    MpegEncoder encoder(config);
+    encoder.encode(source.frame(0)); // advance GOP state
+    auto delta = encoder.encode(source.frame(1));
+    ASSERT_TRUE(delta.ok());
+
+    MpegDecoder fresh;
+    EXPECT_FALSE(fresh.decode(delta.value()).ok());
+}
+
+TEST(MpegTest, FirstFrameAlwaysIntraEvenMidGop)
+{
+    // A freshly reset encoder must emit I regardless of GOP position.
+    MpegEncoder encoder(smallConfig());
+    SyntheticVideo source(smallConfig(), 1);
+    RawFrame frame = source.frame(4); // GOP position 4 would be B
+    auto encoded = encoder.encode(frame);
+    ASSERT_TRUE(encoded.ok());
+    EXPECT_EQ(encoded.value().type, FrameType::I);
+}
+
+TEST(MpegTest, AssemblerReassemblesFromOddChunks)
+{
+    const MpegConfig config = smallConfig();
+    const Bytes stream = encodeMovie(config, 20, 42);
+
+    StreamAssembler assembler;
+    MpegDecoder decoder;
+    SyntheticVideo source(config, 42);
+
+    std::size_t decoded = 0;
+    std::size_t pos = 0;
+    std::size_t chunkSize = 1; // deliberately awkward chunk sizes
+    while (pos < stream.size()) {
+        const std::size_t n = std::min(chunkSize, stream.size() - pos);
+        assembler.feed(Bytes(stream.begin() +
+                                 static_cast<std::ptrdiff_t>(pos),
+                             stream.begin() +
+                                 static_cast<std::ptrdiff_t>(pos + n)));
+        pos += n;
+        chunkSize = chunkSize % 700 + 13;
+
+        while (true) {
+            auto frame = assembler.nextFrame();
+            if (!frame.ok())
+                break;
+            auto raw = decoder.decode(frame.value());
+            ASSERT_TRUE(raw.ok());
+            EXPECT_EQ(raw.value().pixels,
+                      source.frame(raw.value().sequence).pixels);
+            ++decoded;
+        }
+    }
+    EXPECT_EQ(decoded, 20u);
+}
+
+TEST(MpegTest, AssemblerResyncsMidStream)
+{
+    const MpegConfig config = smallConfig();
+    const Bytes stream = encodeMovie(config, 10, 42);
+
+    // Join mid-stream: drop the first 100 bytes (mid-frame).
+    StreamAssembler assembler;
+    assembler.feed(Bytes(stream.begin() + 100, stream.end()));
+
+    MpegDecoder decoder;
+    std::size_t decoded = 0;
+    std::size_t parseFailures = 0;
+    while (true) {
+        auto frame = assembler.nextFrame();
+        if (!frame.ok())
+            break;
+        auto raw = decoder.decode(frame.value());
+        if (raw.ok())
+            ++decoded;
+        else {
+            ++parseFailures; // pre-I-frame deltas fail, as expected
+            decoder.reset();
+        }
+    }
+    EXPECT_GT(decoded, 0u);
+}
+
+TEST(MpegTest, MovieBitRateIsRealistic)
+{
+    // The paper streams 200 kB/s; at ~20-25 fps that needs frames
+    // that average a handful of kilobytes.
+    MpegConfig config; // default 160x120
+    const Bytes movie = encodeMovie(config, 50, 42);
+    const double avg = static_cast<double>(movie.size()) / 50.0;
+    EXPECT_GT(avg, 2000.0);
+    EXPECT_LT(avg, 20000.0);
+}
+
+TEST(MpegTest, SerializedFrameHasParseableHeader)
+{
+    const MpegConfig config = smallConfig();
+    SyntheticVideo source(config, 1);
+    MpegEncoder encoder(config);
+    auto encoded = encoder.encode(source.frame(0));
+    const Bytes wire = serializeFrame(encoded.value());
+
+    StreamAssembler assembler;
+    assembler.feed(wire);
+    auto frame = assembler.nextFrame();
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame.value().width, 64u);
+    EXPECT_EQ(frame.value().height, 48u);
+    EXPECT_EQ(frame.value().payload, encoded.value().payload);
+    EXPECT_EQ(assembler.bufferedBytes(), 0u);
+}
+
+} // namespace
+} // namespace hydra::tivo

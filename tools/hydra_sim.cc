@@ -1,0 +1,205 @@
+/**
+ * @file
+ * hydra_sim — command-line driver for the evaluation testbed.
+ *
+ * Runs any server/client scenario combination and prints the full
+ * measurement set (jitter statistics + distribution, CPU utilization,
+ * L2 miss rates, bus crossings, delivery counters). This is the tool
+ * a downstream user reaches for to explore parameter sensitivity
+ * without writing code.
+ *
+ * Usage:
+ *   hydra_sim [--server simple|sendfile|onloaded|offloaded|none]
+ *             [--client receiver|user-space|offloaded|none]
+ *             [--seconds N] [--seed N] [--period-ms N]
+ *             [--chunk-bytes N] [--drop P] [--quiet-host]
+ *             [--no-bus-multicast] [--histogram]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "tivo/harness.hh"
+
+using namespace hydra;
+using namespace hydra::tivo;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--server simple|sendfile|onloaded|offloaded|none]\n"
+        "          [--client receiver|user-space|offloaded|none]\n"
+        "          [--seconds N] [--seed N] [--period-ms N]\n"
+        "          [--chunk-bytes N] [--drop P] [--quiet-host]\n"
+        "          [--no-bus-multicast] [--histogram]\n",
+        argv0);
+    return 2;
+}
+
+bool
+parseServer(const std::string &name, ServerKind &out)
+{
+    if (name == "simple")
+        out = ServerKind::Simple;
+    else if (name == "sendfile")
+        out = ServerKind::Sendfile;
+    else if (name == "onloaded")
+        out = ServerKind::Onloaded;
+    else if (name == "offloaded")
+        out = ServerKind::Offloaded;
+    else if (name == "none" || name == "idle")
+        out = ServerKind::None;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseClient(const std::string &name, ClientKind &out)
+{
+    if (name == "receiver")
+        out = ClientKind::Receiver;
+    else if (name == "user-space" || name == "userspace")
+        out = ClientKind::UserSpace;
+    else if (name == "offloaded")
+        out = ClientKind::Offloaded;
+    else if (name == "none" || name == "idle")
+        out = ClientKind::None;
+    else
+        return false;
+    return true;
+}
+
+void
+printSamples(const char *name, const SampleSet &samples,
+             const char *unit)
+{
+    if (samples.empty()) {
+        std::printf("  %-22s (no samples)\n", name);
+        return;
+    }
+    std::printf("  %-22s med=%8.3f  avg=%8.3f  std=%8.4f  "
+                "min=%8.3f  max=%8.3f %s\n",
+                name, samples.median(), samples.mean(), samples.stddev(),
+                samples.min(), samples.max(), unit);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    TestbedConfig config;
+    config.server = ServerKind::Offloaded;
+    config.client = ClientKind::Offloaded;
+    config.duration = sim::seconds(60);
+    config.warmup = sim::seconds(5);
+    bool histogram = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--server") {
+            const char *value = next();
+            if (!value || !parseServer(value, config.server))
+                return usage(argv[0]);
+        } else if (arg == "--client") {
+            const char *value = next();
+            if (!value || !parseClient(value, config.client))
+                return usage(argv[0]);
+        } else if (arg == "--seconds") {
+            const char *value = next();
+            if (!value)
+                return usage(argv[0]);
+            config.duration = sim::seconds(
+                static_cast<std::uint64_t>(std::strtoull(value, nullptr,
+                                                         10)));
+        } else if (arg == "--seed") {
+            const char *value = next();
+            if (!value)
+                return usage(argv[0]);
+            config.seed = std::strtoull(value, nullptr, 10);
+        } else if (arg == "--period-ms") {
+            const char *value = next();
+            if (!value)
+                return usage(argv[0]);
+            config.sendPeriod = sim::milliseconds(
+                static_cast<std::uint64_t>(std::strtoull(value, nullptr,
+                                                         10)));
+        } else if (arg == "--chunk-bytes") {
+            const char *value = next();
+            if (!value)
+                return usage(argv[0]);
+            config.chunkBytes = static_cast<std::size_t>(
+                std::strtoull(value, nullptr, 10));
+        } else if (arg == "--drop") {
+            const char *value = next();
+            if (!value)
+                return usage(argv[0]);
+            config.dropProbability = std::strtod(value, nullptr);
+        } else if (arg == "--quiet-host") {
+            config.quietHost = true;
+        } else if (arg == "--no-bus-multicast") {
+            config.busMulticast = false;
+        } else if (arg == "--histogram") {
+            histogram = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    std::printf("hydra_sim: server=%s client=%s duration=%.0fs seed=%llu"
+                " period=%.1fms chunk=%zuB drop=%.3f\n",
+                std::string(serverKindName(config.server)).c_str(),
+                std::string(clientKindName(config.client)).c_str(),
+                sim::toSeconds(config.duration),
+                static_cast<unsigned long long>(config.seed),
+                sim::toMilliseconds(config.sendPeriod), config.chunkBytes,
+                config.dropProbability);
+
+    Testbed testbed(config);
+    const ScenarioResult result = testbed.run();
+
+    std::printf("\nscenario %s %s\n", result.scenarioName.c_str(),
+                result.deploymentOk ? "(deployment ok)"
+                                    : "(DEPLOYMENT FAILED)");
+    std::printf("\ndelivery:\n");
+    std::printf("  chunks sent:        %llu\n",
+                static_cast<unsigned long long>(result.chunksSent));
+    std::printf("  packets received:   %llu\n",
+                static_cast<unsigned long long>(result.packetsReceived));
+    std::printf("  frames displayed:   %llu\n",
+                static_cast<unsigned long long>(result.framesDisplayed));
+    std::printf("  network drops:      %llu\n",
+                static_cast<unsigned long long>(result.networkDrops));
+    std::printf("  bus crossings:      server=%llu client=%llu\n",
+                static_cast<unsigned long long>(result.serverBusCrossings),
+                static_cast<unsigned long long>(
+                    result.clientBusCrossings));
+
+    std::printf("\nmeasurements:\n");
+    printSamples("inter-arrival", result.interarrivalMs, "ms");
+    printSamples("server CPU", result.serverCpuPct, "%");
+    printSamples("client CPU", result.clientCpuPct, "%");
+    printSamples("server L2 miss rate", result.serverL2MissRate, "");
+    printSamples("client L2 miss rate", result.clientL2MissRate, "");
+
+    if (histogram && !result.interarrivalMs.empty()) {
+        const double lo = result.interarrivalMs.min();
+        const double hi = result.interarrivalMs.max() + 1e-9;
+        Histogram h(lo, hi, 20);
+        for (double v : result.interarrivalMs.samples())
+            h.add(v);
+        std::printf("\ninter-arrival histogram (ms):\n%s",
+                    h.render(50).c_str());
+    }
+    return result.deploymentOk ? 0 : 1;
+}
