@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_ablation.dir/channel_ablation.cc.o"
+  "CMakeFiles/channel_ablation.dir/channel_ablation.cc.o.d"
+  "channel_ablation"
+  "channel_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_latency.dir/deploy_latency.cc.o"
+  "CMakeFiles/deploy_latency.dir/deploy_latency.cc.o.d"
+  "deploy_latency"
+  "deploy_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

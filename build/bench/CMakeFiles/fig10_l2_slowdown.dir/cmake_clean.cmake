@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_l2_slowdown.dir/fig10_l2_slowdown.cc.o"
+  "CMakeFiles/fig10_l2_slowdown.dir/fig10_l2_slowdown.cc.o.d"
+  "fig10_l2_slowdown"
+  "fig10_l2_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_l2_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

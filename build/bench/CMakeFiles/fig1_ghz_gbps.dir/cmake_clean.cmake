@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ghz_gbps.dir/fig1_ghz_gbps.cc.o"
+  "CMakeFiles/fig1_ghz_gbps.dir/fig1_ghz_gbps.cc.o.d"
+  "fig1_ghz_gbps"
+  "fig1_ghz_gbps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ghz_gbps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_layout.dir/ilp_layout.cc.o"
+  "CMakeFiles/ilp_layout.dir/ilp_layout.cc.o.d"
+  "ilp_layout"
+  "ilp_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onload_vs_offload.dir/onload_vs_offload.cc.o"
+  "CMakeFiles/onload_vs_offload.dir/onload_vs_offload.cc.o.d"
+  "onload_vs_offload"
+  "onload_vs_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onload_vs_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

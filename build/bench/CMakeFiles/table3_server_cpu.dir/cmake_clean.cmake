@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_server_cpu.dir/table3_server_cpu.cc.o"
+  "CMakeFiles/table3_server_cpu.dir/table3_server_cpu.cc.o.d"
+  "table3_server_cpu"
+  "table3_server_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_server_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

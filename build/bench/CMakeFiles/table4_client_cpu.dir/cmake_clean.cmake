@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_client_cpu.dir/table4_client_cpu.cc.o"
+  "CMakeFiles/table4_client_cpu.dir/table4_client_cpu.cc.o.d"
+  "table4_client_cpu"
+  "table4_client_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_client_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

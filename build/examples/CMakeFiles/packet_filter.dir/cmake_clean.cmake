@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_filter.dir/packet_filter.cpp.o"
+  "CMakeFiles/packet_filter.dir/packet_filter.cpp.o.d"
+  "packet_filter"
+  "packet_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

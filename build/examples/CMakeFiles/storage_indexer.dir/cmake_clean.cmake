@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_indexer.dir/storage_indexer.cpp.o"
+  "CMakeFiles/storage_indexer.dir/storage_indexer.cpp.o.d"
+  "storage_indexer"
+  "storage_indexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_indexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tivo_pc.dir/tivo_pc.cpp.o"
+  "CMakeFiles/tivo_pc.dir/tivo_pc.cpp.o.d"
+  "tivo_pc"
+  "tivo_pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tivo_pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

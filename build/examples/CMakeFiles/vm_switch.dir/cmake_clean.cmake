@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_switch.dir/vm_switch.cpp.o"
+  "CMakeFiles/vm_switch.dir/vm_switch.cpp.o.d"
+  "vm_switch"
+  "vm_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

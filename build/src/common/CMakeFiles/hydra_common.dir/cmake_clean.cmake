@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_common.dir/bytes.cc.o"
+  "CMakeFiles/hydra_common.dir/bytes.cc.o.d"
+  "CMakeFiles/hydra_common.dir/error.cc.o"
+  "CMakeFiles/hydra_common.dir/error.cc.o.d"
+  "CMakeFiles/hydra_common.dir/guid.cc.o"
+  "CMakeFiles/hydra_common.dir/guid.cc.o.d"
+  "CMakeFiles/hydra_common.dir/logging.cc.o"
+  "CMakeFiles/hydra_common.dir/logging.cc.o.d"
+  "CMakeFiles/hydra_common.dir/rng.cc.o"
+  "CMakeFiles/hydra_common.dir/rng.cc.o.d"
+  "CMakeFiles/hydra_common.dir/stats.cc.o"
+  "CMakeFiles/hydra_common.dir/stats.cc.o.d"
+  "CMakeFiles/hydra_common.dir/strings.cc.o"
+  "CMakeFiles/hydra_common.dir/strings.cc.o.d"
+  "libhydra_common.a"
+  "libhydra_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

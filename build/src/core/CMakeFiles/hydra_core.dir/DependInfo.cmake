@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/call.cc" "src/core/CMakeFiles/hydra_core.dir/call.cc.o" "gcc" "src/core/CMakeFiles/hydra_core.dir/call.cc.o.d"
+  "/root/repo/src/core/channel.cc" "src/core/CMakeFiles/hydra_core.dir/channel.cc.o" "gcc" "src/core/CMakeFiles/hydra_core.dir/channel.cc.o.d"
+  "/root/repo/src/core/depot.cc" "src/core/CMakeFiles/hydra_core.dir/depot.cc.o" "gcc" "src/core/CMakeFiles/hydra_core.dir/depot.cc.o.d"
+  "/root/repo/src/core/executive.cc" "src/core/CMakeFiles/hydra_core.dir/executive.cc.o" "gcc" "src/core/CMakeFiles/hydra_core.dir/executive.cc.o.d"
+  "/root/repo/src/core/layout.cc" "src/core/CMakeFiles/hydra_core.dir/layout.cc.o" "gcc" "src/core/CMakeFiles/hydra_core.dir/layout.cc.o.d"
+  "/root/repo/src/core/loader.cc" "src/core/CMakeFiles/hydra_core.dir/loader.cc.o" "gcc" "src/core/CMakeFiles/hydra_core.dir/loader.cc.o.d"
+  "/root/repo/src/core/memory.cc" "src/core/CMakeFiles/hydra_core.dir/memory.cc.o" "gcc" "src/core/CMakeFiles/hydra_core.dir/memory.cc.o.d"
+  "/root/repo/src/core/offcode.cc" "src/core/CMakeFiles/hydra_core.dir/offcode.cc.o" "gcc" "src/core/CMakeFiles/hydra_core.dir/offcode.cc.o.d"
+  "/root/repo/src/core/providers.cc" "src/core/CMakeFiles/hydra_core.dir/providers.cc.o" "gcc" "src/core/CMakeFiles/hydra_core.dir/providers.cc.o.d"
+  "/root/repo/src/core/proxy.cc" "src/core/CMakeFiles/hydra_core.dir/proxy.cc.o" "gcc" "src/core/CMakeFiles/hydra_core.dir/proxy.cc.o.d"
+  "/root/repo/src/core/resource.cc" "src/core/CMakeFiles/hydra_core.dir/resource.cc.o" "gcc" "src/core/CMakeFiles/hydra_core.dir/resource.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/hydra_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/hydra_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/site.cc" "src/core/CMakeFiles/hydra_core.dir/site.cc.o" "gcc" "src/core/CMakeFiles/hydra_core.dir/site.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hydra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hydra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hydra_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hydra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/hydra_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/odf/CMakeFiles/hydra_odf.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/hydra_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

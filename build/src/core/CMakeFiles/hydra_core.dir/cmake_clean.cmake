@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_core.dir/call.cc.o"
+  "CMakeFiles/hydra_core.dir/call.cc.o.d"
+  "CMakeFiles/hydra_core.dir/channel.cc.o"
+  "CMakeFiles/hydra_core.dir/channel.cc.o.d"
+  "CMakeFiles/hydra_core.dir/depot.cc.o"
+  "CMakeFiles/hydra_core.dir/depot.cc.o.d"
+  "CMakeFiles/hydra_core.dir/executive.cc.o"
+  "CMakeFiles/hydra_core.dir/executive.cc.o.d"
+  "CMakeFiles/hydra_core.dir/layout.cc.o"
+  "CMakeFiles/hydra_core.dir/layout.cc.o.d"
+  "CMakeFiles/hydra_core.dir/loader.cc.o"
+  "CMakeFiles/hydra_core.dir/loader.cc.o.d"
+  "CMakeFiles/hydra_core.dir/memory.cc.o"
+  "CMakeFiles/hydra_core.dir/memory.cc.o.d"
+  "CMakeFiles/hydra_core.dir/offcode.cc.o"
+  "CMakeFiles/hydra_core.dir/offcode.cc.o.d"
+  "CMakeFiles/hydra_core.dir/providers.cc.o"
+  "CMakeFiles/hydra_core.dir/providers.cc.o.d"
+  "CMakeFiles/hydra_core.dir/proxy.cc.o"
+  "CMakeFiles/hydra_core.dir/proxy.cc.o.d"
+  "CMakeFiles/hydra_core.dir/resource.cc.o"
+  "CMakeFiles/hydra_core.dir/resource.cc.o.d"
+  "CMakeFiles/hydra_core.dir/runtime.cc.o"
+  "CMakeFiles/hydra_core.dir/runtime.cc.o.d"
+  "CMakeFiles/hydra_core.dir/site.cc.o"
+  "CMakeFiles/hydra_core.dir/site.cc.o.d"
+  "libhydra_core.a"
+  "libhydra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dev/device.cc" "src/dev/CMakeFiles/hydra_dev.dir/device.cc.o" "gcc" "src/dev/CMakeFiles/hydra_dev.dir/device.cc.o.d"
+  "/root/repo/src/dev/disk.cc" "src/dev/CMakeFiles/hydra_dev.dir/disk.cc.o" "gcc" "src/dev/CMakeFiles/hydra_dev.dir/disk.cc.o.d"
+  "/root/repo/src/dev/gpu.cc" "src/dev/CMakeFiles/hydra_dev.dir/gpu.cc.o" "gcc" "src/dev/CMakeFiles/hydra_dev.dir/gpu.cc.o.d"
+  "/root/repo/src/dev/nic.cc" "src/dev/CMakeFiles/hydra_dev.dir/nic.cc.o" "gcc" "src/dev/CMakeFiles/hydra_dev.dir/nic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hydra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hydra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hydra_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hydra_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_dev.dir/device.cc.o"
+  "CMakeFiles/hydra_dev.dir/device.cc.o.d"
+  "CMakeFiles/hydra_dev.dir/disk.cc.o"
+  "CMakeFiles/hydra_dev.dir/disk.cc.o.d"
+  "CMakeFiles/hydra_dev.dir/gpu.cc.o"
+  "CMakeFiles/hydra_dev.dir/gpu.cc.o.d"
+  "CMakeFiles/hydra_dev.dir/nic.cc.o"
+  "CMakeFiles/hydra_dev.dir/nic.cc.o.d"
+  "libhydra_dev.a"
+  "libhydra_dev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

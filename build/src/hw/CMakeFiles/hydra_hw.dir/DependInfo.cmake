@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/bus.cc" "src/hw/CMakeFiles/hydra_hw.dir/bus.cc.o" "gcc" "src/hw/CMakeFiles/hydra_hw.dir/bus.cc.o.d"
+  "/root/repo/src/hw/cache.cc" "src/hw/CMakeFiles/hydra_hw.dir/cache.cc.o" "gcc" "src/hw/CMakeFiles/hydra_hw.dir/cache.cc.o.d"
+  "/root/repo/src/hw/cpu.cc" "src/hw/CMakeFiles/hydra_hw.dir/cpu.cc.o" "gcc" "src/hw/CMakeFiles/hydra_hw.dir/cpu.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/hydra_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/hydra_hw.dir/machine.cc.o.d"
+  "/root/repo/src/hw/os.cc" "src/hw/CMakeFiles/hydra_hw.dir/os.cc.o" "gcc" "src/hw/CMakeFiles/hydra_hw.dir/os.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hydra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hydra_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_hw.dir/bus.cc.o"
+  "CMakeFiles/hydra_hw.dir/bus.cc.o.d"
+  "CMakeFiles/hydra_hw.dir/cache.cc.o"
+  "CMakeFiles/hydra_hw.dir/cache.cc.o.d"
+  "CMakeFiles/hydra_hw.dir/cpu.cc.o"
+  "CMakeFiles/hydra_hw.dir/cpu.cc.o.d"
+  "CMakeFiles/hydra_hw.dir/machine.cc.o"
+  "CMakeFiles/hydra_hw.dir/machine.cc.o.d"
+  "CMakeFiles/hydra_hw.dir/os.cc.o"
+  "CMakeFiles/hydra_hw.dir/os.cc.o.d"
+  "libhydra_hw.a"
+  "libhydra_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

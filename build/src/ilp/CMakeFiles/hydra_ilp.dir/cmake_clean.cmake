@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_ilp.dir/layout.cc.o"
+  "CMakeFiles/hydra_ilp.dir/layout.cc.o.d"
+  "CMakeFiles/hydra_ilp.dir/model.cc.o"
+  "CMakeFiles/hydra_ilp.dir/model.cc.o.d"
+  "CMakeFiles/hydra_ilp.dir/solver.cc.o"
+  "CMakeFiles/hydra_ilp.dir/solver.cc.o.d"
+  "libhydra_ilp.a"
+  "libhydra_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_net.dir/network.cc.o"
+  "CMakeFiles/hydra_net.dir/network.cc.o.d"
+  "CMakeFiles/hydra_net.dir/nfs.cc.o"
+  "CMakeFiles/hydra_net.dir/nfs.cc.o.d"
+  "CMakeFiles/hydra_net.dir/tcp_model.cc.o"
+  "CMakeFiles/hydra_net.dir/tcp_model.cc.o.d"
+  "libhydra_net.a"
+  "libhydra_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

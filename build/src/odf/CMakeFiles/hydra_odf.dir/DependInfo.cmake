@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/odf/odf.cc" "src/odf/CMakeFiles/hydra_odf.dir/odf.cc.o" "gcc" "src/odf/CMakeFiles/hydra_odf.dir/odf.cc.o.d"
+  "/root/repo/src/odf/xml.cc" "src/odf/CMakeFiles/hydra_odf.dir/xml.cc.o" "gcc" "src/odf/CMakeFiles/hydra_odf.dir/xml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hydra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/hydra_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hydra_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hydra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hydra_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_odf.dir/odf.cc.o"
+  "CMakeFiles/hydra_odf.dir/odf.cc.o.d"
+  "CMakeFiles/hydra_odf.dir/xml.cc.o"
+  "CMakeFiles/hydra_odf.dir/xml.cc.o.d"
+  "libhydra_odf.a"
+  "libhydra_odf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_odf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_tivo.dir/client.cc.o"
+  "CMakeFiles/hydra_tivo.dir/client.cc.o.d"
+  "CMakeFiles/hydra_tivo.dir/components.cc.o"
+  "CMakeFiles/hydra_tivo.dir/components.cc.o.d"
+  "CMakeFiles/hydra_tivo.dir/harness.cc.o"
+  "CMakeFiles/hydra_tivo.dir/harness.cc.o.d"
+  "CMakeFiles/hydra_tivo.dir/mpeg.cc.o"
+  "CMakeFiles/hydra_tivo.dir/mpeg.cc.o.d"
+  "CMakeFiles/hydra_tivo.dir/server.cc.o"
+  "CMakeFiles/hydra_tivo.dir/server.cc.o.d"
+  "libhydra_tivo.a"
+  "libhydra_tivo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_tivo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

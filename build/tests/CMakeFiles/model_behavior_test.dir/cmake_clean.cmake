@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_behavior_test.dir/model_behavior_test.cc.o"
+  "CMakeFiles/model_behavior_test.dir/model_behavior_test.cc.o.d"
+  "model_behavior_test"
+  "model_behavior_test.pdb"
+  "model_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

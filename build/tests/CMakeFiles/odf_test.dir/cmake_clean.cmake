@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_test.dir/odf_test.cc.o"
+  "CMakeFiles/odf_test.dir/odf_test.cc.o.d"
+  "odf_test"
+  "odf_test.pdb"
+  "odf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tivo_components_test.dir/tivo_components_test.cc.o"
+  "CMakeFiles/tivo_components_test.dir/tivo_components_test.cc.o.d"
+  "tivo_components_test"
+  "tivo_components_test.pdb"
+  "tivo_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tivo_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

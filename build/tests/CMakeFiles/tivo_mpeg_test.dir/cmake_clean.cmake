@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tivo_mpeg_test.dir/tivo_mpeg_test.cc.o"
+  "CMakeFiles/tivo_mpeg_test.dir/tivo_mpeg_test.cc.o.d"
+  "tivo_mpeg_test"
+  "tivo_mpeg_test.pdb"
+  "tivo_mpeg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tivo_mpeg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/dev_test[1]_include.cmake")
+include("/root/repo/build/tests/odf_test[1]_include.cmake")
+include("/root/repo/build/tests/ilp_test[1]_include.cmake")
+include("/root/repo/build/tests/core_channel_test[1]_include.cmake")
+include("/root/repo/build/tests/core_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/tivo_mpeg_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/tivo_components_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/core_loader_test[1]_include.cmake")
+include("/root/repo/build/tests/model_behavior_test[1]_include.cmake")

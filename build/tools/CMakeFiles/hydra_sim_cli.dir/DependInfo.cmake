@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/hydra_sim.cc" "tools/CMakeFiles/hydra_sim_cli.dir/hydra_sim.cc.o" "gcc" "tools/CMakeFiles/hydra_sim_cli.dir/hydra_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tivo/CMakeFiles/hydra_tivo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hydra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/odf/CMakeFiles/hydra_odf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/hydra_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hydra_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hydra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hydra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/hydra_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hydra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

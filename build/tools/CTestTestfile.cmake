@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_offloaded "/root/repo/build/tools/hydra_sim" "--server" "offloaded" "--client" "receiver" "--seconds" "8")
+set_tests_properties(cli_offloaded PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_lossy "/root/repo/build/tools/hydra_sim" "--server" "offloaded" "--client" "offloaded" "--seconds" "8" "--drop" "0.05")
+set_tests_properties(cli_lossy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_quiet_host "/root/repo/build/tools/hydra_sim" "--server" "simple" "--client" "receiver" "--seconds" "8" "--quiet-host" "--histogram")
+set_tests_properties(cli_quiet_host PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
