@@ -11,8 +11,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
+#include "obs/metrics.hh"
 #include "tivo/harness.hh"
 
 namespace hydra::bench {
@@ -44,13 +46,38 @@ scenarioConfig(tivo::ServerKind server, tivo::ClientKind client,
     return config;
 }
 
+/**
+ * Optional metrics export: when HYDRA_BENCH_METRICS names a directory,
+ * runScenario() dumps the scenario's registry snapshot there as JSON.
+ */
+inline void
+maybeWriteMetrics(const std::string &name)
+{
+    const char *dir = std::getenv("HYDRA_BENCH_METRICS");
+    if (!dir)
+        return;
+    const std::string path =
+        std::string(dir) + "/" + name + ".metrics.json";
+    std::ofstream out(path);
+    if (out) {
+        out << obs::MetricsRegistry::instance().toJson() << '\n';
+        std::printf("(wrote %s)\n", path.c_str());
+    }
+}
+
 /** Run one scenario to completion. */
 inline tivo::ScenarioResult
 runScenario(tivo::ServerKind server, tivo::ClientKind client,
             std::uint64_t seed = 1)
 {
+    // Scope the process-wide metrics to this scenario so exported
+    // snapshots are per-run, not cumulative across the bench.
+    obs::MetricsRegistry::instance().reset();
     tivo::Testbed testbed(scenarioConfig(server, client, seed));
-    return testbed.run();
+    tivo::ScenarioResult result = testbed.run();
+    maybeWriteMetrics(std::string(tivo::serverKindName(server)) + "-" +
+                      std::string(tivo::clientKindName(client)));
+    return result;
 }
 
 /**

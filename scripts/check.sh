@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 verification wrapper: configure, build, and run the full test
+# suite. This is the command CI and pre-merge checks run.
+#
+# Usage:
+#   scripts/check.sh             # default build + all tests
+#   scripts/check.sh --sanitize  # ASan/UBSan build, obs-labeled tests
+#                                # first, then the full suite
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+CMAKE_ARGS=()
+SANITIZE=0
+
+for arg in "$@"; do
+    case "$arg" in
+      --sanitize)
+        SANITIZE=1
+        BUILD_DIR=build-sanitize
+        CMAKE_ARGS+=(-DHYDRA_SANITIZE=ON)
+        ;;
+      *)
+        echo "usage: $0 [--sanitize]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+cd "$BUILD_DIR"
+if [ "$SANITIZE" -eq 1 ]; then
+    # The obs label covers the subsystem with the most lock-free and
+    # ring-buffer code — run it first for a fast sanitizer signal.
+    ctest -L obs --output-on-failure
+fi
+ctest --output-on-failure -j "$(nproc)"

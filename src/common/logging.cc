@@ -1,11 +1,23 @@
 #include "common/logging.hh"
 
 #include <cstdio>
+#include <mutex>
 
 namespace hydra {
 
-LogLevel Log::level_ = LogLevel::Warn;
+std::atomic<LogLevel> Log::level_{LogLevel::Warn};
 Log::Sink Log::sink_;
+
+namespace {
+
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+} // namespace
 
 namespace {
 
@@ -28,6 +40,7 @@ levelTag(LogLevel level)
 void
 Log::setSink(Sink sink)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     sink_ = std::move(sink);
 }
 
@@ -36,6 +49,7 @@ Log::write(LogLevel level, const std::string &message)
 {
     if (!enabled(level))
         return;
+    std::lock_guard<std::mutex> lock(sinkMutex());
     if (sink_) {
         sink_(level, message);
         return;

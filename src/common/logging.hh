@@ -9,6 +9,7 @@
 #ifndef HYDRA_COMMON_LOGGING_HH
 #define HYDRA_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -17,14 +18,27 @@ namespace hydra {
 
 enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
 
-/** Global logging configuration (process-wide; not thread-safe). */
+/**
+ * Global logging configuration (process-wide). Thread-safe: the level
+ * is an atomic so the fast-path enabled() check stays lock-free, and
+ * sink installation/invocation are serialized by a mutex so a sink
+ * swap cannot race an in-flight write.
+ */
 class Log
 {
   public:
     using Sink = std::function<void(LogLevel, const std::string &)>;
 
-    static LogLevel level() { return level_; }
-    static void setLevel(LogLevel level) { level_ = level; }
+    static LogLevel
+    level()
+    {
+        return level_.load(std::memory_order_relaxed);
+    }
+    static void
+    setLevel(LogLevel level)
+    {
+        level_.store(level, std::memory_order_relaxed);
+    }
 
     /** Replace the output sink; pass nullptr to restore stderr. */
     static void setSink(Sink sink);
@@ -34,11 +48,12 @@ class Log
     static bool
     enabled(LogLevel level)
     {
-        return level >= level_ && level_ != LogLevel::Off;
+        const LogLevel current = Log::level();
+        return level >= current && current != LogLevel::Off;
     }
 
   private:
-    static LogLevel level_;
+    static std::atomic<LogLevel> level_;
     static Sink sink_;
 };
 

@@ -1,7 +1,6 @@
 #include "common/stats.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 
@@ -42,7 +41,8 @@ SampleSet::ensureSorted() const
 double
 SampleSet::min() const
 {
-    assert(!empty());
+    if (empty())
+        return 0.0;
     ensureSorted();
     return sorted_.front();
 }
@@ -50,7 +50,8 @@ SampleSet::min() const
 double
 SampleSet::max() const
 {
-    assert(!empty());
+    if (empty())
+        return 0.0;
     ensureSorted();
     return sorted_.back();
 }
@@ -58,7 +59,8 @@ SampleSet::max() const
 double
 SampleSet::mean() const
 {
-    assert(!empty());
+    if (empty())
+        return 0.0;
     double sum = 0.0;
     for (double s : samples_)
         sum += s;
@@ -86,8 +88,9 @@ SampleSet::median() const
 double
 SampleSet::percentile(double pct) const
 {
-    assert(!empty());
-    assert(pct >= 0.0 && pct <= 100.0);
+    if (empty())
+        return 0.0;
+    pct = std::clamp(pct, 0.0, 100.0);
     ensureSorted();
     if (sorted_.size() == 1)
         return sorted_.front();
@@ -99,10 +102,16 @@ SampleSet::percentile(double pct) const
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), binWidth_((hi - lo) / static_cast<double>(bins))
 {
-    assert(hi > lo);
-    assert(bins > 0);
+    // Degenerate arguments (empty sample sets often produce lo == hi)
+    // must not divide by zero: zero bins become one bin, and an empty
+    // range widens to unit width.
+    if (bins == 0)
+        bins = 1;
+    if (!(hi > lo))
+        hi = lo + 1.0;
+    lo_ = lo;
+    binWidth_ = (hi - lo) / static_cast<double>(bins);
     bins_.resize(bins);
     for (std::size_t i = 0; i < bins; ++i) {
         bins_[i].lo = lo + binWidth_ * static_cast<double>(i);

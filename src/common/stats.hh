@@ -25,13 +25,14 @@ class SampleSet
     std::size_t count() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
 
+    /** Summary statistics; every accessor returns 0.0 when empty. */
     double min() const;
     double max() const;
     double mean() const;
     /** Sample standard deviation (n-1 denominator, as for a run). */
     double stddev() const;
     double median() const;
-    /** Percentile in [0, 100] via linear interpolation. */
+    /** Percentile via linear interpolation; pct clamps to [0, 100]. */
     double percentile(double pct) const;
 
     const std::vector<double> &samples() const { return samples_; }
@@ -53,7 +54,11 @@ struct HistogramBin
     std::size_t count = 0;
 };
 
-/** Fixed-width histogram over [lo, hi); out-of-range samples clamp. */
+/**
+ * Fixed-width histogram over [lo, hi); out-of-range samples clamp.
+ * Degenerate arguments are tolerated rather than undefined: zero
+ * bins become one bin, and hi <= lo widens to a unit-width range.
+ */
 class Histogram
 {
   public:

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "core/offcode.hh"
+#include "obs/metrics.hh"
 
 namespace hydra::core {
 
@@ -114,6 +115,11 @@ Channel::deliverTo(std::size_t endpoint, const Bytes &message,
     if (endpoint >= endpoints_.size())
         return;
     ++stats_.messagesDelivered;
+    {
+        static obs::Counter &delivered =
+            obs::counter("channel.messages_delivered");
+        delivered.increment();
+    }
     Endpoint &ep = endpoints_[endpoint];
     if (ep.handler) {
         ep.handler(message, from);

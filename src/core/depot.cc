@@ -1,8 +1,21 @@
 #include "core/depot.hh"
 
 #include "common/strings.hh"
+#include "obs/metrics.hh"
 
 namespace hydra::core {
+
+namespace {
+
+void
+noteLookup(bool hit)
+{
+    obs::counter("depot.lookups",
+                 {{"result", hit ? "hit" : "miss"}})
+        .increment();
+}
+
+} // namespace
 
 Status
 OffcodeDepot::registerOffcode(DepotEntry entry)
@@ -17,6 +30,7 @@ OffcodeDepot::registerOffcode(DepotEntry entry)
     auto shared = std::make_shared<DepotEntry>(std::move(entry));
     byName_[shared->manifest.bindname] = shared;
     byGuid_[shared->manifest.guid] = shared;
+    obs::counter("depot.registered").increment();
     return Status::success();
 }
 
@@ -40,6 +54,7 @@ Result<const DepotEntry *>
 OffcodeDepot::findByBindname(const std::string &name) const
 {
     auto it = byName_.find(name);
+    noteLookup(it != byName_.end());
     if (it == byName_.end())
         return Error(ErrorCode::NotFound,
                      "no depot entry for bindname " + name);
@@ -50,6 +65,7 @@ Result<const DepotEntry *>
 OffcodeDepot::findByGuid(Guid guid) const
 {
     auto it = byGuid_.find(guid);
+    noteLookup(it != byGuid_.end());
     if (it == byGuid_.end())
         return Error(ErrorCode::NotFound,
                      "no depot entry for GUID " + guid.toString());

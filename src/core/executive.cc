@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace hydra::core {
 
@@ -48,9 +49,14 @@ ChannelExecutive::createChannel(const ChannelConfig &config,
             bestCost = cost;
         }
     }
-    if (!best)
+    if (!best) {
+        obs::counter("channel.create_failed").increment();
         return Error(ErrorCode::Unsupported,
                      "no provider can serve this channel configuration");
+    }
+
+    obs::counter("channel.created", {{"provider", best->name()}})
+        .increment();
 
     LOG_DEBUG << "executive: provider '" << best->name()
               << "' selected for channel to '" << config.targetDevice
@@ -72,6 +78,7 @@ ChannelExecutive::destroyChannel(Channel *channel)
         return Status(ErrorCode::NotFound, "channel not owned by executive");
     (*it)->close();
     channels_.erase(it);
+    obs::counter("channel.destroyed").increment();
     return Status::success();
 }
 

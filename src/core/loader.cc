@@ -1,8 +1,31 @@
 #include "core/loader.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace hydra::core {
+
+namespace {
+
+/** Record one finished deploy: count, latency, and a trace span. */
+void
+noteDeploy(const char *site_kind, const std::string &bindname,
+           const std::string &lane_thread, sim::SimTime started,
+           sim::SimTime finished)
+{
+    obs::counter("loader.deploys", {{"site", site_kind}}).increment();
+    obs::histogram("loader.deploy_latency_ns", {{"site", site_kind}})
+        .record(finished - started);
+    if (HYDRA_TRACE_ACTIVE()) {
+        auto &tracer = obs::Tracer::instance();
+        tracer.complete(tracer.lane("deploy", lane_thread),
+                        "deploy:" + bindname, "loader", started,
+                        finished - started);
+    }
+}
+
+} // namespace
 
 HostLoader::HostLoader(hw::Machine &machine, LoaderCosts costs)
     : machine_(machine), costs_(costs)
@@ -14,13 +37,19 @@ HostLoader::load(const DepotEntry &entry, std::function<void(Status)> done)
 {
     // In-process dynamic linking: resolve symbols against the
     // runtime's pseudo Offcodes, relocate, done.
+    const sim::SimTime started = machine_.simulator().now();
     const auto cycles =
         costs_.linkBaseCycles +
         static_cast<std::uint64_t>(costs_.linkCyclesPerByte *
                                    static_cast<double>(entry.imageBytes));
     const sim::SimTime ready = machine_.cpu().runCycles(cycles);
     machine_.simulator().scheduleAt(
-        ready, [done = std::move(done)]() { done(Status::success()); });
+        ready, [this, started, bindname = entry.manifest.bindname,
+                done = std::move(done)]() {
+            noteDeploy("host", bindname, machine_.name() + ".host",
+                       started, machine_.simulator().now());
+            done(Status::success());
+        });
 }
 
 void
@@ -40,12 +69,14 @@ DeviceDmaLoader::load(const DepotEntry &entry,
                       std::function<void(Status)> done)
 {
     // Phase 1: AllocateOffcodeMemory at the device (OOB round trip).
+    const sim::SimTime started = device_.simulator().now();
+    const std::string bindname = entry.manifest.bindname;
     const std::size_t image_bytes = entry.imageBytes;
     const std::size_t total_bytes =
         image_bytes + entry.manifest.requiredMemoryBytes;
 
-    device_.timerAfter(costs_.allocateRtt, [this, total_bytes, image_bytes,
-                                            &entry,
+    device_.timerAfter(costs_.allocateRtt, [this, started, bindname,
+                                            total_bytes, image_bytes, &entry,
                                             done = std::move(done)]() {
         auto base = device_.allocateLocal(total_bytes);
         if (!base) {
@@ -64,7 +95,8 @@ DeviceDmaLoader::load(const DepotEntry &entry,
         host_.cpu().runCycles(link_cycles);
 
         // Phase 3: DMA the linked image across the bus.
-        device_.dma().start(image_bytes, [this, image_bytes,
+        device_.dma().start(image_bytes, [this, started, bindname,
+                                          image_bytes,
                                           done = std::move(done)]() {
             // Phase 4: device-side placement and start.
             const auto install_cycles =
@@ -75,8 +107,11 @@ DeviceDmaLoader::load(const DepotEntry &entry,
             const sim::SimTime ready =
                 device_.runFirmware(install_cycles);
             device_.simulator().scheduleAt(
-                ready, [this, done = std::move(done)]() {
+                ready, [this, started, bindname,
+                        done = std::move(done)]() {
                     ++imagesLoaded_;
+                    noteDeploy("device", bindname, device_.name(), started,
+                               device_.simulator().now());
                     done(Status::success());
                 });
         });

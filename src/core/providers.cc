@@ -3,8 +3,62 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace hydra::core {
+
+namespace {
+
+/** Per-transport send instruments (issue: latency per channel type). */
+struct TransportMetrics
+{
+    obs::Counter &sent;
+    obs::Counter &bytes;
+    obs::Counter &dropped;
+    obs::LatencyHistogram &latencyNs;
+
+    explicit TransportMetrics(const char *transport)
+        : sent(obs::counter("channel.messages_sent",
+                            {{"transport", transport}})),
+          bytes(obs::counter("channel.bytes_sent",
+                             {{"transport", transport}})),
+          dropped(obs::counter("channel.messages_dropped",
+                               {{"transport", transport}})),
+          latencyNs(obs::histogram("channel.send_latency_ns",
+                                   {{"transport", transport}}))
+    {
+    }
+};
+
+TransportMetrics &
+localMetrics()
+{
+    static TransportMetrics metrics("local");
+    return metrics;
+}
+
+TransportMetrics &
+ringMetrics()
+{
+    static TransportMetrics metrics("dma-ring");
+    return metrics;
+}
+
+/** Trace one delivered channel send on the destination site's lane. */
+void
+traceChannelSend(ExecutionSite *dst, sim::SimTime sent_at,
+                 sim::SimTime delivered_at)
+{
+    if (!HYDRA_TRACE_ACTIVE() || !dst)
+        return;
+    auto &tracer = obs::Tracer::instance();
+    tracer.complete(tracer.lane(dst->machine().name(), dst->name()),
+                    "channel.send", "channel", sent_at,
+                    delivered_at - sent_at);
+}
+
+} // namespace
 
 namespace {
 
@@ -42,16 +96,23 @@ class LocalChannel : public Channel
 
         ++stats_.messagesSent;
         stats_.bytesSent += message.size();
+        localMetrics().sent.increment();
+        localMetrics().bytes.add(message.size());
 
         // Enqueue costs a little compute at the sender's site.
         if (endpoints_[from].site)
             endpoints_[from].site->run(250);
 
+        const sim::SimTime sentAt = sim_.now();
         for (std::size_t ep = 0; ep < endpoints_.size(); ++ep) {
             if (ep == from)
                 continue;
             sim_.schedule(costs_.localLatency,
-                          [this, ep, from, msg = message]() {
+                          [this, ep, from, sentAt, msg = message]() {
+                              localMetrics().latencyNs.record(sim_.now() -
+                                                              sentAt);
+                              traceChannelSend(endpoints_[ep].site, sentAt,
+                                               sim_.now());
                               deliverTo(ep, msg, from);
                           });
         }
@@ -112,6 +173,9 @@ class RingChannel : public Channel
 
         ++stats_.messagesSent;
         stats_.bytesSent += message.size();
+        ringMetrics().sent.increment();
+        ringMetrics().bytes.add(message.size());
+        const sim::SimTime sentAt = sim_.now();
 
         // Sender-side descriptor preparation.
         ExecutionSite *src = endpoints_[from].site;
@@ -141,7 +205,7 @@ class RingChannel : public Channel
             const bool charge =
                 !busMulticast_ || !sharedCrossingCharged ||
                 endpoints_[ep].site->isHost();
-            transport(from, ep, message, charge);
+            transport(from, ep, message, charge, sentAt);
             if (!endpoints_[ep].site->isHost())
                 sharedCrossingCharged = true;
         }
@@ -149,10 +213,17 @@ class RingChannel : public Channel
     }
 
   private:
+    struct BacklogEntry
+    {
+        std::size_t from = 0;
+        Bytes message;
+        sim::SimTime sentAt = 0;
+    };
+
     struct EpState
     {
         std::size_t inFlight = 0;
-        std::deque<std::pair<std::size_t, Bytes>> backlog;
+        std::deque<BacklogEntry> backlog;
         hw::Addr ringBuffer = 0;
         hw::Addr userBuffer = 0;
         std::size_t slot = 0;
@@ -161,32 +232,34 @@ class RingChannel : public Channel
     /** Move one message from endpoint @p from to @p to. */
     void
     transport(std::size_t from, std::size_t to, const Bytes &message,
-              bool charge_bus)
+              bool charge_bus, sim::SimTime sent_at)
     {
         EpState &dst_state = state_[to];
         if (dst_state.inFlight >= config_.ringDepth) {
             if (config_.reliable) {
                 // Backpressure: queue until a descriptor frees.
-                dst_state.backlog.emplace_back(from, message);
+                dst_state.backlog.push_back(
+                    BacklogEntry{from, message, sent_at});
             } else {
                 ++stats_.messagesDropped;
+                ringMetrics().dropped.increment();
             }
             return;
         }
         ++dst_state.inFlight;
-        startDma(from, to, message, charge_bus);
+        startDma(from, to, message, charge_bus, sent_at);
     }
 
     void
     startDma(std::size_t from, std::size_t to, const Bytes &message,
-             bool charge_bus)
+             bool charge_bus, sim::SimTime sent_at)
     {
         ExecutionSite *src = endpoints_[from].site;
         ExecutionSite *dst = endpoints_[to].site;
         const std::size_t bytes = message.size();
 
-        auto finish = [this, from, to, msg = message]() {
-            completeDelivery(from, to, msg);
+        auto finish = [this, from, to, sent_at, msg = message]() {
+            completeDelivery(from, to, msg, sent_at);
         };
 
         // Pick the bus-mastering engine: the device side of the pair.
@@ -209,10 +282,14 @@ class RingChannel : public Channel
     }
 
     void
-    completeDelivery(std::size_t from, std::size_t to, const Bytes &message)
+    completeDelivery(std::size_t from, std::size_t to, const Bytes &message,
+                     sim::SimTime sent_at)
     {
         ExecutionSite *dst = endpoints_[to].site;
         EpState &dst_state = state_[to];
+
+        ringMetrics().latencyNs.record(sim_.now() - sent_at);
+        traceChannelSend(dst, sent_at, sim_.now());
 
         if (dst->isHost()) {
             hw::Machine &machine = dst->machine();
@@ -235,10 +312,10 @@ class RingChannel : public Channel
         if (dst_state.inFlight > 0)
             --dst_state.inFlight;
         if (!dst_state.backlog.empty()) {
-            auto [bfrom, bmsg] = std::move(dst_state.backlog.front());
+            BacklogEntry entry = std::move(dst_state.backlog.front());
             dst_state.backlog.pop_front();
             ++dst_state.inFlight;
-            startDma(bfrom, to, bmsg, true);
+            startDma(entry.from, to, entry.message, true, entry.sentAt);
         }
     }
 

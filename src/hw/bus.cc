@@ -3,7 +3,29 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace hydra::hw {
+
+namespace {
+
+struct BusMetrics
+{
+    obs::Counter &crossings = obs::counter("bus.crossings");
+    obs::Counter &bytes = obs::counter("bus.bytes_moved");
+    obs::Counter &stalls = obs::counter("bus.contention_stalls");
+    obs::LatencyHistogram &stallNs = obs::histogram("bus.stall_ns");
+};
+
+BusMetrics &
+busMetrics()
+{
+    static BusMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 Bus::Bus(sim::Simulator &simulator, std::string name, double bandwidth_gbps,
          sim::SimTime setup_latency)
@@ -19,11 +41,34 @@ Bus::transfer(std::uint64_t bytes, Callback done)
     const sim::SimTime start = std::max(sim_.now(), freeAt_);
     const sim::SimTime payload = sim::transferTime(bytes, bandwidthGbps_);
     const sim::SimTime duration = setupLatency_ + payload;
+    const sim::SimTime stalled = start - sim_.now();
     freeAt_ = start + duration;
 
     ++stats_.transactions;
     stats_.bytesMoved += bytes;
     stats_.busyTime += duration;
+
+    BusMetrics &metrics = busMetrics();
+    metrics.crossings.increment();
+    metrics.bytes.add(bytes);
+    if (stalled > 0) {
+        ++stats_.contentionStalls;
+        stats_.stallTime += stalled;
+        metrics.stalls.increment();
+        metrics.stallNs.record(stalled);
+    }
+
+    if (HYDRA_TRACE_ACTIVE()) {
+        auto &tracer = obs::Tracer::instance();
+        // "server.bus" -> process "server", thread "bus".
+        const auto dot = name_.find('.');
+        const std::string process =
+            dot == std::string::npos ? name_ : name_.substr(0, dot);
+        const std::string thread =
+            dot == std::string::npos ? "bus" : name_.substr(dot + 1);
+        tracer.complete(tracer.lane(process, thread), "bus.xfer", "bus",
+                        start, duration);
+    }
 
     sim_.scheduleAt(freeAt_, std::move(done));
 }

@@ -26,6 +26,10 @@ struct BusStats
     std::uint64_t transactions = 0;
     std::uint64_t bytesMoved = 0;
     sim::SimTime busyTime = 0;
+    /** Transactions that waited for an in-flight transfer. */
+    std::uint64_t contentionStalls = 0;
+    /** Total time transactions spent waiting for the bus. */
+    sim::SimTime stallTime = 0;
 };
 
 /** Shared interconnect: serializes transfers, counts crossings. */

@@ -4,8 +4,33 @@
 #include <cassert>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace hydra::net {
+
+namespace {
+
+struct NetMetrics
+{
+    obs::Counter &sent = obs::counter("net.packets_sent");
+    obs::Counter &delivered = obs::counter("net.packets_delivered");
+    obs::Counter &dropped = obs::counter("net.packets_dropped");
+    obs::Counter &bytes = obs::counter("net.bytes_delivered");
+    /** Reserved: the fabric models lossy UDP, nothing retransmits
+     * today; registered so dashboards see an explicit zero. */
+    obs::Counter &retransmits = obs::counter("net.retransmits");
+    obs::LatencyHistogram &flightNs = obs::histogram("net.flight_ns");
+};
+
+NetMetrics &
+netMetrics()
+{
+    static NetMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 Network::Network(sim::Simulator &simulator, NetworkConfig config)
     : sim_(simulator), config_(config), rng_(config.seed)
@@ -54,12 +79,14 @@ Network::send(Packet packet)
         return Status(ErrorCode::MessageTooLarge, "payload too large");
 
     ++stats_.packetsSent;
+    netMetrics().sent.increment();
     packet.sentAt = sim_.now();
 
     if (config_.dropProbability > 0.0 &&
         (config_.lossPort == 0 || packet.dstPort == config_.lossPort) &&
         rng_.chance(config_.dropProbability)) {
         ++stats_.packetsDropped;
+        netMetrics().dropped.increment();
         return Status::success(); // datagram semantics: loss is silent
     }
 
@@ -91,12 +118,22 @@ Network::deliver(Packet packet)
     auto it = dst.handlers.find(packet.dstPort);
     if (it == dst.handlers.end()) {
         ++stats_.packetsDropped;
+        netMetrics().dropped.increment();
         LOG_DEBUG << "packet to " << dst.name << ":" << packet.dstPort
                   << " dropped (no listener)";
         return;
     }
     ++stats_.packetsDelivered;
     stats_.bytesDelivered += packet.payload.size();
+    NetMetrics &metrics = netMetrics();
+    metrics.delivered.increment();
+    metrics.bytes.add(packet.payload.size());
+    metrics.flightNs.record(sim_.now() - packet.sentAt);
+    if (HYDRA_TRACE_ACTIVE()) {
+        auto &tracer = obs::Tracer::instance();
+        tracer.complete(tracer.lane("network", dst.name), "net.xfer",
+                        "net", packet.sentAt, sim_.now() - packet.sentAt);
+    }
     it->second(packet);
 }
 

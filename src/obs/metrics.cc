@@ -1,0 +1,369 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hydra::obs {
+
+namespace {
+
+/** Bucket index of a sample: 0 for 0, else bit-width of the value. */
+std::size_t
+bucketOf(std::uint64_t nanos)
+{
+    return static_cast<std::size_t>(std::bit_width(nanos));
+}
+
+/** Geometric midpoint of bucket i (its representative latency). */
+double
+bucketMid(std::size_t bucket)
+{
+    if (bucket == 0)
+        return 0.0;
+    const double lo = std::ldexp(1.0, static_cast<int>(bucket) - 1);
+    return lo * std::sqrt(2.0);
+}
+
+Labels
+sortedLabels(Labels labels)
+{
+    std::sort(labels.begin(), labels.end());
+    return labels;
+}
+
+void
+jsonEscape(std::ostringstream &out, const std::string &text)
+{
+    for (char c : text) {
+        switch (c) {
+          case '"': out << "\\\""; break;
+          case '\\': out << "\\\\"; break;
+          case '\n': out << "\\n"; break;
+          case '\t': out << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out << buf;
+            } else {
+                out << c;
+            }
+        }
+    }
+}
+
+void
+writeLabels(std::ostringstream &out, const Labels &labels)
+{
+    out << '{';
+    bool first = true;
+    for (const auto &[key, value] : labels) {
+        if (!first)
+            out << ',';
+        first = false;
+        out << '"';
+        jsonEscape(out, key);
+        out << "\":\"";
+        jsonEscape(out, value);
+        out << '"';
+    }
+    out << '}';
+}
+
+void
+writeNumber(std::ostringstream &out, double value)
+{
+    if (std::isfinite(value)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+        out << buf;
+    } else {
+        out << "0";
+    }
+}
+
+std::string
+labelSuffix(const Labels &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i)
+            out += ',';
+        out += labels[i].first + "=" + labels[i].second;
+    }
+    out += '}';
+    return out;
+}
+
+} // namespace
+
+void
+LatencyHistogram::record(std::uint64_t nanos)
+{
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(nanos, std::memory_order_relaxed);
+    buckets_[bucketOf(nanos)].fetch_add(1, std::memory_order_relaxed);
+
+    std::uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (nanos < seen &&
+           !min_.compare_exchange_weak(seen, nanos,
+                                       std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (nanos > seen &&
+           !max_.compare_exchange_weak(seen, nanos,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t
+LatencyHistogram::min() const
+{
+    const std::uint64_t v = min_.load(std::memory_order_relaxed);
+    return v == UINT64_MAX ? 0 : v;
+}
+
+std::uint64_t
+LatencyHistogram::max() const
+{
+    return max_.load(std::memory_order_relaxed);
+}
+
+double
+LatencyHistogram::mean() const
+{
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double
+LatencyHistogram::percentile(double pct) const
+{
+    const std::uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    const double rank = pct / 100.0 * static_cast<double>(n);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        seen += buckets_[b].load(std::memory_order_relaxed);
+        if (static_cast<double>(seen) >= rank)
+            return std::clamp(bucketMid(b), static_cast<double>(min()),
+                              static_cast<double>(max()));
+    }
+    return static_cast<double>(max());
+}
+
+std::uint64_t
+LatencyHistogram::bucketCount(std::size_t bucket) const
+{
+    return bucket < kBuckets ? buckets_[bucket].load(std::memory_order_relaxed)
+                             : 0;
+}
+
+void
+LatencyHistogram::reset()
+{
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+template <typename T>
+T &
+MetricsRegistry::findOrCreate(std::vector<Entry<T>> &entries,
+                              const std::string &name, const Labels &labels)
+{
+    const Labels sorted = sortedLabels(labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry<T> &entry : entries)
+        if (entry.name == name && entry.labels == sorted)
+            return *entry.instrument;
+    entries.push_back(Entry<T>{name, sorted, std::make_unique<T>()});
+    return *entries.back().instrument;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name, const Labels &labels)
+{
+    return findOrCreate(counters_, name, labels);
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const Labels &labels)
+{
+    return findOrCreate(gauges_, name, labels);
+}
+
+LatencyHistogram &
+MetricsRegistry::histogram(const std::string &name, const Labels &labels)
+{
+    return findOrCreate(histograms_, name, labels);
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(const std::string &name,
+                              const Labels &labels) const
+{
+    const Labels sorted = sortedLabels(labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry<Counter> &entry : counters_)
+        if (entry.name == name && entry.labels == sorted)
+            return entry.instrument->value();
+    return 0;
+}
+
+std::uint64_t
+MetricsRegistry::counterTotal(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const Entry<Counter> &entry : counters_)
+        if (entry.name == name)
+            total += entry.instrument->value();
+    return total;
+}
+
+const LatencyHistogram *
+MetricsRegistry::findHistogram(const std::string &name,
+                               const Labels &labels) const
+{
+    const Labels sorted = sortedLabels(labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry<LatencyHistogram> &entry : histograms_)
+        if (entry.name == name && entry.labels == sorted)
+            return entry.instrument.get();
+    return nullptr;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry<Counter> &entry : counters_)
+        entry.instrument->reset();
+    for (const Entry<Gauge> &entry : gauges_)
+        entry.instrument->reset();
+    for (const Entry<LatencyHistogram> &entry : histograms_)
+        entry.instrument->reset();
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    out << "{\"counters\":[";
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+        const auto &entry = counters_[i];
+        if (i)
+            out << ',';
+        out << "{\"name\":\"";
+        jsonEscape(out, entry.name);
+        out << "\",\"labels\":";
+        writeLabels(out, entry.labels);
+        out << ",\"value\":" << entry.instrument->value() << '}';
+    }
+    out << "],\"gauges\":[";
+    for (std::size_t i = 0; i < gauges_.size(); ++i) {
+        const auto &entry = gauges_[i];
+        if (i)
+            out << ',';
+        out << "{\"name\":\"";
+        jsonEscape(out, entry.name);
+        out << "\",\"labels\":";
+        writeLabels(out, entry.labels);
+        out << ",\"value\":";
+        writeNumber(out, entry.instrument->value());
+        out << '}';
+    }
+    out << "],\"histograms\":[";
+    for (std::size_t i = 0; i < histograms_.size(); ++i) {
+        const auto &entry = histograms_[i];
+        const LatencyHistogram &h = *entry.instrument;
+        if (i)
+            out << ',';
+        out << "{\"name\":\"";
+        jsonEscape(out, entry.name);
+        out << "\",\"labels\":";
+        writeLabels(out, entry.labels);
+        out << ",\"unit\":\"ns\",\"count\":" << h.count()
+            << ",\"sum\":" << h.sum() << ",\"min\":" << h.min()
+            << ",\"max\":" << h.max() << ",\"mean\":";
+        writeNumber(out, h.mean());
+        out << ",\"p50\":";
+        writeNumber(out, h.percentile(50.0));
+        out << ",\"p90\":";
+        writeNumber(out, h.percentile(90.0));
+        out << ",\"p99\":";
+        writeNumber(out, h.percentile(99.0));
+        out << ",\"buckets\":[";
+        bool first = true;
+        for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+            const std::uint64_t n = h.bucketCount(b);
+            if (n == 0)
+                continue;
+            if (!first)
+                out << ',';
+            first = false;
+            out << "{\"le\":" << (b == 0 ? 0ull : (1ull << (b - 1)) * 2 - 1)
+                << ",\"count\":" << n << '}';
+        }
+        out << "]}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+std::string
+MetricsRegistry::prettyTable() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    char line[256];
+
+    out << "counters:\n";
+    for (const auto &entry : counters_) {
+        std::snprintf(line, sizeof(line), "  %-48s %12llu\n",
+                      (entry.name + labelSuffix(entry.labels)).c_str(),
+                      static_cast<unsigned long long>(
+                          entry.instrument->value()));
+        out << line;
+    }
+    out << "gauges:\n";
+    for (const auto &entry : gauges_) {
+        std::snprintf(line, sizeof(line), "  %-48s %12.3f\n",
+                      (entry.name + labelSuffix(entry.labels)).c_str(),
+                      entry.instrument->value());
+        out << line;
+    }
+    out << "histograms (ns):\n";
+    for (const auto &entry : histograms_) {
+        const LatencyHistogram &h = *entry.instrument;
+        std::snprintf(line, sizeof(line),
+                      "  %-48s n=%-9llu mean=%-11.0f p50=%-11.0f "
+                      "p99=%-11.0f max=%llu\n",
+                      (entry.name + labelSuffix(entry.labels)).c_str(),
+                      static_cast<unsigned long long>(h.count()), h.mean(),
+                      h.percentile(50.0), h.percentile(99.0),
+                      static_cast<unsigned long long>(h.max()));
+        out << line;
+    }
+    return out.str();
+}
+
+} // namespace hydra::obs

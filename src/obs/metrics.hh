@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Process-wide metrics registry (DESIGN.md "Observability").
+ *
+ * Three instrument kinds cover the reproduction's needs:
+ *  - Counter: monotonically increasing event count (messages sent,
+ *    bus crossings, offcodes deployed).
+ *  - Gauge: last-written level (event queue depth).
+ *  - LatencyHistogram: log2-bucketed distribution of simulated-time
+ *    durations in nanoseconds (channel send->deliver, deploy time).
+ *
+ * Handles are identified by (name, labels) and live for the process
+ * lifetime: registration takes a mutex, but updates are relaxed
+ * atomics, so instruments can be cached in function-local statics at
+ * hot call sites and bumped from anywhere. reset() zeroes values
+ * without invalidating handles, which lets benches and tests scope
+ * measurements to one scenario.
+ */
+
+#ifndef HYDRA_OBS_METRICS_HH
+#define HYDRA_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hydra::obs {
+
+/** Metric labels: (key, value) pairs; order-insensitive identity. */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Monotonic event counter. add() is a relaxed load+store rather than
+ * an atomic RMW: on the simulator's hot path (one bump per dispatched
+ * event) a locked add would be the single largest cost. The trade is
+ * that concurrent writers may lose increments — acceptable for
+ * telemetry, and exact in the single-threaded simulator.
+ */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n)
+    {
+        value_.store(value_.load(std::memory_order_relaxed) + n,
+                     std::memory_order_relaxed);
+    }
+    void increment() { add(1); }
+    std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-written level. */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { set(0.0); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Log2-bucketed latency distribution. Bucket i counts samples whose
+ * value has bit-width i, i.e. the half-open range [2^(i-1), 2^i);
+ * bucket 0 counts zero-valued samples. Percentiles interpolate at
+ * the geometric midpoint of the containing bucket, which is accurate
+ * to within a factor of sqrt(2) — plenty for order-of-magnitude
+ * latency attribution.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 65;
+
+    void record(std::uint64_t nanos);
+
+    std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+    std::uint64_t min() const;
+    std::uint64_t max() const;
+    double mean() const;
+    /** Approximate percentile in [0, 100]; 0 when empty. */
+    double percentile(double pct) const;
+    std::uint64_t bucketCount(std::size_t bucket) const;
+
+    void reset();
+
+  private:
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> min_{UINT64_MAX};
+    std::atomic<std::uint64_t> max_{0};
+    std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+/** Registry of all instruments, keyed by (name, labels). */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &instance();
+
+    Counter &counter(const std::string &name, const Labels &labels = {});
+    Gauge &gauge(const std::string &name, const Labels &labels = {});
+    LatencyHistogram &histogram(const std::string &name,
+                                const Labels &labels = {});
+
+    /** Value of a counter, or 0 when it was never registered. */
+    std::uint64_t counterValue(const std::string &name,
+                               const Labels &labels = {}) const;
+    /** Sum of every counter sharing @p name, across label sets. */
+    std::uint64_t counterTotal(const std::string &name) const;
+    /** Histogram lookup for tests; nullptr when absent. */
+    const LatencyHistogram *findHistogram(const std::string &name,
+                                          const Labels &labels = {}) const;
+
+    /** Zero every value; handles stay valid. */
+    void reset();
+
+    /** Machine-readable dump (one JSON object). */
+    std::string toJson() const;
+    /** Human-readable aligned table. */
+    std::string prettyTable() const;
+
+  private:
+    MetricsRegistry() = default;
+
+    template <typename T>
+    struct Entry
+    {
+        std::string name;
+        Labels labels;
+        std::unique_ptr<T> instrument;
+    };
+
+    template <typename T>
+    T &findOrCreate(std::vector<Entry<T>> &entries, const std::string &name,
+                    const Labels &labels);
+
+    mutable std::mutex mutex_;
+    std::vector<Entry<Counter>> counters_;
+    std::vector<Entry<Gauge>> gauges_;
+    std::vector<Entry<LatencyHistogram>> histograms_;
+};
+
+/** Shorthands for instrumentation sites. */
+inline Counter &
+counter(const std::string &name, const Labels &labels = {})
+{
+    return MetricsRegistry::instance().counter(name, labels);
+}
+
+inline Gauge &
+gauge(const std::string &name, const Labels &labels = {})
+{
+    return MetricsRegistry::instance().gauge(name, labels);
+}
+
+inline LatencyHistogram &
+histogram(const std::string &name, const Labels &labels = {})
+{
+    return MetricsRegistry::instance().histogram(name, labels);
+}
+
+} // namespace hydra::obs
+
+#endif // HYDRA_OBS_METRICS_HH

@@ -3,7 +3,33 @@
 #include <cassert>
 #include <memory>
 
+#include "obs/metrics.hh"
+
 namespace hydra::sim {
+
+namespace {
+
+/**
+ * Process-wide instruments, resolved once. Every Simulator instance
+ * feeds the same counters; a test or bench scopes them by resetting
+ * the registry before the run it cares about.
+ */
+struct SimMetrics
+{
+    obs::Counter &dispatched = obs::counter("sim.events_dispatched");
+    obs::Counter &scheduled = obs::counter("sim.events_scheduled");
+    obs::Counter &cancelled = obs::counter("sim.events_cancelled");
+    obs::Gauge &queueDepth = obs::gauge("sim.queue_depth");
+};
+
+SimMetrics &
+simMetrics()
+{
+    static SimMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 EventId
 Simulator::schedule(SimTime delay, Callback fn)
@@ -17,6 +43,7 @@ Simulator::scheduleAt(SimTime when, Callback fn)
     assert(when >= now_);
     const EventId id = nextId_++;
     queue_.push(Record{when, id, std::move(fn)});
+    simMetrics().scheduled.increment();
     return id;
 }
 
@@ -55,6 +82,7 @@ Simulator::firePeriodic(EventId series_id)
 void
 Simulator::cancel(EventId id)
 {
+    simMetrics().cancelled.increment();
     if (periodics_.erase(id))
         return;
     cancelled_.insert(id);
@@ -71,6 +99,9 @@ Simulator::step()
         assert(rec.when >= now_);
         now_ = rec.when;
         ++dispatched_;
+        SimMetrics &metrics = simMetrics();
+        metrics.dispatched.increment();
+        metrics.queueDepth.set(static_cast<double>(queue_.size()));
         rec.fn();
         return true;
     }

@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace hydra::tivo {
 
@@ -12,6 +14,25 @@ namespace {
 constexpr std::uint64_t kHostStreamerCycles = 2500;
 constexpr std::uint64_t kDeviceStreamerCycles = 900;
 constexpr std::uint64_t kDeviceForwardCycles = 400;
+
+/**
+ * Emit a pipeline-stage span on the stage's execution lane:
+ * process = machine, thread = site (host CPU or device firmware).
+ * Compute at a site is modeled busy-until style, so the stage end is
+ * the completion time returned by ExecutionSite::run().
+ */
+void
+traceStage(core::ExecutionSite &site, const char *stage,
+           sim::SimTime started, sim::SimTime finished)
+{
+    if (!HYDRA_TRACE_ACTIVE())
+        return;
+    auto &tracer = obs::Tracer::instance();
+    const sim::SimTime duration =
+        finished > started ? finished - started : 0;
+    tracer.complete(tracer.lane(site.machine().name(), site.name()),
+                    stage, "tivo", started, duration);
+}
 
 /** Serialized raw-frame header for the Decoder -> Display channel. */
 Bytes
@@ -167,18 +188,24 @@ void
 StreamerNetOffcode::onPacket(const net::Packet &packet)
 {
     ++packetsHandled_;
+    const sim::SimTime started = site().machine().simulator().now();
+    obs::counter("tivo.packets_handled",
+                 {{"site", site().isHost() ? "host" : "device"}})
+        .increment();
     if (env_->onPacketArrival)
-        env_->onPacketArrival(site().machine().simulator().now());
+        env_->onPacketArrival(started);
 
+    sim::SimTime finished;
     if (site().isHost()) {
         hw::OsKernel &os = site().machine().os();
         os.syscall();
         os.copyBytes(hostBuffer_, hostBuffer_ + env_->chunkBytes,
                      packet.payload.size());
-        site().run(kHostStreamerCycles);
+        finished = site().run(kHostStreamerCycles);
     } else {
-        site().run(kDeviceStreamerCycles);
+        finished = site().run(kDeviceStreamerCycles);
     }
+    traceStage(site(), "StreamerNet.onPacket", started, finished);
 
     if (fanout_) {
         Status written = fanout_->write(core::encodeData(packet.payload));
@@ -228,7 +255,10 @@ StreamerDiskOffcode::onData(const Bytes &payload, core::ChannelHandle from)
     // is byte-identical to the live one (the paper's trick that lets
     // one Streamer component serve both devices).
     ++chunksRecorded_;
-    site().run(kDeviceForwardCycles);
+    obs::counter("tivo.chunks_recorded").increment();
+    const sim::SimTime started = site().machine().simulator().now();
+    const sim::SimTime finished = site().run(kDeviceForwardCycles);
+    traceStage(site(), "StreamerDisk.record", started, finished);
     if (toFile_) {
         Status written = toFile_->write(core::encodeData(payload));
         if (!written) {
@@ -285,7 +315,10 @@ StreamerDiskOffcode::replayTick()
         }
         replayOffset_ += data.value().size();
         ++chunksReplayed_;
-        site().run(kDeviceForwardCycles);
+        obs::counter("tivo.chunks_replayed").increment();
+        const sim::SimTime started = site().machine().simulator().now();
+        const sim::SimTime finished = site().run(kDeviceForwardCycles);
+        traceStage(site(), "StreamerDisk.replay", started, finished);
         toDecoder_->write(core::encodeData(data.value()));
         site().timerAfter(env_->sendPeriod, [this]() { replayTick(); });
     });
@@ -343,17 +376,23 @@ DecoderOffcode::onData(const Bytes &payload, core::ChannelHandle from)
         }
 
         const std::size_t out_bytes = frame.value().bytes();
+        const sim::SimTime started = site().machine().simulator().now();
+        sim::SimTime finished;
         if (site().device() == env_->gpu && env_->gpu) {
-            env_->gpu->acceleratedDecode(out_bytes);
+            finished = env_->gpu->acceleratedDecode(out_bytes);
         } else {
             const auto cycles = static_cast<std::uint64_t>(
                 6.0 * static_cast<double>(out_bytes));
-            site().run(cycles);
+            finished = site().run(cycles);
             if (site().isHost())
                 site().machine().l2().access(hostFrameBuffer_, out_bytes,
                                              true);
         }
         ++framesDecoded_;
+        obs::counter("tivo.frames_decoded",
+                     {{"site", site().isHost() ? "host" : "device"}})
+            .increment();
+        traceStage(site(), "Decoder.decode", started, finished);
 
         if (toDisplay_) {
             toDisplay_->write(
@@ -382,11 +421,14 @@ DisplayOffcode::onData(const Bytes &payload, core::ChannelHandle from)
     }
 
     ++framesPresented_;
+    obs::counter("tivo.frames_presented").increment();
     const std::uint32_t seq = frame.value().sequence;
+    const sim::SimTime started = site().machine().simulator().now();
 
     if (env_->gpu && site().device() == env_->gpu) {
-        site().run(300);
+        const sim::SimTime finished = site().run(300);
         env_->gpu->presentFrame(frame.value().pixels);
+        traceStage(site(), "Display.present", started, finished);
         if (env_->onFramePresented)
             env_->onFramePresented(seq);
         return;
@@ -394,7 +436,8 @@ DisplayOffcode::onData(const Bytes &payload, core::ChannelHandle from)
 
     // Host fallback: stage the frame and DMA it to the framebuffer.
     if (env_->gpu) {
-        site().run(1500);
+        const sim::SimTime finished = site().run(1500);
+        traceStage(site(), "Display.present", started, finished);
         env_->gpu->dma().start(
             frame.value().pixels.size(),
             [this, pixels = frame.value().pixels, seq]() {
@@ -707,12 +750,16 @@ ServerStreamerOffcode::tick()
 
     if (buffer_.empty()) {
         ++underruns_;
+        obs::counter("tivo.server.underruns").increment();
     } else {
         Bytes chunk = std::move(buffer_.front());
         buffer_.pop_front();
-        site().run(kDeviceForwardCycles);
+        const sim::SimTime started = site().machine().simulator().now();
+        const sim::SimTime finished = site().run(kDeviceForwardCycles);
+        traceStage(site(), "server.Streamer.tick", started, finished);
         toBroadcast_->write(core::encodeData(chunk));
         ++chunksSent_;
+        obs::counter("tivo.server.chunks_sent").increment();
         // Return the consumed credit so File stays one window ahead.
         fromFile_->write(core::encodeManagement(encodeCredits(1)));
     }

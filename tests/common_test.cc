@@ -214,6 +214,61 @@ TEST(StatsTest, PercentileInterpolates)
     EXPECT_NEAR(s.percentile(95), 95.0, 1e-9);
 }
 
+TEST(StatsTest, EmptySampleSetIsSafe)
+{
+    // Regression: these used to be assert-only guards, i.e. undefined
+    // behavior on empty sets in release builds.
+    SampleSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.median(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99.0), 0.0);
+}
+
+TEST(StatsTest, PercentileClampsOutOfRange)
+{
+    SampleSet s;
+    s.add(1.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(-5.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(250.0), 2.0);
+}
+
+TEST(StatsTest, EmptyHistogramRendersAndNormalizes)
+{
+    Histogram h(0.0, 10.0, 4);
+    EXPECT_EQ(h.totalCount(), 0u);
+    const auto norm = h.normalized();
+    ASSERT_EQ(norm.size(), 4u);
+    for (double v : norm)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+    const std::string art = h.render(20);
+    EXPECT_FALSE(art.empty());
+    EXPECT_EQ(art.find('#'), std::string::npos); // no bars drawn
+}
+
+TEST(StatsTest, DegenerateHistogramRangeIsSafe)
+{
+    // min == max happens whenever a bench histograms a constant
+    // series; it must not divide by zero. The range widens to unit
+    // width and out-of-range samples clamp as usual.
+    Histogram h(5.0, 5.0, 10);
+    h.add(5.0);
+    h.add(4.0);
+    h.add(6.0);
+    EXPECT_EQ(h.totalCount(), 3u);
+    EXPECT_EQ(h.bins().front().count, 2u); // 5.0 and the clamped 4.0
+    EXPECT_EQ(h.bins().back().count, 1u);  // the clamped 6.0
+
+    Histogram zero_bins(0.0, 1.0, 0);
+    zero_bins.add(0.5);
+    EXPECT_EQ(zero_bins.bins().size(), 1u);
+    EXPECT_EQ(zero_bins.totalCount(), 1u);
+}
+
 TEST(StatsTest, HistogramBinsAndClamps)
 {
     Histogram h(0.0, 10.0, 10);

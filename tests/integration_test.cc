@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hh"
 #include "tivo/harness.hh"
 
 namespace hydra::tivo {
@@ -38,6 +39,31 @@ TEST(TestbedTest, IdleBaselineMatchesPaper)
     EXPECT_EQ(result.serverBusCrossings, 0u);
     EXPECT_EQ(result.packetsReceived, 0u);
     EXPECT_GT(result.serverL2MissRate.mean(), 0.0);
+}
+
+TEST(TestbedTest, RunPopulatesObservabilityMetrics)
+{
+    // A full TiVoPC run must light up the load-bearing instruments:
+    // messages crossing channels and transactions crossing the bus.
+    auto &registry = obs::MetricsRegistry::instance();
+    registry.reset();
+
+    Testbed testbed(
+        quickConfig(ServerKind::Offloaded, ClientKind::Offloaded));
+    const ScenarioResult result = testbed.run();
+    ASSERT_TRUE(result.deploymentOk);
+
+    EXPECT_GT(registry.counterTotal("channel.messages_sent"), 0u);
+    EXPECT_GT(registry.counterTotal("bus.crossings"), 0u);
+    EXPECT_GT(registry.counterTotal("sim.events_dispatched"), 0u);
+    EXPECT_GT(registry.counterTotal("loader.deploys"), 0u);
+    EXPECT_GT(registry.counterTotal("net.packets_delivered"), 0u);
+
+    const obs::LatencyHistogram *latency = registry.findHistogram(
+        "channel.send_latency_ns", {{"transport", "dma-ring"}});
+    ASSERT_NE(latency, nullptr);
+    EXPECT_GT(latency->count(), 0u);
+    EXPECT_GT(latency->max(), 0u);
 }
 
 TEST(TestbedTest, OffloadedLayoutMatchesFigure8)

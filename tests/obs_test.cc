@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Tests for the observability subsystem: metrics registry semantics,
+ * trace JSON well-formedness, ring-buffer bounding, and the
+ * disabled-mode fast path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+using namespace hydra;
+
+namespace {
+
+// ------------------------------------------------------------------
+// Minimal JSON well-formedness checker (recursive descent). The test
+// suite has no JSON dependency, so we parse the exported documents
+// with this to prove they are syntactically valid JSON — which is
+// exactly what Perfetto or any downstream tool requires.
+// ------------------------------------------------------------------
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\')
+                ++pos_; // skip the escaped character
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing '"'
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::string expect(word);
+        if (text_.compare(pos_, expect.size(), expect) != 0)
+            return false;
+        pos_ += expect.size();
+        return true;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Fresh-state fixture: every test starts with zeroed instruments. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::MetricsRegistry::instance().reset();
+        obs::Tracer::instance().disable();
+        obs::Tracer::instance().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        obs::Tracer::instance().disable();
+        obs::MetricsRegistry::instance().reset();
+    }
+};
+
+} // namespace
+
+// --------------------------------------------------------- counters
+
+TEST_F(ObsTest, CounterAccumulates)
+{
+    obs::Counter &c = obs::counter("test.counter");
+    EXPECT_EQ(c.value(), 0u);
+    c.increment();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST_F(ObsTest, SameNameSameHandle)
+{
+    obs::Counter &a = obs::counter("test.same");
+    obs::Counter &b = obs::counter("test.same");
+    EXPECT_EQ(&a, &b);
+    a.increment();
+    EXPECT_EQ(b.value(), 1u);
+}
+
+TEST_F(ObsTest, LabelsDistinguishInstruments)
+{
+    obs::Counter &red = obs::counter("test.labeled", {{"color", "red"}});
+    obs::Counter &blue = obs::counter("test.labeled", {{"color", "blue"}});
+    EXPECT_NE(&red, &blue);
+    red.add(3);
+    blue.add(4);
+    auto &registry = obs::MetricsRegistry::instance();
+    EXPECT_EQ(registry.counterValue("test.labeled", {{"color", "red"}}), 3u);
+    EXPECT_EQ(registry.counterTotal("test.labeled"), 7u);
+}
+
+TEST_F(ObsTest, LabelOrderDoesNotMatter)
+{
+    obs::Counter &ab =
+        obs::counter("test.order", {{"a", "1"}, {"b", "2"}});
+    obs::Counter &ba =
+        obs::counter("test.order", {{"b", "2"}, {"a", "1"}});
+    EXPECT_EQ(&ab, &ba);
+}
+
+TEST_F(ObsTest, ResetZeroesButKeepsHandles)
+{
+    obs::Counter &c = obs::counter("test.reset");
+    c.add(10);
+    obs::MetricsRegistry::instance().reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.increment();
+    EXPECT_EQ(obs::MetricsRegistry::instance().counterValue("test.reset"),
+              1u);
+}
+
+// ----------------------------------------------------------- gauges
+
+TEST_F(ObsTest, GaugeHoldsLastValue)
+{
+    obs::Gauge &g = obs::gauge("test.gauge");
+    g.set(5.0);
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+// ------------------------------------------------------- histograms
+
+TEST_F(ObsTest, HistogramSummaries)
+{
+    obs::LatencyHistogram &h = obs::histogram("test.hist");
+    h.record(100);
+    h.record(200);
+    h.record(300);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 600u);
+    EXPECT_EQ(h.min(), 100u);
+    EXPECT_EQ(h.max(), 300u);
+    EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+    // Log2 buckets bound percentiles to within the containing bucket,
+    // clamped by the observed extrema.
+    const double p50 = h.percentile(50.0);
+    EXPECT_GE(p50, 100.0);
+    EXPECT_LE(p50, 300.0);
+}
+
+TEST_F(ObsTest, HistogramEmptyIsSafe)
+{
+    obs::LatencyHistogram &h = obs::histogram("test.hist.empty");
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
+}
+
+TEST_F(ObsTest, HistogramBucketsAreLog2)
+{
+    obs::LatencyHistogram &h = obs::histogram("test.hist.buckets");
+    h.record(0);  // bucket 0
+    h.record(1);  // bit_width 1
+    h.record(7);  // bit_width 3
+    h.record(8);  // bit_width 4
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+}
+
+// ------------------------------------------------------ JSON export
+
+TEST_F(ObsTest, MetricsJsonIsWellFormed)
+{
+    obs::counter("test.json.counter", {{"kind", "a\"b\\c"}}).add(7);
+    obs::gauge("test.json.gauge").set(1.25);
+    obs::histogram("test.json.hist").record(1000);
+
+    const std::string json = obs::MetricsRegistry::instance().toJson();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+    EXPECT_NE(json.find("\"test.json.counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"unit\":\"ns\""), std::string::npos);
+}
+
+TEST_F(ObsTest, PrettyTableListsEveryInstrument)
+{
+    obs::counter("test.table.counter").add(3);
+    obs::histogram("test.table.hist").record(50);
+    const std::string table =
+        obs::MetricsRegistry::instance().prettyTable();
+    EXPECT_NE(table.find("test.table.counter"), std::string::npos);
+    EXPECT_NE(table.find("test.table.hist"), std::string::npos);
+}
+
+// ----------------------------------------------------------- tracer
+
+TEST_F(ObsTest, TraceJsonIsWellFormedChromeSchema)
+{
+    auto &tracer = obs::Tracer::instance();
+    tracer.enable(64);
+    const obs::TraceLane lane = tracer.lane("client", "nic");
+    tracer.complete(lane, "bus.xfer", "bus", 1000, 500);
+    tracer.instant(lane, "drop", "net", 2500);
+    tracer.counterSample(lane, "queue", 3000, 4.0);
+
+    std::ostringstream out;
+    tracer.writeJson(out);
+    const std::string json = out.str();
+
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+    // Chrome trace_event required fields.
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"bus.xfer\""), std::string::npos);
+    // Lane metadata for Perfetto track names.
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("\"client\""), std::string::npos);
+}
+
+TEST_F(ObsTest, LanesAreInternedStably)
+{
+    auto &tracer = obs::Tracer::instance();
+    tracer.enable(16);
+    const obs::TraceLane a1 = tracer.lane("server", "nic");
+    const obs::TraceLane a2 = tracer.lane("server", "nic");
+    const obs::TraceLane b = tracer.lane("server", "disk");
+    const obs::TraceLane c = tracer.lane("client", "nic");
+    EXPECT_EQ(a1.pid, a2.pid);
+    EXPECT_EQ(a1.tid, a2.tid);
+    EXPECT_EQ(a1.pid, b.pid);
+    EXPECT_NE(a1.tid, b.tid);
+    EXPECT_NE(a1.pid, c.pid);
+}
+
+TEST_F(ObsTest, RingBufferOverwritesOldest)
+{
+    auto &tracer = obs::Tracer::instance();
+    tracer.enable(8);
+    const obs::TraceLane lane = tracer.lane("p", "t");
+    for (int i = 0; i < 20; ++i)
+        tracer.instant(lane, "e" + std::to_string(i), "test",
+                       static_cast<sim::SimTime>(i) * 100);
+
+    EXPECT_EQ(tracer.eventsRecorded(), 8u);
+    EXPECT_EQ(tracer.eventsOverwritten(), 12u);
+
+    std::ostringstream out;
+    tracer.writeJson(out);
+    const std::string json = out.str();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+    // The oldest events are gone, the newest survive.
+    EXPECT_EQ(json.find("\"e0\""), std::string::npos);
+    EXPECT_NE(json.find("\"e19\""), std::string::npos);
+    EXPECT_NE(json.find("\"overwritten\":12"), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledTracerRecordsNothing)
+{
+    auto &tracer = obs::Tracer::instance();
+    ASSERT_FALSE(tracer.enabled());
+    EXPECT_FALSE(HYDRA_TRACE_ACTIVE());
+
+    // Macro form: the body must not evaluate when disabled.
+    int evaluations = 0;
+    auto touch = [&]() {
+        ++evaluations;
+        return tracer.lane("p", "t");
+    };
+    HYDRA_TRACE_COMPLETE(touch(), "never", "test", 0, 1);
+    HYDRA_TRACE_INSTANT(touch(), "never", "test", 0);
+    EXPECT_EQ(evaluations, 0);
+    EXPECT_EQ(tracer.eventsRecorded(), 0u);
+
+    // Direct calls while disabled are dropped too.
+    tracer.complete(obs::TraceLane{}, "direct", "test", 0, 1);
+    EXPECT_EQ(tracer.eventsRecorded(), 0u);
+}
+
+TEST_F(ObsTest, EnableResetsRing)
+{
+    auto &tracer = obs::Tracer::instance();
+    tracer.enable(8);
+    tracer.instant(tracer.lane("p", "t"), "old", "test", 1);
+    EXPECT_EQ(tracer.eventsRecorded(), 1u);
+    tracer.enable(8); // re-enable = fresh ring
+    EXPECT_EQ(tracer.eventsRecorded(), 0u);
+    EXPECT_EQ(tracer.eventsOverwritten(), 0u);
+}

@@ -14,13 +14,17 @@
  *             [--seconds N] [--seed N] [--period-ms N]
  *             [--chunk-bytes N] [--drop P] [--quiet-host]
  *             [--no-bus-multicast] [--histogram]
+ *             [--metrics] [--metrics-out FILE] [--trace-out FILE]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "tivo/harness.hh"
 
 using namespace hydra;
@@ -37,7 +41,8 @@ usage(const char *argv0)
         "          [--client receiver|user-space|offloaded|none]\n"
         "          [--seconds N] [--seed N] [--period-ms N]\n"
         "          [--chunk-bytes N] [--drop P] [--quiet-host]\n"
-        "          [--no-bus-multicast] [--histogram]\n",
+        "          [--no-bus-multicast] [--histogram]\n"
+        "          [--metrics] [--metrics-out FILE] [--trace-out FILE]\n",
         argv0);
     return 2;
 }
@@ -101,6 +106,9 @@ main(int argc, char **argv)
     config.duration = sim::seconds(60);
     config.warmup = sim::seconds(5);
     bool histogram = false;
+    bool printMetrics = false;
+    std::string metricsOut;
+    std::string traceOut;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -151,9 +159,31 @@ main(int argc, char **argv)
             config.busMulticast = false;
         } else if (arg == "--histogram") {
             histogram = true;
+        } else if (arg == "--metrics") {
+            printMetrics = true;
+        } else if (arg == "--metrics-out") {
+            const char *value = next();
+            if (!value)
+                return usage(argv[0]);
+            metricsOut = value;
+        } else if (arg == "--trace-out") {
+            const char *value = next();
+            if (!value)
+                return usage(argv[0]);
+            traceOut = value;
         } else {
             return usage(argv[0]);
         }
+    }
+
+    if (!traceOut.empty()) {
+        obs::Tracer::instance().enable();
+#if !HYDRA_OBS_TRACING
+        std::fprintf(stderr,
+                     "hydra_sim: warning: built with HYDRA_TRACING=OFF; "
+                     "%s will contain no events\n",
+                     traceOut.c_str());
+#endif
     }
 
     std::printf("hydra_sim: server=%s client=%s duration=%.0fs seed=%llu"
@@ -200,6 +230,30 @@ main(int argc, char **argv)
             h.add(v);
         std::printf("\ninter-arrival histogram (ms):\n%s",
                     h.render(50).c_str());
+    }
+
+    if (printMetrics) {
+        std::printf("\nmetrics:\n%s",
+                    obs::MetricsRegistry::instance().prettyTable().c_str());
+    }
+    if (!metricsOut.empty()) {
+        std::ofstream out(metricsOut);
+        if (!out) {
+            std::fprintf(stderr, "hydra_sim: cannot write %s\n",
+                         metricsOut.c_str());
+            return 1;
+        }
+        out << obs::MetricsRegistry::instance().toJson() << '\n';
+        std::printf("\n(wrote metrics to %s)\n", metricsOut.c_str());
+    }
+    if (!traceOut.empty()) {
+        if (!obs::Tracer::instance().writeFile(traceOut)) {
+            std::fprintf(stderr, "hydra_sim: cannot write %s\n",
+                         traceOut.c_str());
+            return 1;
+        }
+        std::printf("(wrote trace to %s — load it at ui.perfetto.dev)\n",
+                    traceOut.c_str());
     }
     return result.deploymentOk ? 0 : 1;
 }
