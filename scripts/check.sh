@@ -3,9 +3,12 @@
 # suite. This is the command CI and pre-merge checks run.
 #
 # Usage:
-#   scripts/check.sh             # default build + all tests
-#   scripts/check.sh --sanitize  # ASan/UBSan build, obs-labeled tests
-#                                # first, then the full suite
+#   scripts/check.sh               # default build + all tests
+#   scripts/check.sh --sanitize    # ASan/UBSan build, obs-labeled tests
+#                                  # first, then the full suite
+#   scripts/check.sh --no-tracing  # HYDRA_TRACING=OFF build: proves
+#                                  # spans/traces compile out and the
+#                                  # suite still passes without them
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,8 +24,12 @@ for arg in "$@"; do
         BUILD_DIR=build-sanitize
         CMAKE_ARGS+=(-DHYDRA_SANITIZE=ON)
         ;;
+      --no-tracing)
+        BUILD_DIR=build-notrace
+        CMAKE_ARGS+=(-DHYDRA_TRACING=OFF)
+        ;;
       *)
-        echo "usage: $0 [--sanitize]" >&2
+        echo "usage: $0 [--sanitize|--no-tracing]" >&2
         exit 2
         ;;
     esac

@@ -84,6 +84,12 @@ CallReturn::deserialize(const Bytes &wire)
     return ret;
 }
 
+std::string
+spanName(const Call &call)
+{
+    return "call." + call.method;
+}
+
 Result<MessageKind>
 peekKind(const Bytes &wire)
 {

@@ -60,6 +60,9 @@ struct CallReturn
     static Result<CallReturn> deserialize(const Bytes &wire);
 };
 
+/** Trace-span name of a Call's dispatch ("call.<method>"). */
+std::string spanName(const Call &call);
+
 /** Peek at the kind byte of a wire message (Ok only if non-empty). */
 Result<MessageKind> peekKind(const Bytes &wire);
 

@@ -1,8 +1,10 @@
 #include "core/channel.hh"
 
 #include "common/logging.hh"
+#include "core/call.hh"
 #include "core/offcode.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace hydra::core {
 
@@ -37,11 +39,13 @@ Channel::installHandler(std::size_t endpoint, Handler handler)
         return;
     Endpoint &ep = endpoints_[endpoint];
     ep.handler = std::move(handler);
-    // Drain anything queued before the handler arrived.
+    // Drain anything queued before the handler arrived, each message
+    // under the causal context it was delivered with.
     while (ep.handler && !ep.queue.empty()) {
-        Bytes message = std::move(ep.queue.front());
+        Queued queued = std::move(ep.queue.front());
         ep.queue.pop_front();
-        ep.handler(message, SIZE_MAX);
+        obs::ContextScope scope(queued.ctx);
+        ep.handler(queued.message, SIZE_MAX);
     }
 }
 
@@ -53,9 +57,28 @@ Channel::poll(std::size_t endpoint)
     Endpoint &ep = endpoints_[endpoint];
     if (ep.queue.empty())
         return Error(ErrorCode::NotFound, "no message pending");
-    Bytes message = std::move(ep.queue.front());
+    // Polling is a pull model: the caller owns its own causal scope,
+    // so the stored context is dropped here.
+    Bytes message = std::move(ep.queue.front().message);
     ep.queue.pop_front();
     return message;
+}
+
+ExecutionSite *
+Channel::siteOf(std::size_t endpoint) const
+{
+    return endpoint < endpoints_.size() ? endpoints_[endpoint].site
+                                        : nullptr;
+}
+
+std::size_t
+Channel::queuedFor(const Offcode &offcode) const
+{
+    std::size_t total = 0;
+    for (const Endpoint &ep : endpoints_)
+        if (ep.offcode == &offcode)
+            total += ep.queue.size();
+    return total;
 }
 
 Result<std::size_t>
@@ -125,7 +148,7 @@ Channel::deliverTo(std::size_t endpoint, const Bytes &message,
         ep.handler(message, from);
         return;
     }
-    ep.queue.push_back(message);
+    ep.queue.push_back(Queued{message, obs::activeContext()});
 }
 
 void
@@ -144,6 +167,10 @@ Channel::dispatchToOffcode(std::size_t endpoint, const Bytes &message,
         return;
     }
 
+    const sim::SimTime started =
+        ep.site ? ep.site->machine().simulator().now() : 0;
+    bool ok = true;
+
     switch (kind.value()) {
       case MessageKind::Call: {
         auto call = Call::deserialize(message);
@@ -151,6 +178,10 @@ Channel::dispatchToOffcode(std::size_t endpoint, const Bytes &message,
             LOG_WARN << "channel: bad Call to " << offcode->bindname();
             return;
         }
+        obs::Span span;
+        if (HYDRA_TRACE_ACTIVE() && ep.site)
+            span.open(ep.site->machine().name(), ep.site->name(),
+                      spanName(call.value()), "call", started);
         // Dispatch costs a little compute at the target site.
         if (ep.site)
             ep.site->run(400);
@@ -163,8 +194,12 @@ Channel::dispatchToOffcode(std::size_t endpoint, const Bytes &message,
                       offcode->bindname() +
                           " does not implement interface " +
                           call.value().interfaceGuid.toString()));
-        if (!call.value().expectsReturn)
-            return;
+        ok = static_cast<bool>(result);
+        if (!call.value().expectsReturn) {
+            if (ep.site)
+                span.end(ep.site->run(0));
+            break;
+        }
         CallReturn ret;
         ret.callId = call.value().callId;
         if (result) {
@@ -174,11 +209,15 @@ Channel::dispatchToOffcode(std::size_t endpoint, const Bytes &message,
             ret.ok = false;
             ret.error = result.error().describe();
         }
+        // The Return travels inside the dispatch span, so the reply
+        // is causally linked to this Call's span.
         Status written = writeFrom(endpoint, ret.serialize());
         if (!written) {
             LOG_DEBUG << "channel: return write failed: "
                       << written.error().describe();
         }
+        if (ep.site)
+            span.end(ep.site->run(0));
         break;
       }
       case MessageKind::Data: {
@@ -186,6 +225,8 @@ Channel::dispatchToOffcode(std::size_t endpoint, const Bytes &message,
         if (payload)
             offcode->onData(payload.value(),
                             ChannelHandle{this, endpoint});
+        else
+            ok = false;
         break;
       }
       case MessageKind::Management: {
@@ -199,9 +240,12 @@ Channel::dispatchToOffcode(std::size_t endpoint, const Bytes &message,
       case MessageKind::Return:
         // Returns flowing toward an Offcode endpoint are queued so
         // proxy-style callers on device can poll them.
-        ep.queue.push_back(message);
+        ep.queue.push_back(Queued{message, obs::activeContext()});
         break;
     }
+    if (kind.value() != MessageKind::Return)
+        offcode->noteDispatch(kind.value(), ok, started,
+                              ep.site ? ep.site->run(0) : started);
     (void)from;
 }
 

@@ -23,6 +23,7 @@
 #include "common/bytes.hh"
 #include "common/result.hh"
 #include "core/site.hh"
+#include "obs/span.hh"
 
 namespace hydra::core {
 
@@ -125,13 +126,26 @@ class Channel
     void close();
     bool closed() const { return closed_; }
 
+    /** The site an endpoint executes at (nullptr if out of range). */
+    ExecutionSite *siteOf(std::size_t endpoint) const;
+
+    /** Messages queued (no handler yet) for @p offcode's endpoints. */
+    std::size_t queuedFor(const Offcode &offcode) const;
+
   protected:
+    /** A queued message plus the causal context it arrived under. */
+    struct Queued
+    {
+        Bytes message;
+        obs::SpanContext ctx;
+    };
+
     struct Endpoint
     {
         ExecutionSite *site = nullptr;
         Offcode *offcode = nullptr; ///< set for connectOffcode endpoints
         Handler handler;
-        std::deque<Bytes> queue;
+        std::deque<Queued> queue;
     };
 
     /** Register an endpoint; providers may veto cross-site layouts. */

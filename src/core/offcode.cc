@@ -6,6 +6,19 @@
 
 namespace hydra::core {
 
+const char *
+offcodeStateName(OffcodeState state)
+{
+    switch (state) {
+      case OffcodeState::Created: return "Created";
+      case OffcodeState::Initialized: return "Initialized";
+      case OffcodeState::Started: return "Started";
+      case OffcodeState::Stopped: return "Stopped";
+      case OffcodeState::Faulted: return "Faulted";
+    }
+    return "Unknown";
+}
+
 Offcode::Offcode(std::string bindname)
     : bindname_(std::move(bindname)), guid_(Guid::fromName(bindname_))
 {
@@ -89,6 +102,23 @@ Offcode::onManagement(const Bytes &payload, ChannelHandle from)
 {
     (void)payload;
     (void)from;
+}
+
+void
+Offcode::noteDispatch(MessageKind kind, bool ok, sim::SimTime started,
+                      sim::SimTime finished)
+{
+    switch (kind) {
+      case MessageKind::Call: ++telemetry_.callsHandled; break;
+      case MessageKind::Data: ++telemetry_.dataHandled; break;
+      case MessageKind::Management: ++telemetry_.mgmtHandled; break;
+      case MessageKind::Return: break;
+    }
+    if (!ok)
+        ++telemetry_.invokeErrors;
+    if (finished > started)
+        telemetry_.busyNs += finished - started;
+    telemetry_.lastActivityAt = started;
 }
 
 void

@@ -50,6 +50,31 @@ enum class OffcodeState {
     Faulted,
 };
 
+/** Human-readable lifecycle state name. */
+const char *offcodeStateName(OffcodeState state);
+
+/**
+ * Per-Offcode dispatch accounting, maintained by the channel layer
+ * and served over the OOB channel by the hydra.Monitor service.
+ */
+struct OffcodeTelemetry
+{
+    std::uint64_t callsHandled = 0;
+    std::uint64_t dataHandled = 0;
+    std::uint64_t mgmtHandled = 0;
+    std::uint64_t invokeErrors = 0;
+    /** Simulated time the Offcode's site spent on its dispatches. */
+    sim::SimTime busyNs = 0;
+    /** Start time of the most recent dispatch (watchdog basis). */
+    sim::SimTime lastActivityAt = 0;
+
+    std::uint64_t
+    messagesProcessed() const
+    {
+        return callsHandled + dataHandled + mgmtHandled;
+    }
+};
+
 /**
  * Base class for all Offcodes (the IOffcode interface of the paper:
  * instantiation, initialization, and interface dispatch).
@@ -109,6 +134,12 @@ class Offcode
     ExecutionSite &site() { return *ctx_.site; }
     Runtime &runtime() { return *ctx_.runtime; }
 
+    // --- telemetry (hydra.Monitor introspection) ---
+    const OffcodeTelemetry &telemetry() const { return telemetry_; }
+    /** Channel layer: account one dispatched message. */
+    void noteDispatch(MessageKind kind, bool ok, sim::SimTime started,
+                      sim::SimTime finished);
+
   protected:
     using MethodFn = std::function<Result<Bytes>(const Bytes &)>;
 
@@ -130,6 +161,7 @@ class Offcode
     OffcodeState state_ = OffcodeState::Created;
     std::map<std::string, MethodFn> methods_;
     std::vector<Guid> interfaces_;
+    OffcodeTelemetry telemetry_;
 };
 
 } // namespace hydra::core

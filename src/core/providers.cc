@@ -45,19 +45,6 @@ ringMetrics()
     return metrics;
 }
 
-/** Trace one delivered channel send on the destination site's lane. */
-void
-traceChannelSend(ExecutionSite *dst, sim::SimTime sent_at,
-                 sim::SimTime delivered_at)
-{
-    if (!HYDRA_TRACE_ACTIVE() || !dst)
-        return;
-    auto &tracer = obs::Tracer::instance();
-    tracer.complete(tracer.lane(dst->machine().name(), dst->name()),
-                    "channel.send", "channel", sent_at,
-                    delivered_at - sent_at);
-}
-
 } // namespace
 
 namespace {
@@ -104,17 +91,25 @@ class LocalChannel : public Channel
             endpoints_[from].site->run(250);
 
         const sim::SimTime sentAt = sim_.now();
+        // Capture the sender's causal context; delivery runs later
+        // from the scheduler with an empty one.
+        const obs::SpanContext ctx = obs::activeContext();
         for (std::size_t ep = 0; ep < endpoints_.size(); ++ep) {
             if (ep == from)
                 continue;
-            sim_.schedule(costs_.localLatency,
-                          [this, ep, from, sentAt, msg = message]() {
-                              localMetrics().latencyNs.record(sim_.now() -
-                                                              sentAt);
-                              traceChannelSend(endpoints_[ep].site, sentAt,
-                                               sim_.now());
-                              deliverTo(ep, msg, from);
-                          });
+            sim_.schedule(
+                costs_.localLatency,
+                [this, ep, from, sentAt, ctx, msg = message]() {
+                    localMetrics().latencyNs.record(sim_.now() - sentAt);
+                    obs::ContextScope scope(ctx);
+                    obs::Span span;
+                    ExecutionSite *dst = endpoints_[ep].site;
+                    if (HYDRA_TRACE_ACTIVE() && dst)
+                        span.open(dst->machine().name(), dst->name(),
+                                  "channel.send", "channel", sentAt);
+                    span.end(sim_.now());
+                    deliverTo(ep, msg, from);
+                });
         }
         return Status::success();
     }
@@ -198,6 +193,7 @@ class RingChannel : public Channel
 
         // One multicast bus transaction can cover all device
         // destinations when the fabric supports it.
+        const obs::SpanContext ctx = obs::activeContext();
         bool sharedCrossingCharged = false;
         for (std::size_t ep = 0; ep < endpoints_.size(); ++ep) {
             if (ep == from)
@@ -205,7 +201,7 @@ class RingChannel : public Channel
             const bool charge =
                 !busMulticast_ || !sharedCrossingCharged ||
                 endpoints_[ep].site->isHost();
-            transport(from, ep, message, charge, sentAt);
+            transport(from, ep, message, charge, sentAt, ctx);
             if (!endpoints_[ep].site->isHost())
                 sharedCrossingCharged = true;
         }
@@ -218,6 +214,7 @@ class RingChannel : public Channel
         std::size_t from = 0;
         Bytes message;
         sim::SimTime sentAt = 0;
+        obs::SpanContext ctx;
     };
 
     struct EpState
@@ -232,14 +229,15 @@ class RingChannel : public Channel
     /** Move one message from endpoint @p from to @p to. */
     void
     transport(std::size_t from, std::size_t to, const Bytes &message,
-              bool charge_bus, sim::SimTime sent_at)
+              bool charge_bus, sim::SimTime sent_at,
+              const obs::SpanContext &ctx)
     {
         EpState &dst_state = state_[to];
         if (dst_state.inFlight >= config_.ringDepth) {
             if (config_.reliable) {
                 // Backpressure: queue until a descriptor frees.
                 dst_state.backlog.push_back(
-                    BacklogEntry{from, message, sent_at});
+                    BacklogEntry{from, message, sent_at, ctx});
             } else {
                 ++stats_.messagesDropped;
                 ringMetrics().dropped.increment();
@@ -247,19 +245,20 @@ class RingChannel : public Channel
             return;
         }
         ++dst_state.inFlight;
-        startDma(from, to, message, charge_bus, sent_at);
+        startDma(from, to, message, charge_bus, sent_at, ctx);
     }
 
     void
     startDma(std::size_t from, std::size_t to, const Bytes &message,
-             bool charge_bus, sim::SimTime sent_at)
+             bool charge_bus, sim::SimTime sent_at,
+             const obs::SpanContext &ctx)
     {
         ExecutionSite *src = endpoints_[from].site;
         ExecutionSite *dst = endpoints_[to].site;
         const std::size_t bytes = message.size();
 
-        auto finish = [this, from, to, sent_at, msg = message]() {
-            completeDelivery(from, to, msg, sent_at);
+        auto finish = [this, from, to, sent_at, ctx, msg = message]() {
+            completeDelivery(from, to, msg, sent_at, ctx);
         };
 
         // Pick the bus-mastering engine: the device side of the pair.
@@ -283,13 +282,17 @@ class RingChannel : public Channel
 
     void
     completeDelivery(std::size_t from, std::size_t to, const Bytes &message,
-                     sim::SimTime sent_at)
+                     sim::SimTime sent_at, const obs::SpanContext &ctx)
     {
         ExecutionSite *dst = endpoints_[to].site;
         EpState &dst_state = state_[to];
 
         ringMetrics().latencyNs.record(sim_.now() - sent_at);
-        traceChannelSend(dst, sent_at, sim_.now());
+        obs::ContextScope scope(ctx);
+        obs::Span span;
+        if (HYDRA_TRACE_ACTIVE() && dst)
+            span.open(dst->machine().name(), dst->name(),
+                      "channel.send", "channel", sent_at);
 
         if (dst->isHost()) {
             hw::Machine &machine = dst->machine();
@@ -306,6 +309,7 @@ class RingChannel : public Channel
             dst->run(costs_.deviceRxCycles);
         }
 
+        span.end(sim_.now());
         deliverTo(to, message, from);
 
         // Descriptor recycled; drain backlog if any.
@@ -315,7 +319,8 @@ class RingChannel : public Channel
             BacklogEntry entry = std::move(dst_state.backlog.front());
             dst_state.backlog.pop_front();
             ++dst_state.inFlight;
-            startDma(entry.from, to, entry.message, true, entry.sentAt);
+            startDma(entry.from, to, entry.message, true, entry.sentAt,
+                     entry.ctx);
         }
     }
 

@@ -1,6 +1,7 @@
 #include "core/proxy.hh"
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace hydra::core {
 
@@ -35,10 +36,17 @@ Proxy::invoke(const std::string &method, const Bytes &arguments,
 {
     Call call = makeCall(method, arguments, true);
     const std::uint64_t id = call.callId;
+    ExecutionSite *site = channel_.siteOf(endpoint_);
+    obs::Span span;
+    if (HYDRA_TRACE_ACTIVE() && site)
+        span.open(site->machine().name(), site->name(), spanName(call),
+                  "call", site->machine().simulator().now());
     Status sent = channel_.writeFrom(endpoint_, call.serialize());
+    if (site)
+        span.end(site->run(0));
     if (!sent)
         return sent;
-    pending_[id] = std::move(on_return);
+    pending_[id] = Pending{std::move(on_return), span.context()};
     return Status::success();
 }
 
@@ -46,7 +54,15 @@ Status
 Proxy::invokeOneWay(const std::string &method, const Bytes &arguments)
 {
     Call call = makeCall(method, arguments, false);
-    return channel_.writeFrom(endpoint_, call.serialize());
+    ExecutionSite *site = channel_.siteOf(endpoint_);
+    obs::Span span;
+    if (HYDRA_TRACE_ACTIVE() && site)
+        span.open(site->machine().name(), site->name(), spanName(call),
+                  "call", site->machine().simulator().now());
+    Status sent = channel_.writeFrom(endpoint_, call.serialize());
+    if (site)
+        span.end(site->run(0));
+    return sent;
 }
 
 void
@@ -65,12 +81,16 @@ Proxy::onMessage(const Bytes &message)
     auto it = pending_.find(ret.value().callId);
     if (it == pending_.end())
         return;
-    ReturnCallback callback = std::move(it->second);
+    Pending entry = std::move(it->second);
     pending_.erase(it);
+    // Run the completion under the originating Call's span so work
+    // triggered by the Return stays on the same trace.
+    obs::ContextScope scope(entry.ctx);
     if (ret.value().ok)
-        callback(std::move(ret).value().value);
+        entry.callback(std::move(ret).value().value);
     else
-        callback(Error(ErrorCode::OffcodeFaulted, ret.value().error));
+        entry.callback(
+            Error(ErrorCode::OffcodeFaulted, ret.value().error));
 }
 
 } // namespace hydra::core

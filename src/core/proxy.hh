@@ -45,6 +45,13 @@ class Proxy
     std::size_t pendingCalls() const { return pending_.size(); }
 
   private:
+    /** A pending Return plus the span the Call was issued under. */
+    struct Pending
+    {
+        ReturnCallback callback;
+        obs::SpanContext ctx;
+    };
+
     void onMessage(const Bytes &message);
 
     Channel &channel_;
@@ -52,7 +59,7 @@ class Proxy
     Guid target_;
     Guid interface_;
     std::uint64_t nextCallId_ = 1;
-    std::map<std::uint64_t, ReturnCallback> pending_;
+    std::map<std::uint64_t, Pending> pending_;
 };
 
 } // namespace hydra::core

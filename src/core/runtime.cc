@@ -1,8 +1,11 @@
 #include "core/runtime.hh"
 
 #include <memory>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "obs/json.hh"
+#include "obs/trace.hh"
 
 namespace hydra::core {
 
@@ -99,6 +102,78 @@ class ExecutivePseudoOffcode : public Offcode
     Runtime &rt_;
 };
 
+/**
+ * "hydra.Monitor" pseudo Offcode: the introspection protocol on the
+ * OOB channel. Stats answers with the full per-Offcode snapshot,
+ * Health with a compact watchdog view, Spans with the tracer state.
+ */
+class MonitorPseudoOffcode : public Offcode
+{
+  public:
+    explicit MonitorPseudoOffcode(Runtime &runtime)
+        : Offcode("hydra.Monitor"), rt_(runtime)
+    {
+        registerMethod("Stats", [this](const Bytes &) -> Result<Bytes> {
+            const std::string json = rt_.introspectJson();
+            return Bytes(json.begin(), json.end());
+        });
+        registerMethod("Health", [this](const Bytes &) -> Result<Bytes> {
+            return health();
+        });
+        registerMethod("Spans", [](const Bytes &) -> Result<Bytes> {
+            return spans();
+        });
+    }
+
+  private:
+    /** An Offcode silent this long (simulated) is flagged unhealthy. */
+    static constexpr sim::SimTime kWatchdogLimitNs =
+        sim::seconds(5);
+
+    Result<Bytes>
+    health()
+    {
+        const IntrospectionSnapshot snap = rt_.introspect();
+        std::ostringstream out;
+        out << "{\"machine\":";
+        obs::writeJsonString(out, snap.machine);
+        out << ",\"now_ns\":" << snap.now << ",\"offcodes\":[";
+        bool first = true;
+        for (const OffcodeIntrospection &oc : snap.offcodes) {
+            if (!first)
+                out << ",";
+            first = false;
+            const bool healthy = oc.state == "Started" &&
+                                 oc.watchdogAgeNs < kWatchdogLimitNs;
+            out << "{\"bindname\":";
+            obs::writeJsonString(out, oc.bindname);
+            out << ",\"state\":";
+            obs::writeJsonString(out, oc.state);
+            out << ",\"watchdog_age_ns\":" << oc.watchdogAgeNs
+                << ",\"healthy\":" << (healthy ? "true" : "false")
+                << "}";
+        }
+        out << "]}";
+        const std::string json = out.str();
+        return Bytes(json.begin(), json.end());
+    }
+
+    static Result<Bytes>
+    spans()
+    {
+        auto &tracer = obs::Tracer::instance();
+        std::ostringstream out;
+        out << "{\"enabled\":" << (tracer.enabled() ? "true" : "false")
+            << ",\"events\":" << tracer.eventsRecorded()
+            << ",\"overwritten\":" << tracer.eventsOverwritten()
+            << ",\"capacity\":" << tracer.capacity() << "}";
+        const std::string json = out.str();
+        return Bytes(json.begin(), json.end());
+    }
+
+    Runtime &rt_;
+};
+
 /** Minimal ODF for a host-resident pseudo Offcode. */
 std::string
 pseudoOdf(const std::string &bindname)
@@ -158,6 +233,10 @@ Runtime::registerPseudoOffcodes()
         {"hydra.ChannelExecutive",
          [](Runtime &rt) {
              return std::make_unique<ExecutivePseudoOffcode>(rt);
+         }},
+        {"hydra.Monitor",
+         [](Runtime &rt) {
+             return std::make_unique<MonitorPseudoOffcode>(rt);
          }},
     };
 
@@ -549,6 +628,67 @@ Runtime::invokeAsync(const std::string &bindname, const std::string &method,
             *dep.oob, dep.instance->guid(), dep.instance->guid());
     return dep.controlProxy->invoke(method, arguments,
                                     std::move(on_return));
+}
+
+IntrospectionSnapshot
+Runtime::introspect() const
+{
+    IntrospectionSnapshot snap;
+    snap.machine = machine_.name();
+    snap.now = machine_.simulator().now();
+    for (const auto &[bindname, dep] : deployed_) {
+        if (!dep.instance)
+            continue;
+        OffcodeIntrospection oc;
+        oc.bindname = bindname;
+        oc.site = dep.site ? dep.site->name() : "";
+        oc.isHost = !dep.site || dep.site->isHost();
+        oc.state = offcodeStateName(dep.instance->state());
+        oc.telemetry = dep.instance->telemetry();
+        oc.watchdogAgeNs =
+            oc.telemetry.messagesProcessed() > 0
+                ? snap.now - oc.telemetry.lastActivityAt
+                : snap.now;
+        if (dep.oob) {
+            oc.oobQueued = dep.oob->queuedFor(*dep.instance);
+            oc.oobDelivered = dep.oob->stats().messagesDelivered;
+        }
+        snap.offcodes.push_back(std::move(oc));
+    }
+    return snap;
+}
+
+std::string
+Runtime::introspectJson() const
+{
+    const IntrospectionSnapshot snap = introspect();
+    std::ostringstream out;
+    out << "{\"machine\":";
+    obs::writeJsonString(out, snap.machine);
+    out << ",\"now_ns\":" << snap.now << ",\"offcodes\":[";
+    bool first = true;
+    for (const OffcodeIntrospection &oc : snap.offcodes) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "{\"bindname\":";
+        obs::writeJsonString(out, oc.bindname);
+        out << ",\"site\":";
+        obs::writeJsonString(out, oc.site);
+        out << ",\"is_host\":" << (oc.isHost ? "true" : "false")
+            << ",\"state\":";
+        obs::writeJsonString(out, oc.state);
+        out << ",\"calls_handled\":" << oc.telemetry.callsHandled
+            << ",\"data_handled\":" << oc.telemetry.dataHandled
+            << ",\"mgmt_handled\":" << oc.telemetry.mgmtHandled
+            << ",\"invoke_errors\":" << oc.telemetry.invokeErrors
+            << ",\"busy_ns\":" << oc.telemetry.busyNs
+            << ",\"watchdog_age_ns\":" << oc.watchdogAgeNs
+            << ",\"oob_queued\":" << oc.oobQueued
+            << ",\"oob_delivered\":" << oc.oobDelivered << "}";
+    }
+    out << "]}";
+    return out.str();
 }
 
 Result<Channel *>

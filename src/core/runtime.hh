@@ -64,6 +64,31 @@ struct RuntimeStats
     std::size_t deploymentsFailed = 0;
 };
 
+/** One deployed Offcode's introspection record (paper: the OOB
+ * channel is the runtime's window into a remote Offcode). */
+struct OffcodeIntrospection
+{
+    std::string bindname;
+    std::string site;
+    bool isHost = true;
+    std::string state;
+    OffcodeTelemetry telemetry;
+    /** Simulated ns since the Offcode last handled a message; the
+     * watchdog signal. Age since boot when it never handled one. */
+    sim::SimTime watchdogAgeNs = 0;
+    /** Messages waiting unread on the OOB channel. */
+    std::size_t oobQueued = 0;
+    std::uint64_t oobDelivered = 0;
+};
+
+/** Point-in-time snapshot over every deployed Offcode. */
+struct IntrospectionSnapshot
+{
+    std::string machine;
+    sim::SimTime now = 0;
+    std::vector<OffcodeIntrospection> offcodes;
+};
+
 /** The Offloading Access Layer. */
 class Runtime
 {
@@ -138,6 +163,13 @@ class Runtime
 
     /** The OOB channel of a deployed Offcode (creator side). */
     Result<Channel *> oobChannelOf(const std::string &bindname);
+
+    // --- introspection (hydra.Monitor answers from these) ---
+    /** Snapshot per-Offcode stats, health and queue depths. */
+    IntrospectionSnapshot introspect() const;
+
+    /** introspect() rendered as a machine-readable JSON object. */
+    std::string introspectJson() const;
 
   private:
     struct Deployed

@@ -112,6 +112,9 @@ ProgrammableNic::onReceive(const net::Packet &packet)
     auto handler = binding.handler; // copy: binding may be unbound later
     dma().start(bytes, [this, os, buffer, bytes, handler,
                         pkt = packet]() mutable {
+        // DMA completion runs from the scheduler; restore the
+        // packet's causal context for the host-side handler.
+        obs::ContextScope scope(pkt.traceCtx);
         os->dmaDelivered(buffer, bytes);
         os->handleInterrupt();
         handler(pkt);
@@ -136,8 +139,11 @@ ProgrammableNic::sendFromHost(net::Packet packet, hw::Addr host_buffer)
     ++sent_;
 
     // One bus crossing host -> device, then firmware tx processing,
-    // then the wire.
-    dma().start(bytes, [this, pkt = std::move(packet)]() mutable {
+    // then the wire. Carry the sender's causal context across the
+    // asynchronous DMA hop.
+    const obs::SpanContext ctx = obs::activeContext();
+    dma().start(bytes, [this, ctx, pkt = std::move(packet)]() mutable {
+        obs::ContextScope scope(ctx);
         runFirmware(costs_.txFirmwareCycles);
         Status sent = net_.send(std::move(pkt));
         if (!sent) {

@@ -81,6 +81,8 @@ Network::send(Packet packet)
     ++stats_.packetsSent;
     netMetrics().sent.increment();
     packet.sentAt = sim_.now();
+    if (!packet.traceCtx.valid())
+        packet.traceCtx = obs::activeContext();
 
     if (config_.dropProbability > 0.0 &&
         (config_.lossPort == 0 || packet.dstPort == config_.lossPort) &&
@@ -129,11 +131,14 @@ Network::deliver(Packet packet)
     metrics.delivered.increment();
     metrics.bytes.add(packet.payload.size());
     metrics.flightNs.record(sim_.now() - packet.sentAt);
-    if (HYDRA_TRACE_ACTIVE()) {
-        auto &tracer = obs::Tracer::instance();
-        tracer.complete(tracer.lane("network", dst.name), "net.xfer",
-                        "net", packet.sentAt, sim_.now() - packet.sentAt);
-    }
+    // Restore the sender's causal context for the receive path; the
+    // wire transfer itself is a span on the fabric's lane.
+    obs::ContextScope scope(packet.traceCtx);
+    obs::Span span;
+    if (HYDRA_TRACE_ACTIVE())
+        span.open("network", dst.name, "net.xfer", "net",
+                  packet.sentAt);
+    span.end(sim_.now());
     it->second(packet);
 }
 

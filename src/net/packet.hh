@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "common/bytes.hh"
+#include "obs/span.hh"
 #include "sim/time.hh"
 
 namespace hydra::net {
@@ -33,6 +34,8 @@ struct Packet
     Bytes payload;
     /** Stamped by Network::send for latency/jitter measurement. */
     sim::SimTime sentAt = 0;
+    /** Causal context of the sender, restored at delivery. */
+    obs::SpanContext traceCtx;
 
     std::size_t
     wireBytes() const

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Shared JSON string escaping for the observability exporters.
+ *
+ * metrics.cc and trace.cc used to carry near-identical ad-hoc
+ * escapers; this is the single canonical one. It escapes exactly what
+ * RFC 8259 requires: quote, backslash, and control characters below
+ * 0x20 (with short forms for the common ones).
+ */
+
+#ifndef HYDRA_OBS_JSON_HH
+#define HYDRA_OBS_JSON_HH
+
+#include <ostream>
+#include <string_view>
+
+namespace hydra::obs {
+
+/** Escape @p text as JSON string contents (no surrounding quotes). */
+void jsonEscape(std::ostream &out, std::string_view text);
+
+/** Write @p text as a complete, quoted JSON string. */
+void writeJsonString(std::ostream &out, std::string_view text);
+
+} // namespace hydra::obs
+
+#endif // HYDRA_OBS_JSON_HH

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/json.hh"
+
 namespace hydra::obs {
 
 namespace {
@@ -32,27 +34,6 @@ sortedLabels(Labels labels)
 {
     std::sort(labels.begin(), labels.end());
     return labels;
-}
-
-void
-jsonEscape(std::ostringstream &out, const std::string &text)
-{
-    for (char c : text) {
-        switch (c) {
-          case '"': out << "\\\""; break;
-          case '\\': out << "\\\\"; break;
-          case '\n': out << "\\n"; break;
-          case '\t': out << "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out << buf;
-            } else {
-                out << c;
-            }
-        }
-    }
 }
 
 void
@@ -333,36 +314,67 @@ std::string
 MetricsRegistry::prettyTable() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    std::ostringstream out;
-    char line[256];
 
-    out << "counters:\n";
-    for (const auto &entry : counters_) {
-        std::snprintf(line, sizeof(line), "  %-48s %12llu\n",
-                      (entry.name + labelSuffix(entry.labels)).c_str(),
-                      static_cast<unsigned long long>(
-                          entry.instrument->value()));
-        out << line;
-    }
-    out << "gauges:\n";
-    for (const auto &entry : gauges_) {
-        std::snprintf(line, sizeof(line), "  %-48s %12.3f\n",
-                      (entry.name + labelSuffix(entry.labels)).c_str(),
-                      entry.instrument->value());
-        out << line;
-    }
-    out << "histograms (ns):\n";
-    for (const auto &entry : histograms_) {
-        const LatencyHistogram &h = *entry.instrument;
-        std::snprintf(line, sizeof(line),
-                      "  %-48s n=%-9llu mean=%-11.0f p50=%-11.0f "
-                      "p99=%-11.0f max=%llu\n",
-                      (entry.name + labelSuffix(entry.labels)).c_str(),
-                      static_cast<unsigned long long>(h.count()), h.mean(),
-                      h.percentile(50.0), h.percentile(99.0),
-                      static_cast<unsigned long long>(h.max()));
-        out << line;
-    }
+    // Rows are sorted by display name and the name column is sized to
+    // the longest row, so the table reads the same however metrics
+    // happened to register.
+    struct Row
+    {
+        std::string key;
+        std::string value;
+    };
+    auto collect = [](const auto &entries, auto format) {
+        std::vector<Row> rows;
+        for (const auto &entry : entries)
+            rows.push_back(Row{entry.name + labelSuffix(entry.labels),
+                               format(*entry.instrument)});
+        std::sort(rows.begin(), rows.end(),
+                  [](const Row &a, const Row &b) { return a.key < b.key; });
+        return rows;
+    };
+
+    char buf[192];
+    const std::vector<Row> counterRows =
+        collect(counters_, [&](const Counter &c) {
+            std::snprintf(buf, sizeof(buf), "%12llu",
+                          static_cast<unsigned long long>(c.value()));
+            return std::string(buf);
+        });
+    const std::vector<Row> gaugeRows =
+        collect(gauges_, [&](const Gauge &g) {
+            std::snprintf(buf, sizeof(buf), "%12.3f", g.value());
+            return std::string(buf);
+        });
+    const std::vector<Row> histogramRows =
+        collect(histograms_, [&](const LatencyHistogram &h) {
+            std::snprintf(buf, sizeof(buf),
+                          "n=%-9llu mean=%-11.0f p50=%-11.0f "
+                          "p99=%-11.0f max=%llu",
+                          static_cast<unsigned long long>(h.count()),
+                          h.mean(), h.percentile(50.0), h.percentile(99.0),
+                          static_cast<unsigned long long>(h.max()));
+            return std::string(buf);
+        });
+
+    std::size_t width = 24;
+    for (const auto *rows : {&counterRows, &gaugeRows, &histogramRows})
+        for (const Row &row : *rows)
+            width = std::max(width, row.key.size());
+
+    std::ostringstream out;
+    auto section = [&](const char *title, const std::vector<Row> &rows) {
+        out << title << ":\n";
+        for (const Row &row : rows) {
+            char line[256];
+            std::snprintf(line, sizeof(line), "  %-*s %s\n",
+                          static_cast<int>(width), row.key.c_str(),
+                          row.value.c_str());
+            out << line;
+        }
+    };
+    section("counters", counterRows);
+    section("gauges", gaugeRows);
+    section("histograms (ns)", histogramRows);
     return out.str();
 }
 

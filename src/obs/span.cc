@@ -1,0 +1,100 @@
+#include "obs/span.hh"
+
+#if HYDRA_OBS_TRACING
+
+namespace hydra::obs {
+
+namespace {
+
+// The simulation is single-threaded; one global active context and a
+// plain counter keep id allocation deterministic under a fixed seed.
+SpanContext g_active{};
+std::uint64_t g_nextSpanId = 1;
+
+std::uint64_t
+nextSpanId()
+{
+    return g_nextSpanId++;
+}
+
+} // namespace
+
+const SpanContext &
+activeContext()
+{
+    return g_active;
+}
+
+void
+setActiveContext(const SpanContext &context)
+{
+    g_active = context;
+}
+
+void
+resetSpanIds()
+{
+    g_active = SpanContext{};
+    g_nextSpanId = 1;
+}
+
+ContextScope::ContextScope(const SpanContext &context) : saved_(g_active)
+{
+    g_active = context;
+}
+
+ContextScope::~ContextScope()
+{
+    g_active = saved_;
+}
+
+void
+Span::open(const std::string &process, const std::string &thread,
+           std::string name, std::string category, sim::SimTime start)
+{
+    if (active_ || !Tracer::instance().enabled())
+        return;
+    lane_ = Tracer::instance().lane(process, thread);
+    name_ = std::move(name);
+    category_ = std::move(category);
+    start_ = start;
+
+    ctx_.spanId = nextSpanId();
+    if (g_active.valid()) {
+        ctx_.traceId = g_active.traceId;
+        ctx_.parentId = g_active.spanId;
+    } else {
+        ctx_.traceId = ctx_.spanId;
+        ctx_.parentId = 0;
+    }
+
+    saved_ = g_active;
+    g_active = ctx_;
+    active_ = true;
+    ended_ = false;
+}
+
+void
+Span::end(sim::SimTime ts)
+{
+    if (!active_ || ended_)
+        return;
+    ended_ = true;
+    const sim::SimTime duration = ts > start_ ? ts - start_ : 0;
+    Tracer::instance().span(lane_, name_, category_, start_, duration,
+                            ctx_.traceId, ctx_.spanId, ctx_.parentId);
+}
+
+Span::~Span()
+{
+    if (!active_)
+        return;
+    if (!ended_)
+        end(start_);
+    g_active = saved_;
+    active_ = false;
+}
+
+} // namespace hydra::obs
+
+#endif // HYDRA_OBS_TRACING

@@ -6,30 +6,12 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+
 namespace hydra::obs {
 
 namespace {
-
-void
-jsonEscape(std::ostream &out, const std::string &text)
-{
-    for (char c : text) {
-        switch (c) {
-          case '"': out << "\\\""; break;
-          case '\\': out << "\\\\"; break;
-          case '\n': out << "\\n"; break;
-          case '\t': out << "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out << buf;
-            } else {
-                out << c;
-            }
-        }
-    }
-}
 
 /** trace_event timestamps are microseconds; keep ns as fractions. */
 void
@@ -111,6 +93,8 @@ Tracer::record(TraceEvent event)
         ring_.push_back(std::move(event));
     } else {
         ring_[total_ % capacity_] = std::move(event);
+        static Counter &dropped = counter("obs.trace.dropped_events");
+        dropped.increment();
     }
     ++total_;
 }
@@ -156,6 +140,26 @@ Tracer::counterSample(TraceLane lane, const std::string &name,
     event.pid = lane.pid;
     event.tid = lane.tid;
     event.value = value;
+    record(std::move(event));
+}
+
+void
+Tracer::span(TraceLane lane, const std::string &name,
+             const std::string &category, sim::SimTime start,
+             sim::SimTime duration, std::uint64_t trace_id,
+             std::uint64_t span_id, std::uint64_t parent_id)
+{
+    TraceEvent event;
+    event.name = name;
+    event.category = category;
+    event.phase = 'X';
+    event.ts = start;
+    event.dur = duration;
+    event.pid = lane.pid;
+    event.tid = lane.tid;
+    event.traceId = trace_id;
+    event.spanId = span_id;
+    event.parentId = parent_id;
     record(std::move(event));
 }
 
@@ -230,6 +234,11 @@ Tracer::writeJson(std::ostream &out) const
         if (event.phase == 'X') {
             out << ",\"dur\":";
             writeTimestamp(out, event.dur);
+            if (event.spanId != 0) {
+                out << ",\"args\":{\"trace_id\":" << event.traceId
+                    << ",\"span_id\":" << event.spanId
+                    << ",\"parent_id\":" << event.parentId << '}';
+            }
         } else if (event.phase == 'i') {
             out << ",\"s\":\"t\"";
         } else if (event.phase == 'C') {
@@ -238,6 +247,18 @@ Tracer::writeJson(std::ostream &out) const
             out << ",\"args\":{\"value\":" << buf << '}';
         }
         out << '}';
+
+        // Legacy flow events bound by trace id stitch a trace's spans
+        // into one arrow chain across lanes. The flow point sits at
+        // the slice midpoint so Perfetto attaches it to the slice.
+        if (event.phase == 'X' && event.spanId != 0) {
+            out << ",{\"name\":\"trace\",\"cat\":\"flow\",\"ph\":\""
+                << (event.parentId == 0 ? 's' : 't')
+                << "\",\"id\":" << event.traceId << ",\"ts\":";
+            writeTimestamp(out, event.ts + event.dur / 2);
+            out << ",\"pid\":" << event.pid << ",\"tid\":" << event.tid
+                << '}';
+        }
     }
     out << "],\"otherData\":{\"clock\":\"simulated\",\"overwritten\":"
         << (total_ > n ? total_ - n : 0) << "}}";
@@ -250,6 +271,54 @@ Tracer::writeFile(const std::string &path) const
     if (!out)
         return false;
     writeJson(out);
+    out.flush();
+    return out.good();
+}
+
+void
+Tracer::writeSpansJson(std::ostream &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    out << "{\"spans\":[";
+    const std::size_t n = ring_.size();
+    const std::size_t start = n < capacity_ ? 0 : total_ % capacity_;
+    bool first = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceEvent &event = ring_[(start + i) % n];
+        if (event.phase != 'X' || event.spanId == 0)
+            continue;
+        if (!first)
+            out << ',';
+        first = false;
+        out << "{\"name\":";
+        writeJsonString(out, event.name);
+        out << ",\"cat\":";
+        writeJsonString(out, event.category);
+        std::string site;
+        for (const LaneName &lane : lanes_) {
+            if (lane.lane.pid == event.pid && lane.lane.tid == event.tid) {
+                site = lane.process + "/" + lane.thread;
+                break;
+            }
+        }
+        out << ",\"site\":";
+        writeJsonString(out, site);
+        out << ",\"ts_ns\":" << event.ts << ",\"dur_ns\":" << event.dur
+            << ",\"trace_id\":" << event.traceId
+            << ",\"span_id\":" << event.spanId
+            << ",\"parent_id\":" << event.parentId << '}';
+    }
+    out << "],\"otherData\":{\"clock\":\"simulated\",\"overwritten\":"
+        << (total_ > n ? total_ - n : 0) << "}}";
+}
+
+bool
+Tracer::writeSpansFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeSpansJson(out);
     out.flush();
     return out.good();
 }

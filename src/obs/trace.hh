@@ -51,6 +51,10 @@ struct TraceEvent
     int pid = 0;
     int tid = 0;
     double value = 0.0;    ///< sample value ('C' only)
+    /** Causal span identity; 0 = not a span ('X' span events only). */
+    std::uint64_t traceId = 0;
+    std::uint64_t spanId = 0;
+    std::uint64_t parentId = 0;
 };
 
 /** Process-wide ring-buffered tracer. */
@@ -89,6 +93,17 @@ class Tracer
     void counterSample(TraceLane lane, const std::string &name,
                        sim::SimTime ts, double value);
 
+    /**
+     * Causal span: a duration event carrying trace/span/parent ids.
+     * Exported both as an 'X' slice (with the ids in args) and as a
+     * legacy flow event bound by trace id, so Perfetto draws one
+     * connected arrow chain per trace across lanes.
+     */
+    void span(TraceLane lane, const std::string &name,
+              const std::string &category, sim::SimTime start,
+              sim::SimTime duration, std::uint64_t trace_id,
+              std::uint64_t span_id, std::uint64_t parent_id);
+
     /** Events currently held in the ring. */
     std::size_t eventsRecorded() const;
     /** Events overwritten after the ring filled. */
@@ -99,6 +114,11 @@ class Tracer
     void writeJson(std::ostream &out) const;
     /** writeJson to @p path; false on I/O failure. */
     bool writeFile(const std::string &path) const;
+
+    /** Flat span listing (span events only), for offline analysis. */
+    void writeSpansJson(std::ostream &out) const;
+    /** writeSpansJson to @p path; false on I/O failure. */
+    bool writeSpansFile(const std::string &path) const;
 
   private:
     Tracer() = default;

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "obs/trace.hh"
 
 namespace hydra::tivo {
@@ -16,22 +17,21 @@ constexpr std::uint64_t kDeviceStreamerCycles = 900;
 constexpr std::uint64_t kDeviceForwardCycles = 400;
 
 /**
- * Emit a pipeline-stage span on the stage's execution lane:
+ * Begin a pipeline-stage span on the stage's execution lane:
  * process = machine, thread = site (host CPU or device firmware).
  * Compute at a site is modeled busy-until style, so the stage end is
- * the completion time returned by ExecutionSite::run().
+ * the completion time returned by ExecutionSite::run(). Downstream
+ * channel writes must happen while the span is alive so they inherit
+ * its context and the frame's journey stays one connected trace.
  */
 void
-traceStage(core::ExecutionSite &site, const char *stage,
-           sim::SimTime started, sim::SimTime finished)
+openStageSpan(obs::Span &span, core::ExecutionSite &site,
+              const char *stage, sim::SimTime started)
 {
     if (!HYDRA_TRACE_ACTIVE())
         return;
-    auto &tracer = obs::Tracer::instance();
-    const sim::SimTime duration =
-        finished > started ? finished - started : 0;
-    tracer.complete(tracer.lane(site.machine().name(), site.name()),
-                    stage, "tivo", started, duration);
+    span.open(site.machine().name(), site.name(), stage, "tivo",
+              started);
 }
 
 /** Serialized raw-frame header for the Decoder -> Display channel. */
@@ -195,6 +195,8 @@ StreamerNetOffcode::onPacket(const net::Packet &packet)
     if (env_->onPacketArrival)
         env_->onPacketArrival(started);
 
+    obs::Span span;
+    openStageSpan(span, site(), "StreamerNet.onPacket", started);
     sim::SimTime finished;
     if (site().isHost()) {
         hw::OsKernel &os = site().machine().os();
@@ -205,7 +207,7 @@ StreamerNetOffcode::onPacket(const net::Packet &packet)
     } else {
         finished = site().run(kDeviceStreamerCycles);
     }
-    traceStage(site(), "StreamerNet.onPacket", started, finished);
+    span.end(finished);
 
     if (fanout_) {
         Status written = fanout_->write(core::encodeData(packet.payload));
@@ -257,8 +259,9 @@ StreamerDiskOffcode::onData(const Bytes &payload, core::ChannelHandle from)
     ++chunksRecorded_;
     obs::counter("tivo.chunks_recorded").increment();
     const sim::SimTime started = site().machine().simulator().now();
-    const sim::SimTime finished = site().run(kDeviceForwardCycles);
-    traceStage(site(), "StreamerDisk.record", started, finished);
+    obs::Span span;
+    openStageSpan(span, site(), "StreamerDisk.record", started);
+    span.end(site().run(kDeviceForwardCycles));
     if (toFile_) {
         Status written = toFile_->write(core::encodeData(payload));
         if (!written) {
@@ -317,9 +320,12 @@ StreamerDiskOffcode::replayTick()
         ++chunksReplayed_;
         obs::counter("tivo.chunks_replayed").increment();
         const sim::SimTime started = site().machine().simulator().now();
-        const sim::SimTime finished = site().run(kDeviceForwardCycles);
-        traceStage(site(), "StreamerDisk.replay", started, finished);
-        toDecoder_->write(core::encodeData(data.value()));
+        {
+            obs::Span span;
+            openStageSpan(span, site(), "StreamerDisk.replay", started);
+            span.end(site().run(kDeviceForwardCycles));
+            toDecoder_->write(core::encodeData(data.value()));
+        }
         site().timerAfter(env_->sendPeriod, [this]() { replayTick(); });
     });
 }
@@ -377,6 +383,8 @@ DecoderOffcode::onData(const Bytes &payload, core::ChannelHandle from)
 
         const std::size_t out_bytes = frame.value().bytes();
         const sim::SimTime started = site().machine().simulator().now();
+        obs::Span span;
+        openStageSpan(span, site(), "Decoder.decode", started);
         sim::SimTime finished;
         if (site().device() == env_->gpu && env_->gpu) {
             finished = env_->gpu->acceleratedDecode(out_bytes);
@@ -392,7 +400,7 @@ DecoderOffcode::onData(const Bytes &payload, core::ChannelHandle from)
         obs::counter("tivo.frames_decoded",
                      {{"site", site().isHost() ? "host" : "device"}})
             .increment();
-        traceStage(site(), "Decoder.decode", started, finished);
+        span.end(finished);
 
         if (toDisplay_) {
             toDisplay_->write(
@@ -426,9 +434,10 @@ DisplayOffcode::onData(const Bytes &payload, core::ChannelHandle from)
     const sim::SimTime started = site().machine().simulator().now();
 
     if (env_->gpu && site().device() == env_->gpu) {
-        const sim::SimTime finished = site().run(300);
+        obs::Span span;
+        openStageSpan(span, site(), "Display.present", started);
+        span.end(site().run(300));
         env_->gpu->presentFrame(frame.value().pixels);
-        traceStage(site(), "Display.present", started, finished);
         if (env_->onFramePresented)
             env_->onFramePresented(seq);
         return;
@@ -436,8 +445,9 @@ DisplayOffcode::onData(const Bytes &payload, core::ChannelHandle from)
 
     // Host fallback: stage the frame and DMA it to the framebuffer.
     if (env_->gpu) {
-        const sim::SimTime finished = site().run(1500);
-        traceStage(site(), "Display.present", started, finished);
+        obs::Span span;
+        openStageSpan(span, site(), "Display.present", started);
+        span.end(site().run(1500));
         env_->gpu->dma().start(
             frame.value().pixels.size(),
             [this, pixels = frame.value().pixels, seq]() {
@@ -755,8 +765,11 @@ ServerStreamerOffcode::tick()
         Bytes chunk = std::move(buffer_.front());
         buffer_.pop_front();
         const sim::SimTime started = site().machine().simulator().now();
-        const sim::SimTime finished = site().run(kDeviceForwardCycles);
-        traceStage(site(), "server.Streamer.tick", started, finished);
+        // Ticks fire from a timer with no active context, so this
+        // span is the root of each streamed chunk's trace.
+        obs::Span span;
+        openStageSpan(span, site(), "server.Streamer.tick", started);
+        span.end(site().run(kDeviceForwardCycles));
         toBroadcast_->write(core::encodeData(chunk));
         ++chunksSent_;
         obs::counter("tivo.server.chunks_sent").increment();

@@ -8,6 +8,7 @@
 
 #include "common/bytes.hh"
 #include "common/guid.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/result.hh"
 #include "common/rng.hh"
@@ -433,6 +434,56 @@ TEST(LoggingTest, SinkCapturesAtOrAboveLevel)
 
     ASSERT_EQ(captured.size(), 1u);
     EXPECT_EQ(captured[0], "visible 42");
+}
+
+// ------------------------------------------------------------------ JSON
+
+TEST(JsonTest, ParsesScalarsAndEscapes)
+{
+    auto doc = json::parse(
+        "{\"s\":\"a\\n\\\"b\\u0041\",\"n\":42,\"neg\":-1.5,"
+        "\"t\":true,\"f\":false,\"z\":null}");
+    ASSERT_TRUE(doc.ok()) << doc.error().describe();
+    ASSERT_TRUE(doc.value().isObject());
+    EXPECT_EQ(doc.value().find("s")->string, "a\n\"bA");
+    EXPECT_EQ(doc.value().find("n")->asU64(), 42u);
+    EXPECT_DOUBLE_EQ(doc.value().find("neg")->number, -1.5);
+    EXPECT_TRUE(doc.value().find("t")->boolean);
+    EXPECT_FALSE(doc.value().find("f")->boolean);
+    EXPECT_TRUE(doc.value().find("z")->isNull());
+}
+
+TEST(JsonTest, ParsesNestedArraysAndObjects)
+{
+    auto doc = json::parse("[{\"a\":[1,2,3]},{\"a\":[]}]");
+    ASSERT_TRUE(doc.ok());
+    ASSERT_TRUE(doc.value().isArray());
+    ASSERT_EQ(doc.value().array.size(), 2u);
+    const json::Value *inner = doc.value().array[0].find("a");
+    ASSERT_NE(inner, nullptr);
+    ASSERT_EQ(inner->array.size(), 3u);
+    EXPECT_EQ(inner->array[2].asU64(), 3u);
+    EXPECT_TRUE(doc.value().array[1].find("a")->array.empty());
+}
+
+TEST(JsonTest, FindOnNonObjectIsNull)
+{
+    auto doc = json::parse("[1]");
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc.value().find("anything"), nullptr);
+    EXPECT_EQ(doc.value().array[0].asU64(), 1u);
+    EXPECT_EQ(doc.value().asU64(), 0u); // not a number
+}
+
+TEST(JsonTest, RejectsMalformedDocuments)
+{
+    EXPECT_FALSE(json::parse("").ok());
+    EXPECT_FALSE(json::parse("{").ok());
+    EXPECT_FALSE(json::parse("{\"a\":}").ok());
+    EXPECT_FALSE(json::parse("[1,]").ok());
+    EXPECT_FALSE(json::parse("\"unterminated").ok());
+    EXPECT_FALSE(json::parse("{} trailing").ok());
+    EXPECT_FALSE(json::parse("nul").ok());
 }
 
 } // namespace

@@ -9,7 +9,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/json.hh"
+#include "core/runtime.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "obs/trace.hh"
 #include "tivo/harness.hh"
 
 namespace hydra::tivo {
@@ -342,6 +352,112 @@ TEST(TestbedTest, DeterministicForFixedSeed)
                      second.interarrivalMs.mean());
     EXPECT_DOUBLE_EQ(first.serverCpuPct.mean(),
                      second.serverCpuPct.mean());
+}
+
+#if HYDRA_OBS_TRACING
+TEST(TestbedTest, TraceFlowCrossesThreeSites)
+{
+    // The headline acceptance test for causal tracing: one streamed
+    // chunk's spans must form a single trace that crosses at least
+    // three distinct execution lanes (host, NIC, disk/GPU...).
+    auto &tracer = obs::Tracer::instance();
+    tracer.enable(1 << 15);
+    obs::resetSpanIds();
+
+    Testbed testbed(
+        quickConfig(ServerKind::Offloaded, ClientKind::Offloaded));
+    const ScenarioResult result = testbed.run();
+
+    std::ostringstream out;
+    tracer.writeJson(out);
+    tracer.disable();
+    tracer.clear();
+    ASSERT_TRUE(result.deploymentOk);
+
+    auto doc = hydra::json::parse(out.str());
+    ASSERT_TRUE(doc.ok()) << doc.error().describe();
+    const hydra::json::Value *events = doc.value().find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    // Group span slices by trace-id; count each trace's distinct
+    // (pid, tid) lanes, i.e. how many sites its causal chain touched.
+    std::map<std::uint64_t,
+             std::set<std::pair<std::uint64_t, std::uint64_t>>>
+        lanesByTrace;
+    for (const hydra::json::Value &event : events->array) {
+        if (!event.isObject())
+            continue;
+        const hydra::json::Value *ph = event.find("ph");
+        if (!ph || ph->string != "X")
+            continue;
+        const hydra::json::Value *args = event.find("args");
+        if (!args)
+            continue;
+        const hydra::json::Value *traceId = args->find("trace_id");
+        const hydra::json::Value *pid = event.find("pid");
+        const hydra::json::Value *tid = event.find("tid");
+        if (!traceId || !pid || !tid)
+            continue;
+        lanesByTrace[traceId->asU64()].insert(
+            {pid->asU64(), tid->asU64()});
+    }
+    ASSERT_FALSE(lanesByTrace.empty());
+
+    std::size_t widest = 0;
+    for (const auto &[id, lanes] : lanesByTrace)
+        widest = std::max(widest, lanes.size());
+    EXPECT_GE(widest, 3u)
+        << "no trace crossed 3 execution sites (widest=" << widest
+        << " across " << lanesByTrace.size() << " traces)";
+}
+#endif // HYDRA_OBS_TRACING
+
+TEST(TestbedTest, IntrospectionCoversEveryDeployedOffcode)
+{
+    // Snapshot mid-run (not after run(), which stops every Offcode):
+    // introspection is meant to answer "what is running right now".
+    Testbed testbed(
+        quickConfig(ServerKind::Offloaded, ClientKind::Offloaded));
+    testbed.offloadedClient()->startWatching();
+    testbed.server()->startStreaming();
+    testbed.simulator().runUntil(sim::seconds(10));
+    ASSERT_TRUE(testbed.offloadedClient()->deployed())
+        << testbed.offloadedClient()->deploymentError();
+
+    core::Runtime &rt = *testbed.clientRuntime();
+    const core::IntrospectionSnapshot snap = rt.introspect();
+    ASSERT_FALSE(snap.offcodes.empty());
+
+    auto find =
+        [&](const std::string &name) -> const core::OffcodeIntrospection * {
+        for (const core::OffcodeIntrospection &oc : snap.offcodes)
+            if (oc.bindname == name)
+                return &oc;
+        return nullptr;
+    };
+
+    // Every Fig. 8 component plus the monitor pseudo-Offcode reports
+    // in, each in the Started state.
+    for (const char *name :
+         {"tivo.StreamerNet", "tivo.StreamerDisk", "tivo.Decoder",
+          "tivo.Display", "tivo.File", "tivo.Gui", "hydra.Monitor"}) {
+        const core::OffcodeIntrospection *oc = find(name);
+        ASSERT_NE(oc, nullptr) << name;
+        EXPECT_EQ(oc->state, "Started") << name;
+    }
+
+    // Components on the datapath accumulated real telemetry.
+    const core::OffcodeIntrospection *decoder = find("tivo.Decoder");
+    EXPECT_GT(decoder->telemetry.dataHandled, 0u);
+    EXPECT_GT(decoder->telemetry.busyNs, 0u);
+    EXPECT_GT(decoder->telemetry.lastActivityAt, 0u);
+
+    // The JSON form parses and lists the same population.
+    auto doc = hydra::json::parse(rt.introspectJson());
+    ASSERT_TRUE(doc.ok()) << doc.error().describe();
+    const hydra::json::Value *offcodes = doc.value().find("offcodes");
+    ASSERT_NE(offcodes, nullptr);
+    EXPECT_EQ(offcodes->array.size(), snap.offcodes.size());
 }
 
 TEST(TestbedTest, DifferentSeedsDifferentNoise)

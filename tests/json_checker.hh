@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Minimal JSON well-formedness checker (recursive descent), shared by
+ * the test suites. The tests have no external JSON dependency, so
+ * exported documents are parsed with this to prove they are
+ * syntactically valid JSON — which is exactly what Perfetto or any
+ * downstream tool requires. (src/common/json.hh is the richer parser
+ * the tools use; this stays independent so it can vet that one too.)
+ */
+
+#ifndef HYDRA_TESTS_JSON_CHECKER_HH
+#define HYDRA_TESTS_JSON_CHECKER_HH
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace hydra::testutil {
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\')
+                ++pos_; // skip the escaped character
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing '"'
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::string expect(word);
+        if (text_.compare(pos_, expect.size(), expect) != 0)
+            return false;
+        pos_ += expect.size();
+        return true;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace hydra::testutil
+
+#endif // HYDRA_TESTS_JSON_CHECKER_HH

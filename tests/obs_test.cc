@@ -7,175 +7,19 @@
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cstddef>
 #include <sstream>
 #include <string>
 
+#include "json_checker.hh"
+#include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
 using namespace hydra;
+using hydra::testutil::JsonChecker;
 
 namespace {
-
-// ------------------------------------------------------------------
-// Minimal JSON well-formedness checker (recursive descent). The test
-// suite has no JSON dependency, so we parse the exported documents
-// with this to prove they are syntactically valid JSON — which is
-// exactly what Perfetto or any downstream tool requires.
-// ------------------------------------------------------------------
-
-class JsonChecker
-{
-  public:
-    explicit JsonChecker(const std::string &text) : text_(text) {}
-
-    bool
-    valid()
-    {
-        skipWs();
-        if (!value())
-            return false;
-        skipWs();
-        return pos_ == text_.size();
-    }
-
-  private:
-    bool
-    value()
-    {
-        if (pos_ >= text_.size())
-            return false;
-        switch (text_[pos_]) {
-          case '{': return object();
-          case '[': return array();
-          case '"': return string();
-          case 't': return literal("true");
-          case 'f': return literal("false");
-          case 'n': return literal("null");
-          default: return number();
-        }
-    }
-
-    bool
-    object()
-    {
-        ++pos_; // '{'
-        skipWs();
-        if (peek() == '}') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            if (!string())
-                return false;
-            skipWs();
-            if (peek() != ':')
-                return false;
-            ++pos_;
-            skipWs();
-            if (!value())
-                return false;
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            if (peek() == '}') {
-                ++pos_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool
-    array()
-    {
-        ++pos_; // '['
-        skipWs();
-        if (peek() == ']') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            if (!value())
-                return false;
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            if (peek() == ']') {
-                ++pos_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool
-    string()
-    {
-        if (peek() != '"')
-            return false;
-        ++pos_;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            if (text_[pos_] == '\\')
-                ++pos_; // skip the escaped character
-            ++pos_;
-        }
-        if (pos_ >= text_.size())
-            return false;
-        ++pos_; // closing '"'
-        return true;
-    }
-
-    bool
-    number()
-    {
-        const std::size_t start = pos_;
-        if (peek() == '-')
-            ++pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E' || text_[pos_] == '+' ||
-                text_[pos_] == '-'))
-            ++pos_;
-        return pos_ > start;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        const std::string expect(word);
-        if (text_.compare(pos_, expect.size(), expect) != 0)
-            return false;
-        pos_ += expect.size();
-        return true;
-    }
-
-    char
-    peek() const
-    {
-        return pos_ < text_.size() ? text_[pos_] : '\0';
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    const std::string &text_;
-    std::size_t pos_ = 0;
-};
 
 /** Fresh-state fixture: every test starts with zeroed instruments. */
 class ObsTest : public ::testing::Test
@@ -433,4 +277,98 @@ TEST_F(ObsTest, EnableResetsRing)
     tracer.enable(8); // re-enable = fresh ring
     EXPECT_EQ(tracer.eventsRecorded(), 0u);
     EXPECT_EQ(tracer.eventsOverwritten(), 0u);
+}
+
+TEST_F(ObsTest, RingOverflowCountsDroppedEventsMetric)
+{
+    auto &tracer = obs::Tracer::instance();
+    tracer.enable(4);
+    const obs::TraceLane lane = tracer.lane("p", "t");
+    for (int i = 0; i < 10; ++i)
+        tracer.instant(lane, "e", "test",
+                       static_cast<sim::SimTime>(i) * 10);
+
+    // Overflow is visible both on the tracer and as a metric, so a
+    // metrics-only consumer still learns the trace was truncated.
+    EXPECT_EQ(tracer.eventsOverwritten(), 6u);
+    EXPECT_EQ(obs::MetricsRegistry::instance().counterValue(
+                  "obs.trace.dropped_events"),
+              6u);
+}
+
+// ------------------------------------------------- shared JSON escaper
+
+TEST_F(ObsTest, SharedEscaperHandlesControlAndQuoteCharacters)
+{
+    std::ostringstream out;
+    obs::writeJsonString(out, "a\"b\\c\n\r\t\b\f\x01z");
+    const std::string json = out.str();
+    EXPECT_EQ(json, "\"a\\\"b\\\\c\\n\\r\\t\\b\\f\\u0001z\"");
+
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+}
+
+TEST_F(ObsTest, SharedEscaperPassesHighBytesThrough)
+{
+    // UTF-8 multibyte sequences (bytes >= 0x80) must pass through
+    // unescaped; a signed-char comparison would mangle them into
+    // bogus \uffxx escapes.
+    const std::string utf8 = "caf\xc3\xa9";
+    std::ostringstream out;
+    obs::writeJsonString(out, utf8);
+    EXPECT_EQ(out.str(), "\"" + utf8 + "\"");
+}
+
+TEST_F(ObsTest, MetricsJsonEscapesControlCharactersInLabels)
+{
+    obs::counter("test.esc", {{"k", "line1\nline2"}}).add(1);
+    const std::string json = obs::MetricsRegistry::instance().toJson();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+    EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+    EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+// ------------------------------------------------------- pretty table
+
+TEST_F(ObsTest, PrettyTableIsSortedByName)
+{
+    obs::counter("test.zz.last").add(1);
+    obs::counter("test.aa.first").add(1);
+    obs::counter("test.mm.middle").add(1);
+    const std::string table =
+        obs::MetricsRegistry::instance().prettyTable();
+    const std::size_t first = table.find("test.aa.first");
+    const std::size_t middle = table.find("test.mm.middle");
+    const std::size_t last = table.find("test.zz.last");
+    ASSERT_NE(first, std::string::npos);
+    ASSERT_NE(middle, std::string::npos);
+    ASSERT_NE(last, std::string::npos);
+    EXPECT_LT(first, middle);
+    EXPECT_LT(middle, last);
+}
+
+TEST_F(ObsTest, PrettyTableAlignsValueColumn)
+{
+    obs::counter("test.align.short").add(1);
+    obs::counter("test.align.much-longer-name").add(2);
+    const std::string table =
+        obs::MetricsRegistry::instance().prettyTable();
+
+    // Every counter row pads the name to a common column, so the
+    // value column starts at the same offset on each line.
+    std::istringstream lines(table);
+    std::string line;
+    std::size_t valueColumn = std::string::npos;
+    while (std::getline(lines, line)) {
+        if (line.find("test.align.") == std::string::npos)
+            continue;
+        const std::size_t column = line.find_last_of(' ');
+        if (valueColumn == std::string::npos)
+            valueColumn = column;
+        else
+            EXPECT_EQ(column, valueColumn) << table;
+    }
+    EXPECT_NE(valueColumn, std::string::npos);
 }

@@ -14,7 +14,9 @@
  *             [--seconds N] [--seed N] [--period-ms N]
  *             [--chunk-bytes N] [--drop P] [--quiet-host]
  *             [--no-bus-multicast] [--histogram]
- *             [--metrics] [--metrics-out FILE] [--trace-out FILE]
+ *             [--metrics] [--metrics-format table|json]
+ *             [--metrics-out FILE] [--trace-out FILE]
+ *             [--spans-out FILE] [--introspect-out FILE]
  */
 
 #include <cstdio>
@@ -23,6 +25,7 @@
 #include <fstream>
 #include <string>
 
+#include "core/runtime.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "tivo/harness.hh"
@@ -42,7 +45,9 @@ usage(const char *argv0)
         "          [--seconds N] [--seed N] [--period-ms N]\n"
         "          [--chunk-bytes N] [--drop P] [--quiet-host]\n"
         "          [--no-bus-multicast] [--histogram]\n"
-        "          [--metrics] [--metrics-out FILE] [--trace-out FILE]\n",
+        "          [--metrics] [--metrics-format table|json]\n"
+        "          [--metrics-out FILE] [--trace-out FILE]\n"
+        "          [--spans-out FILE] [--introspect-out FILE]\n",
         argv0);
     return 2;
 }
@@ -81,6 +86,34 @@ parseClient(const std::string &name, ClientKind &out)
     return true;
 }
 
+/**
+ * Query one runtime's hydra.Monitor over the real OOB channel (the
+ * introspection protocol exercised end to end), pumping the simulator
+ * until the Return arrives. Falls back to a direct snapshot if the
+ * round trip does not complete. Returns "null" for absent runtimes.
+ */
+std::string
+queryIntrospection(Testbed &testbed, core::Runtime *runtime)
+{
+    if (!runtime)
+        return "null";
+    std::string reply;
+    bool replied = false;
+    Status sent = runtime->invokeAsync(
+        "hydra.Monitor", "Stats", Bytes{}, [&](Result<Bytes> result) {
+            if (result) {
+                reply.assign(result.value().begin(),
+                             result.value().end());
+                replied = true;
+            }
+        });
+    if (sent) {
+        sim::Simulator &sim = testbed.simulator();
+        sim.runUntil(sim.now() + sim::milliseconds(100));
+    }
+    return replied ? reply : runtime->introspectJson();
+}
+
 void
 printSamples(const char *name, const SampleSet &samples,
              const char *unit)
@@ -107,8 +140,11 @@ main(int argc, char **argv)
     config.warmup = sim::seconds(5);
     bool histogram = false;
     bool printMetrics = false;
+    std::string metricsFormat = "table";
     std::string metricsOut;
     std::string traceOut;
+    std::string spansOut;
+    std::string introspectOut;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -161,6 +197,21 @@ main(int argc, char **argv)
             histogram = true;
         } else if (arg == "--metrics") {
             printMetrics = true;
+        } else if (arg == "--metrics-format" ||
+                   arg.rfind("--metrics-format=", 0) == 0) {
+            std::string value;
+            if (arg == "--metrics-format") {
+                const char *v = next();
+                if (!v)
+                    return usage(argv[0]);
+                value = v;
+            } else {
+                value = arg.substr(std::strlen("--metrics-format="));
+            }
+            if (value != "table" && value != "json")
+                return usage(argv[0]);
+            metricsFormat = value;
+            printMetrics = true;
         } else if (arg == "--metrics-out") {
             const char *value = next();
             if (!value)
@@ -171,18 +222,27 @@ main(int argc, char **argv)
             if (!value)
                 return usage(argv[0]);
             traceOut = value;
+        } else if (arg == "--spans-out") {
+            const char *value = next();
+            if (!value)
+                return usage(argv[0]);
+            spansOut = value;
+        } else if (arg == "--introspect-out") {
+            const char *value = next();
+            if (!value)
+                return usage(argv[0]);
+            introspectOut = value;
         } else {
             return usage(argv[0]);
         }
     }
 
-    if (!traceOut.empty()) {
+    if (!traceOut.empty() || !spansOut.empty()) {
         obs::Tracer::instance().enable();
 #if !HYDRA_OBS_TRACING
         std::fprintf(stderr,
                      "hydra_sim: warning: built with HYDRA_TRACING=OFF; "
-                     "%s will contain no events\n",
-                     traceOut.c_str());
+                     "trace output will contain no events\n");
 #endif
     }
 
@@ -233,8 +293,13 @@ main(int argc, char **argv)
     }
 
     if (printMetrics) {
-        std::printf("\nmetrics:\n%s",
-                    obs::MetricsRegistry::instance().prettyTable().c_str());
+        if (metricsFormat == "json")
+            std::printf("\n%s\n",
+                        obs::MetricsRegistry::instance().toJson().c_str());
+        else
+            std::printf(
+                "\nmetrics:\n%s",
+                obs::MetricsRegistry::instance().prettyTable().c_str());
     }
     if (!metricsOut.empty()) {
         std::ofstream out(metricsOut);
@@ -246,6 +311,16 @@ main(int argc, char **argv)
         out << obs::MetricsRegistry::instance().toJson() << '\n';
         std::printf("\n(wrote metrics to %s)\n", metricsOut.c_str());
     }
+    if (!traceOut.empty() || !spansOut.empty()) {
+        const std::uint64_t overwritten =
+            obs::Tracer::instance().eventsOverwritten();
+        if (overwritten > 0)
+            std::fprintf(
+                stderr,
+                "hydra_sim: warning: trace ring overflowed; the oldest "
+                "%llu events were dropped (obs.trace.dropped_events)\n",
+                static_cast<unsigned long long>(overwritten));
+    }
     if (!traceOut.empty()) {
         if (!obs::Tracer::instance().writeFile(traceOut)) {
             std::fprintf(stderr, "hydra_sim: cannot write %s\n",
@@ -254,6 +329,30 @@ main(int argc, char **argv)
         }
         std::printf("(wrote trace to %s — load it at ui.perfetto.dev)\n",
                     traceOut.c_str());
+    }
+    if (!spansOut.empty()) {
+        if (!obs::Tracer::instance().writeSpansFile(spansOut)) {
+            std::fprintf(stderr, "hydra_sim: cannot write %s\n",
+                         spansOut.c_str());
+            return 1;
+        }
+        std::printf("(wrote span listing to %s)\n", spansOut.c_str());
+    }
+    if (!introspectOut.empty()) {
+        std::ofstream out(introspectOut);
+        if (!out) {
+            std::fprintf(stderr, "hydra_sim: cannot write %s\n",
+                         introspectOut.c_str());
+            return 1;
+        }
+        out << "{\"server\":"
+            << queryIntrospection(testbed, testbed.serverRuntime())
+            << ",\"client\":"
+            << queryIntrospection(testbed, testbed.clientRuntime())
+            << "}\n";
+        std::printf("(wrote introspection to %s — view with "
+                    "hydra_top %s)\n",
+                    introspectOut.c_str(), introspectOut.c_str());
     }
     return result.deploymentOk ? 0 : 1;
 }

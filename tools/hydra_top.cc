@@ -1,0 +1,162 @@
+/**
+ * @file
+ * hydra_top — render an introspection snapshot as a per-Offcode
+ * table, the "top" view onto a finished (or checkpointed) run.
+ *
+ * Reads the JSON written by `hydra_sim --introspect-out FILE`:
+ * either the two-runtime wrapper {"server":...,"client":...} or one
+ * bare snapshot {"machine":...,"offcodes":[...]}.
+ *
+ * Usage:
+ *   hydra_top FILE
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace {
+
+struct Row
+{
+    std::string machine;
+    std::string bindname;
+    std::string site;
+    std::string state;
+    std::uint64_t calls = 0;
+    std::uint64_t data = 0;
+    std::uint64_t mgmt = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t busyNs = 0;
+    std::uint64_t watchdogNs = 0;
+    std::uint64_t oobQueued = 0;
+};
+
+std::string
+stringField(const hydra::json::Value &object, const std::string &key)
+{
+    const hydra::json::Value *value = object.find(key);
+    return value ? value->string : std::string();
+}
+
+std::uint64_t
+u64Field(const hydra::json::Value &object, const std::string &key)
+{
+    const hydra::json::Value *value = object.find(key);
+    return value ? value->asU64() : 0;
+}
+
+/** Collect rows from one {"machine":...,"offcodes":[...]} snapshot. */
+void
+collectSnapshot(const hydra::json::Value &snapshot,
+                std::vector<Row> &rows)
+{
+    if (!snapshot.isObject())
+        return;
+    const std::string machine = stringField(snapshot, "machine");
+    const hydra::json::Value *offcodes = snapshot.find("offcodes");
+    if (!offcodes || !offcodes->isArray())
+        return;
+    for (const hydra::json::Value &oc : offcodes->array) {
+        if (!oc.isObject())
+            continue;
+        Row row;
+        row.machine = machine;
+        row.bindname = stringField(oc, "bindname");
+        row.site = stringField(oc, "site");
+        row.state = stringField(oc, "state");
+        row.calls = u64Field(oc, "calls_handled");
+        row.data = u64Field(oc, "data_handled");
+        row.mgmt = u64Field(oc, "mgmt_handled");
+        row.errors = u64Field(oc, "invoke_errors");
+        row.busyNs = u64Field(oc, "busy_ns");
+        row.watchdogNs = u64Field(oc, "watchdog_age_ns");
+        row.oobQueued = u64Field(oc, "oob_queued");
+        rows.push_back(std::move(row));
+    }
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr, "usage: %s INTROSPECTION_JSON\n", argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2)
+        return usage(argv[0]);
+
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr, "hydra_top: cannot read %s\n", argv[1]);
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    auto doc = hydra::json::parse(buffer.str());
+    if (!doc) {
+        std::fprintf(stderr, "hydra_top: %s: %s\n", argv[1],
+                     doc.error().describe().c_str());
+        return 1;
+    }
+
+    std::vector<Row> rows;
+    if (doc.value().find("offcodes")) {
+        collectSnapshot(doc.value(), rows);
+    } else if (doc.value().isObject()) {
+        // The hydra_sim wrapper: one snapshot (or null) per runtime.
+        for (const auto &[name, snapshot] : doc.value().object)
+            collectSnapshot(snapshot, rows);
+    }
+    if (rows.empty()) {
+        std::fprintf(stderr, "hydra_top: %s holds no offcodes\n",
+                     argv[1]);
+        return 1;
+    }
+
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        return a.machine != b.machine ? a.machine < b.machine
+                                      : a.bindname < b.bindname;
+    });
+
+    std::size_t nameWidth = std::strlen("OFFCODE");
+    std::size_t siteWidth = std::strlen("SITE");
+    for (const Row &row : rows) {
+        nameWidth = std::max(nameWidth, row.bindname.size());
+        siteWidth = std::max(siteWidth, row.site.size());
+    }
+
+    std::printf("%-8s %-*s %-*s %-11s %9s %9s %6s %5s %10s %11s %5s\n",
+                "MACHINE", static_cast<int>(nameWidth), "OFFCODE",
+                static_cast<int>(siteWidth), "SITE",
+                "STATE", "CALLS", "DATA", "MGMT", "ERR",
+                "BUSY(ms)", "IDLE(ms)", "OOBQ");
+    for (const Row &row : rows) {
+        std::printf(
+            "%-8s %-*s %-*s %-11s %9llu %9llu %6llu %5llu %10.3f "
+            "%11.3f %5llu\n",
+            row.machine.c_str(), static_cast<int>(nameWidth),
+            row.bindname.c_str(), static_cast<int>(siteWidth),
+            row.site.c_str(), row.state.c_str(),
+            static_cast<unsigned long long>(row.calls),
+            static_cast<unsigned long long>(row.data),
+            static_cast<unsigned long long>(row.mgmt),
+            static_cast<unsigned long long>(row.errors),
+            static_cast<double>(row.busyNs) / 1e6,
+            static_cast<double>(row.watchdogNs) / 1e6,
+            static_cast<unsigned long long>(row.oobQueued));
+    }
+    return 0;
+}
