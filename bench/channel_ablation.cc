@@ -31,7 +31,7 @@ class SinkOffcode : public Offcode
     SinkOffcode() : Offcode("bench.Sink") {}
 
     void
-    onData(const Bytes &, ChannelHandle) override
+    onData(const Payload &, ChannelHandle) override
     {
         ++received;
     }
@@ -90,7 +90,7 @@ driveChannel(ChannelConfig::Buffering buffering, std::size_t message_bytes,
     channel.value()->connectOffcode(sink);
 
     const auto l2Before = machine.l2().totals().accesses;
-    const Bytes payload = encodeData(Bytes(message_bytes, 0x42));
+    const Payload payload = encodeData(Bytes(message_bytes, 0x42));
 
     // Paced producer: a new message as soon as the previous write
     // returned (back-to-back offered load).

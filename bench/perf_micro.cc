@@ -9,9 +9,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "core/call.hh"
+#include "core/executive.hh"
+#include "core/offcode.hh"
+#include "core/providers.hh"
+#include "dev/nic.hh"
 #include "hw/cache.hh"
+#include "hw/machine.hh"
 #include "ilp/layout.hh"
+#include "net/network.hh"
 #include "odf/odf.hh"
 #include "sim/simulator.hh"
 #include "tivo/mpeg.hh"
@@ -44,7 +53,7 @@ BM_CallRoundTrip(benchmark::State &state)
     call.method = "Decode";
     call.arguments.assign(static_cast<std::size_t>(state.range(0)), 7);
     for (auto _ : state) {
-        const Bytes wire = call.serialize();
+        const Payload wire = call.serialize();
         auto decoded = core::Call::deserialize(wire);
         benchmark::DoNotOptimize(decoded);
     }
@@ -126,6 +135,149 @@ BM_IlpTivoLayout(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_IlpTivoLayout);
+
+// --------------------------------------------------- channel data path
+
+/** Discards deliveries; the channel machinery is what's measured. */
+class SinkOffcode : public core::Offcode
+{
+  public:
+    SinkOffcode() : Offcode("bench.Sink") {}
+
+    void
+    onData(const Payload &payload, core::ChannelHandle) override
+    {
+        received += 1;
+        receivedBytes += payload.size();
+    }
+
+    std::uint64_t received = 0;
+    std::uint64_t receivedBytes = 0;
+};
+
+/** Minimal simulated machine + NIC + executive for channel benches. */
+struct ChannelBenchWorld
+{
+    ChannelBenchWorld()
+        : machine(sim, hw::MachineConfig{}),
+          net(sim, net::NetworkConfig{}),
+          hostSite(machine)
+    {
+        nicNode = net.addNode("nic");
+        nic = std::make_unique<dev::ProgrammableNic>(sim, machine.bus(),
+                                                     net, nicNode);
+        deviceSite = std::make_unique<core::DeviceSite>(machine, *nic);
+        executive = std::make_unique<core::ChannelExecutive>(
+            [this](const std::string &name) -> core::ExecutionSite * {
+                if (name == hostSite.name())
+                    return &hostSite;
+                if (name == deviceSite->name())
+                    return deviceSite.get();
+                return nullptr;
+            });
+        executive->registerProvider(
+            std::make_unique<core::LocalChannelProvider>(sim));
+        executive->registerProvider(
+            std::make_unique<core::DmaRingChannelProvider>(sim, false));
+    }
+
+    void
+    place(core::Offcode &offcode, core::ExecutionSite &site)
+    {
+        core::OffcodeContext ctx;
+        ctx.site = &site;
+        offcode.doInitialize(ctx);
+        offcode.doStart();
+    }
+
+    sim::Simulator sim;
+    hw::Machine machine;
+    net::Network net;
+    net::NodeId nicNode = 0;
+    std::unique_ptr<dev::ProgrammableNic> nic;
+    core::HostSite hostSite;
+    std::unique_ptr<core::DeviceSite> deviceSite;
+    std::unique_ptr<core::ChannelExecutive> executive;
+};
+
+void
+BM_ChannelThroughput(benchmark::State &state)
+{
+    const auto messageBytes = static_cast<std::size_t>(state.range(0));
+    const bool dma = state.range(1) != 0;
+    const bool copying = state.range(2) != 0;
+
+    ChannelBenchWorld world;
+    SinkOffcode sink;
+    world.place(sink, dma ? static_cast<core::ExecutionSite &>(
+                                *world.deviceSite)
+                          : world.hostSite);
+
+    core::ChannelConfig config;
+    config.targetDevice =
+        dma ? world.deviceSite->name() : world.hostSite.name();
+    config.buffering = copying ? core::ChannelConfig::Buffering::Copying
+                               : core::ChannelConfig::Buffering::ZeroCopy;
+    config.reliable = true;
+    auto channel = world.executive->createChannel(config, world.hostSite);
+    channel.value()->connectOffcode(sink);
+
+    const auto message = core::encodeData(Bytes(messageBytes, 0x5a));
+    constexpr int kBatch = 64;
+    for (auto _ : state) {
+        for (int i = 0; i < kBatch; ++i)
+            channel.value()->write(message);
+        world.sim.runToCompletion();
+    }
+    benchmark::DoNotOptimize(sink.received);
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.SetBytesProcessed(state.iterations() * kBatch *
+                            static_cast<std::int64_t>(messageBytes));
+}
+BENCHMARK(BM_ChannelThroughput)
+    ->ArgNames({"bytes", "dma", "copying"})
+    ->Args({64, 0, 0})
+    ->Args({64, 0, 1})
+    ->Args({16384, 0, 0})
+    ->Args({16384, 0, 1})
+    ->Args({64, 1, 0})
+    ->Args({64, 1, 1})
+    ->Args({16384, 1, 0})
+    ->Args({16384, 1, 1});
+
+void
+BM_MulticastFanout(benchmark::State &state)
+{
+    const auto messageBytes = static_cast<std::size_t>(state.range(0));
+    constexpr int kEndpoints = 8;
+
+    ChannelBenchWorld world;
+    core::ChannelConfig config;
+    config.type = core::ChannelConfig::Type::Multicast;
+    config.targetDevice = world.deviceSite->name();
+    config.reliable = true;
+    auto channel = world.executive->createChannel(config, world.hostSite);
+
+    std::vector<std::unique_ptr<SinkOffcode>> sinks;
+    for (int i = 0; i < kEndpoints; ++i) {
+        sinks.push_back(std::make_unique<SinkOffcode>());
+        world.place(*sinks.back(), *world.deviceSite);
+        channel.value()->connectOffcode(*sinks.back());
+    }
+
+    const auto message = core::encodeData(Bytes(messageBytes, 0x5a));
+    constexpr int kBatch = 16;
+    for (auto _ : state) {
+        for (int i = 0; i < kBatch; ++i)
+            channel.value()->write(message);
+        world.sim.runToCompletion();
+    }
+    benchmark::DoNotOptimize(sinks.front()->received);
+    state.SetItemsProcessed(state.iterations() * kBatch * kEndpoints);
+    state.SetBytesProcessed(state.iterations() * kBatch * kEndpoints *
+                            static_cast<std::int64_t>(messageBytes));
+}
+BENCHMARK(BM_MulticastFanout)->Arg(64)->Arg(16384);
 
 } // namespace
 

@@ -26,7 +26,7 @@ namespace {
 constexpr net::Port kTrafficPort = 7000;
 
 bool
-matchesSignature(const Bytes &payload)
+matchesSignature(const Payload &payload)
 {
     // "Interesting" packets carry the 0xCAFE prefix.
     return payload.size() >= 2 && payload[0] == 0xca && payload[1] == 0xfe;
@@ -109,11 +109,12 @@ blast(sim::Simulator &sim, net::Network &net, net::NodeId from,
                          p.src = from;
                          p.dst = to;
                          p.dstPort = kTrafficPort;
-                         p.payload.assign(512, 0x00);
+                         Bytes body(512, 0x00);
                          if (i % 50 == 0) { // 2 % interesting traffic
-                             p.payload[0] = 0xca;
-                             p.payload[1] = 0xfe;
+                             body[0] = 0xca;
+                             body[1] = 0xfe;
                          }
+                         p.payload = std::move(body);
                          net.send(std::move(p));
                      });
     }

@@ -114,9 +114,10 @@ blast(sim::Simulator &sim, net::Network &net, net::NodeId from,
                          p.src = from;
                          p.dst = to;
                          p.dstPort = kVmPort;
-                         p.payload.assign(1024, 0);
-                         p.payload[0] =
+                         Bytes body(1024, 0);
+                         body[0] =
                              static_cast<std::uint8_t>(i * 7); // VM tag
+                         p.payload = std::move(body);
                          net.send(std::move(p));
                      });
     }

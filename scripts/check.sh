@@ -9,6 +9,10 @@
 #   scripts/check.sh --no-tracing  # HYDRA_TRACING=OFF build: proves
 #                                  # spans/traces compile out and the
 #                                  # suite still passes without them
+#   scripts/check.sh --bench-smoke # Release build, run the channel
+#                                  # data-path benches, fail if any is
+#                                  # >2x slower than the checked-in
+#                                  # baseline (scripts/bench_baseline.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,6 +20,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build
 CMAKE_ARGS=()
 SANITIZE=0
+BENCH_SMOKE=0
 
 for arg in "$@"; do
     case "$arg" in
@@ -28,8 +33,13 @@ for arg in "$@"; do
         BUILD_DIR=build-notrace
         CMAKE_ARGS+=(-DHYDRA_TRACING=OFF)
         ;;
+      --bench-smoke)
+        BENCH_SMOKE=1
+        BUILD_DIR=build
+        CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Release)
+        ;;
       *)
-        echo "usage: $0 [--sanitize|--no-tracing]" >&2
+        echo "usage: $0 [--sanitize|--no-tracing|--bench-smoke]" >&2
         exit 2
         ;;
     esac
@@ -37,6 +47,23 @@ done
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+if [ "$BENCH_SMOKE" -eq 1 ]; then
+    # Wall-clock smoke of the zero-copy data path: the two channel
+    # benches against the committed baseline. Generous 2x threshold --
+    # this catches "the fast path regressed to deep copies", not
+    # machine-to-machine noise.
+    OUT="$BUILD_DIR/bench_smoke.json"
+    # Note: the bundled google-benchmark wants a bare double here (no
+    # trailing time unit).
+    "$BUILD_DIR/bench/perf_micro" \
+        --benchmark_filter='BM_ChannelThroughput|BM_MulticastFanout' \
+        --benchmark_min_time=0.1 \
+        --benchmark_format=json > "$OUT"
+    echo "bench JSON written to $OUT"
+    python3 scripts/bench_compare.py scripts/bench_baseline.json "$OUT" 2.0
+    exit 0
+fi
 
 cd "$BUILD_DIR"
 if [ "$SANITIZE" -eq 1 ]; then

@@ -133,8 +133,7 @@ ByteReader::readBytes()
         return len.error();
     if (!need(len.value()))
         return Error(ErrorCode::OutOfRange, "buffer underrun");
-    Bytes out(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
-              in_.begin() + static_cast<std::ptrdiff_t>(pos_ + len.value()));
+    Bytes out(in_ + pos_, in_ + pos_ + len.value());
     pos_ += len.value();
     return out;
 }
@@ -147,7 +146,7 @@ ByteReader::readString()
         return len.error();
     if (!need(len.value()))
         return Error(ErrorCode::OutOfRange, "buffer underrun");
-    std::string out(reinterpret_cast<const char *>(in_.data()) + pos_,
+    std::string out(reinterpret_cast<const char *>(in_) + pos_,
                     len.value());
     pos_ += len.value();
     return out;

@@ -43,11 +43,20 @@ class ByteWriter
     Bytes &out_;
 };
 
-/** Consumes primitive values from a byte buffer; fails on underrun. */
+/** Consumes primitive values from a byte range; fails on underrun. */
 class ByteReader
 {
   public:
-    explicit ByteReader(const Bytes &in) : in_(in) {}
+    explicit ByteReader(const Bytes &in)
+        : in_(in.data()), size_(in.size())
+    {
+    }
+
+    /** Read from any contiguous range (e.g. a Payload's view). */
+    ByteReader(const std::uint8_t *data, std::size_t size)
+        : in_(data), size_(size)
+    {
+    }
 
     Result<std::uint8_t> readU8();
     Result<std::uint16_t> readU16();
@@ -58,13 +67,14 @@ class ByteReader
     Result<Bytes> readBytes();
     Result<std::string> readString();
 
-    std::size_t remaining() const { return in_.size() - pos_; }
+    std::size_t remaining() const { return size_ - pos_; }
     bool exhausted() const { return remaining() == 0; }
 
   private:
     bool need(std::size_t n) const { return remaining() >= n; }
 
-    const Bytes &in_;
+    const std::uint8_t *in_ = nullptr;
+    std::size_t size_ = 0;
     std::size_t pos_ = 0;
 };
 

@@ -1,0 +1,175 @@
+#include "common/payload.hh"
+
+#include <cstring>
+
+#include "obs/metrics.hh"
+
+namespace hydra {
+
+namespace {
+
+/**
+ * Freelist of retired payload nodes. Bounded two ways: at most
+ * kMaxFreeNodes are kept, and buffers whose capacity outgrew
+ * kMaxPooledCapacity are freed outright instead of being cached, so
+ * one giant message cannot pin megabytes in the pool forever.
+ */
+constexpr std::size_t kMaxFreeNodes = 256;
+constexpr std::size_t kMaxPooledCapacity = 512 * 1024;
+
+struct PayloadMetrics
+{
+    obs::Counter &allocations = obs::counter("payload.allocations");
+    obs::Counter &poolHits = obs::counter("payload.pool_hits");
+    obs::Counter &recycles = obs::counter("payload.recycles");
+    obs::Counter &deepCopies = obs::counter("payload.deep_copies");
+};
+
+PayloadMetrics &
+payloadMetrics()
+{
+    static PayloadMetrics metrics;
+    return metrics;
+}
+
+struct Pool
+{
+    detail::PayloadNode *freeList = nullptr;
+    std::size_t freeNodes = 0;
+    PayloadPoolStats stats;
+};
+
+Pool &
+pool()
+{
+    static Pool instance;
+    return instance;
+}
+
+} // namespace
+
+namespace detail {
+
+PayloadNode *
+payloadAcquire()
+{
+    Pool &p = pool();
+    if (p.freeList) {
+        PayloadNode *node = p.freeList;
+        p.freeList = node->nextFree;
+        --p.freeNodes;
+        node->nextFree = nullptr;
+        node->storage.clear(); // keeps capacity
+        ++p.stats.poolHits;
+        payloadMetrics().poolHits.increment();
+        return node;
+    }
+    ++p.stats.allocations;
+    payloadMetrics().allocations.increment();
+    return new PayloadNode();
+}
+
+PayloadNode *
+payloadAdopt(Bytes &&bytes)
+{
+    // The incoming vector brings its own buffer; taking a pooled node
+    // would waste the pooled capacity, so allocate the wrapper only.
+    Pool &p = pool();
+    PayloadNode *node;
+    if (p.freeList && p.freeList->storage.capacity() == 0) {
+        node = p.freeList;
+        p.freeList = node->nextFree;
+        --p.freeNodes;
+        node->nextFree = nullptr;
+        ++p.stats.poolHits;
+        payloadMetrics().poolHits.increment();
+    } else {
+        ++p.stats.allocations;
+        payloadMetrics().allocations.increment();
+        node = new PayloadNode();
+    }
+    node->storage = std::move(bytes);
+    return node;
+}
+
+void
+payloadRelease(PayloadNode *node)
+{
+    Pool &p = pool();
+    if (p.freeNodes >= kMaxFreeNodes ||
+        node->storage.capacity() > kMaxPooledCapacity) {
+        delete node;
+        return;
+    }
+    node->nextFree = p.freeList;
+    p.freeList = node;
+    ++p.freeNodes;
+    ++p.stats.recycles;
+    payloadMetrics().recycles.increment();
+}
+
+void
+payloadCountDeepCopy()
+{
+    ++pool().stats.deepCopies;
+    payloadMetrics().deepCopies.increment();
+}
+
+} // namespace detail
+
+Payload
+Payload::copyOf(const std::uint8_t *data, std::size_t size)
+{
+    detail::payloadCountDeepCopy();
+    PayloadBuilder builder;
+    Bytes &buffer = builder.buffer();
+    buffer.resize(size);
+    if (size > 0)
+        std::memcpy(buffer.data(), data, size);
+    return builder.seal();
+}
+
+Bytes
+Payload::toBytes() const
+{
+    detail::payloadCountDeepCopy();
+    return Bytes(begin(), end());
+}
+
+bool
+operator==(const Payload &a, const Payload &b)
+{
+    return a.size() == b.size() &&
+           (a.size() == 0 ||
+            std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+bool
+operator==(const Payload &a, const Bytes &b)
+{
+    return a.size() == b.size() &&
+           (a.size() == 0 ||
+            std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+PayloadPoolStats
+payloadPoolStats()
+{
+    PayloadPoolStats stats = pool().stats;
+    stats.freeNodes = pool().freeNodes;
+    return stats;
+}
+
+void
+payloadPoolTrim()
+{
+    Pool &p = pool();
+    while (p.freeList) {
+        detail::PayloadNode *node = p.freeList;
+        p.freeList = node->nextFree;
+        delete node;
+    }
+    p.freeNodes = 0;
+}
+
+} // namespace hydra

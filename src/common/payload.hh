@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Refcounted, immutable message payloads (the zero-copy fabric).
+ *
+ * Every hop of the data path — channel writes, scheduled delivery
+ * lambdas, DMA completions, backlog entries, multicast fan-out,
+ * network packets — used to deep-copy its `Bytes` buffer. A Payload
+ * is a shared, immutable view of one heap buffer: copying a Payload
+ * bumps a reference count, never the bytes. Sub-ranges (a Data
+ * message's body inside its frame) are zero-copy slices of the same
+ * buffer.
+ *
+ * Buffers come from a process-wide freelist pool so steady-state
+ * message traffic recycles capacity instead of hitting the
+ * allocator. The pool and the refcounts are deliberately NOT
+ * thread-safe: the simulator is single-threaded and the hot path
+ * must not pay for atomics.
+ *
+ * Ownership model: whoever holds a Payload may read it, nobody may
+ * mutate it. Producers build content in a PayloadBuilder (or a
+ * `Bytes` they std::move in) and freeze it by constructing the
+ * Payload; after that the buffer is shared and read-only until the
+ * last reference drops, at which point the pool may recycle it.
+ */
+
+#ifndef HYDRA_COMMON_PAYLOAD_HH
+#define HYDRA_COMMON_PAYLOAD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "common/bytes.hh"
+
+namespace hydra {
+
+namespace detail {
+
+/** Heap node behind a Payload: one buffer plus its reference count. */
+struct PayloadNode
+{
+    Bytes storage;
+    std::uint32_t refs = 0;
+    PayloadNode *nextFree = nullptr;
+};
+
+/** Pool: node with recycled capacity (pool hit) or a fresh one. */
+PayloadNode *payloadAcquire();
+/** Pool: node adopting @p bytes (no pool lookup, no copy). */
+PayloadNode *payloadAdopt(Bytes &&bytes);
+/** Refcount hit zero: recycle the node's capacity or free it. */
+void payloadRelease(PayloadNode *node);
+/** Count one content copy into or out of a Payload. */
+void payloadCountDeepCopy();
+
+} // namespace detail
+
+/** Pool/copy counters, mirrored in the obs registry as payload.*. */
+struct PayloadPoolStats
+{
+    std::uint64_t allocations = 0; ///< nodes taken from the heap
+    std::uint64_t poolHits = 0;    ///< nodes reused from the freelist
+    std::uint64_t recycles = 0;    ///< nodes returned to the freelist
+    std::uint64_t deepCopies = 0;  ///< content copies (in or out)
+    std::size_t freeNodes = 0;     ///< freelist length right now
+};
+
+PayloadPoolStats payloadPoolStats();
+
+/** Drop all pooled capacity (tests; between benchmark configs). */
+void payloadPoolTrim();
+
+/** Immutable, refcounted view of a byte buffer (or a sub-range). */
+class Payload
+{
+  public:
+    Payload() = default;
+
+    /** Adopt @p bytes: zero-copy, the vector's buffer is frozen. */
+    Payload(Bytes &&bytes)
+        : node_(detail::payloadAdopt(std::move(bytes)))
+    {
+        node_->refs = 1;
+        len_ = node_->storage.size();
+    }
+
+    /** Deep copy (counted in payload.deep_copies) — keep this rare. */
+    explicit Payload(const Bytes &bytes)
+        : Payload(copyOf(bytes.data(), bytes.size()))
+    {
+    }
+
+    Payload(const Payload &other)
+        : node_(other.node_), off_(other.off_), len_(other.len_)
+    {
+        if (node_)
+            ++node_->refs;
+    }
+
+    Payload(Payload &&other) noexcept
+        : node_(other.node_), off_(other.off_), len_(other.len_)
+    {
+        other.node_ = nullptr;
+        other.off_ = 0;
+        other.len_ = 0;
+    }
+
+    Payload &
+    operator=(const Payload &other)
+    {
+        if (this == &other)
+            return *this;
+        Payload tmp(other);
+        swap(tmp);
+        return *this;
+    }
+
+    Payload &
+    operator=(Payload &&other) noexcept
+    {
+        if (this == &other)
+            return *this;
+        release();
+        node_ = other.node_;
+        off_ = other.off_;
+        len_ = other.len_;
+        other.node_ = nullptr;
+        other.off_ = 0;
+        other.len_ = 0;
+        return *this;
+    }
+
+    ~Payload() { release(); }
+
+    /** Deep-copy @p size bytes into a fresh (pooled) buffer. */
+    static Payload copyOf(const std::uint8_t *data, std::size_t size);
+
+    const std::uint8_t *
+    data() const
+    {
+        return node_ ? node_->storage.data() + off_ : nullptr;
+    }
+
+    std::size_t size() const { return len_; }
+    bool empty() const { return len_ == 0; }
+
+    const std::uint8_t *begin() const { return data(); }
+    const std::uint8_t *end() const { return data() + len_; }
+
+    std::uint8_t
+    operator[](std::size_t index) const
+    {
+        return node_->storage[off_ + index];
+    }
+
+    /** Zero-copy sub-range sharing this buffer; clamped to bounds. */
+    Payload
+    slice(std::size_t offset, std::size_t length) const
+    {
+        Payload out;
+        if (!node_ || offset >= len_)
+            return out;
+        out.node_ = node_;
+        ++out.node_->refs;
+        out.off_ = off_ + offset;
+        out.len_ = length < len_ - offset ? length : len_ - offset;
+        return out;
+    }
+
+    /** Materialize a mutable copy (counted in payload.deep_copies). */
+    Bytes toBytes() const;
+
+    /** References on the underlying buffer (0 for empty payloads). */
+    std::uint32_t refCount() const { return node_ ? node_->refs : 0; }
+
+    void
+    swap(Payload &other) noexcept
+    {
+        std::swap(node_, other.node_);
+        std::swap(off_, other.off_);
+        std::swap(len_, other.len_);
+    }
+
+  private:
+    friend class PayloadBuilder;
+
+    void
+    release()
+    {
+        if (node_ && --node_->refs == 0)
+            detail::payloadRelease(node_);
+        node_ = nullptr;
+    }
+
+    detail::PayloadNode *node_ = nullptr;
+    std::size_t off_ = 0;
+    std::size_t len_ = 0;
+};
+
+bool operator==(const Payload &a, const Payload &b);
+bool operator==(const Payload &a, const Bytes &b);
+inline bool
+operator==(const Bytes &a, const Payload &b)
+{
+    return b == a;
+}
+
+/**
+ * Builds one message in a pooled buffer, then freezes it.
+ *
+ *   PayloadBuilder builder;
+ *   ByteWriter writer(builder.buffer());
+ *   writer.writeU8(...);
+ *   Payload message = builder.seal();
+ *
+ * buffer() is writable only until seal(); the builder may be reused
+ * afterwards (it acquires a fresh pooled buffer on next use).
+ */
+class PayloadBuilder
+{
+  public:
+    PayloadBuilder() = default;
+    ~PayloadBuilder()
+    {
+        if (node_)
+            detail::payloadRelease(node_);
+    }
+
+    PayloadBuilder(const PayloadBuilder &) = delete;
+    PayloadBuilder &operator=(const PayloadBuilder &) = delete;
+
+    /** The writable (pooled) buffer content is accumulated into. */
+    Bytes &
+    buffer()
+    {
+        if (!node_)
+            node_ = detail::payloadAcquire();
+        return node_->storage;
+    }
+
+    /** Freeze the buffer into an immutable Payload. */
+    Payload
+    seal()
+    {
+        Payload out;
+        if (!node_)
+            node_ = detail::payloadAcquire();
+        node_->refs = 1;
+        out.node_ = node_;
+        out.len_ = node_->storage.size();
+        node_ = nullptr;
+        return out;
+    }
+
+  private:
+    detail::PayloadNode *node_ = nullptr;
+};
+
+/** CRC32 over a payload's visible range. */
+inline std::uint32_t
+crc32(const Payload &data)
+{
+    return crc32(data.data(), data.size());
+}
+
+} // namespace hydra
+
+#endif // HYDRA_COMMON_PAYLOAD_HH

@@ -2,25 +2,11 @@
 
 namespace hydra::core {
 
-Bytes
-Call::serialize() const
-{
-    Bytes out;
-    ByteWriter writer(out);
-    writer.writeU8(static_cast<std::uint8_t>(MessageKind::Call));
-    writer.writeU64(targetOffcode.value());
-    writer.writeU64(interfaceGuid.value());
-    writer.writeString(method);
-    writer.writeBytes(arguments);
-    writer.writeU64(callId);
-    writer.writeU8(expectsReturn ? 1 : 0);
-    return out;
-}
+namespace {
 
 Result<Call>
-Call::deserialize(const Bytes &wire)
+deserializeCall(ByteReader reader)
 {
-    ByteReader reader(wire);
     auto kind = reader.readU8();
     if (!kind)
         return kind.error();
@@ -46,23 +32,9 @@ Call::deserialize(const Bytes &wire)
     return call;
 }
 
-Bytes
-CallReturn::serialize() const
-{
-    Bytes out;
-    ByteWriter writer(out);
-    writer.writeU8(static_cast<std::uint8_t>(MessageKind::Return));
-    writer.writeU64(callId);
-    writer.writeU8(ok ? 1 : 0);
-    writer.writeBytes(value);
-    writer.writeString(error);
-    return out;
-}
-
 Result<CallReturn>
-CallReturn::deserialize(const Bytes &wire)
+deserializeReturn(ByteReader reader)
 {
-    ByteReader reader(wire);
     auto kind = reader.readU8();
     if (!kind)
         return kind.error();
@@ -84,10 +56,113 @@ CallReturn::deserialize(const Bytes &wire)
     return ret;
 }
 
+/** [kind u8][len u32][body]: frame @p size bytes of @p data. */
+Payload
+encodeFramed(MessageKind kind, const std::uint8_t *data, std::size_t size)
+{
+    PayloadBuilder builder;
+    ByteWriter writer(builder.buffer());
+    writer.writeU8(static_cast<std::uint8_t>(kind));
+    writer.writeU32(static_cast<std::uint32_t>(size));
+    Bytes &out = builder.buffer();
+    out.insert(out.end(), data, data + size);
+    return builder.seal();
+}
+
+/** Validate the frame, return the body as a slice of @p wire. */
+Result<Payload>
+decodeFramed(const Payload &wire, MessageKind expected, const char *what)
+{
+    ByteReader reader(wire.data(), wire.size());
+    auto kind = reader.readU8();
+    if (!kind)
+        return kind.error();
+    if (static_cast<MessageKind>(kind.value()) != expected)
+        return Error(ErrorCode::ParseError,
+                     std::string("not a ") + what + " message");
+    auto len = reader.readU32();
+    if (!len)
+        return len.error();
+    if (len.value() > reader.remaining())
+        return Error(ErrorCode::OutOfRange, "buffer underrun");
+    // Body starts after the kind byte and the u32 length prefix.
+    return wire.slice(5, len.value());
+}
+
+} // namespace
+
+Payload
+Call::serialize() const
+{
+    PayloadBuilder builder;
+    ByteWriter writer(builder.buffer());
+    writer.writeU8(static_cast<std::uint8_t>(MessageKind::Call));
+    writer.writeU64(targetOffcode.value());
+    writer.writeU64(interfaceGuid.value());
+    writer.writeString(method);
+    writer.writeBytes(arguments);
+    writer.writeU64(callId);
+    writer.writeU8(expectsReturn ? 1 : 0);
+    return builder.seal();
+}
+
+Result<Call>
+Call::deserialize(const Payload &wire)
+{
+    return deserializeCall(ByteReader(wire.data(), wire.size()));
+}
+
+Result<Call>
+Call::deserialize(const Bytes &wire)
+{
+    return deserializeCall(ByteReader(wire));
+}
+
+Payload
+CallReturn::serialize() const
+{
+    PayloadBuilder builder;
+    ByteWriter writer(builder.buffer());
+    writer.writeU8(static_cast<std::uint8_t>(MessageKind::Return));
+    writer.writeU64(callId);
+    writer.writeU8(ok ? 1 : 0);
+    writer.writeBytes(value);
+    writer.writeString(error);
+    return builder.seal();
+}
+
+Result<CallReturn>
+CallReturn::deserialize(const Payload &wire)
+{
+    return deserializeReturn(ByteReader(wire.data(), wire.size()));
+}
+
+Result<CallReturn>
+CallReturn::deserialize(const Bytes &wire)
+{
+    return deserializeReturn(ByteReader(wire));
+}
+
 std::string
 spanName(const Call &call)
 {
     return "call." + call.method;
+}
+
+Result<MessageKind>
+peekKind(const Payload &wire)
+{
+    if (wire.empty())
+        return Error(ErrorCode::ParseError, "empty message");
+    const auto kind = static_cast<MessageKind>(wire[0]);
+    switch (kind) {
+      case MessageKind::Call:
+      case MessageKind::Return:
+      case MessageKind::Data:
+      case MessageKind::Management:
+        return kind;
+    }
+    return Error(ErrorCode::ParseError, "unknown message kind");
 }
 
 Result<MessageKind>
@@ -106,39 +181,42 @@ peekKind(const Bytes &wire)
     return Error(ErrorCode::ParseError, "unknown message kind");
 }
 
-Bytes
+Payload
 encodeData(const Bytes &payload)
 {
-    Bytes out;
-    ByteWriter writer(out);
-    writer.writeU8(static_cast<std::uint8_t>(MessageKind::Data));
-    writer.writeBytes(payload);
-    return out;
+    return encodeFramed(MessageKind::Data, payload.data(), payload.size());
 }
 
-Bytes
+Payload
+encodeData(const Payload &payload)
+{
+    return encodeFramed(MessageKind::Data, payload.data(), payload.size());
+}
+
+Result<Payload>
+decodeData(const Payload &wire)
+{
+    return decodeFramed(wire, MessageKind::Data, "Data");
+}
+
+Payload
 encodeManagement(const Bytes &payload)
 {
-    Bytes out;
-    ByteWriter writer(out);
-    writer.writeU8(static_cast<std::uint8_t>(MessageKind::Management));
-    writer.writeBytes(payload);
-    return out;
+    return encodeFramed(MessageKind::Management, payload.data(),
+                        payload.size());
 }
 
-Result<Bytes>
-decodeData(const Bytes &wire)
+Payload
+encodeManagement(const Payload &payload)
 {
-    ByteReader reader(wire);
-    auto kind = reader.readU8();
-    if (!kind)
-        return kind.error();
-    if (static_cast<MessageKind>(kind.value()) != MessageKind::Data)
-        return Error(ErrorCode::ParseError, "not a Data message");
-    auto payload = reader.readBytes();
-    if (!payload)
-        return payload.error();
-    return payload;
+    return encodeFramed(MessageKind::Management, payload.data(),
+                        payload.size());
+}
+
+Result<Payload>
+decodeManagement(const Payload &wire)
+{
+    return decodeFramed(wire, MessageKind::Management, "Management");
 }
 
 } // namespace hydra::core

@@ -14,6 +14,7 @@
 
 #include "common/bytes.hh"
 #include "common/guid.hh"
+#include "common/payload.hh"
 #include "common/result.hh"
 
 namespace hydra::core {
@@ -41,10 +42,11 @@ struct Call
     /** When false the invoker expects no Return message. */
     bool expectsReturn = true;
 
-    /** Wire-encode (kind byte included). */
-    Bytes serialize() const;
+    /** Wire-encode (kind byte included) into a pooled buffer. */
+    Payload serialize() const;
 
     /** Decode from the wire; fails on malformed input. */
+    static Result<Call> deserialize(const Payload &wire);
     static Result<Call> deserialize(const Bytes &wire);
 };
 
@@ -56,7 +58,8 @@ struct CallReturn
     Bytes value;       ///< marshaled return value when ok
     std::string error; ///< failure description when !ok
 
-    Bytes serialize() const;
+    Payload serialize() const;
+    static Result<CallReturn> deserialize(const Payload &wire);
     static Result<CallReturn> deserialize(const Bytes &wire);
 };
 
@@ -64,16 +67,22 @@ struct CallReturn
 std::string spanName(const Call &call);
 
 /** Peek at the kind byte of a wire message (Ok only if non-empty). */
+Result<MessageKind> peekKind(const Payload &wire);
 Result<MessageKind> peekKind(const Bytes &wire);
 
-/** Wrap raw payload as a Data message. */
-Bytes encodeData(const Bytes &payload);
+/** Wrap raw payload as a Data message (pooled buffer). */
+Payload encodeData(const Bytes &payload);
+Payload encodeData(const Payload &payload);
 
-/** Unwrap a Data message (fails if the kind byte is wrong). */
-Result<Bytes> decodeData(const Bytes &wire);
+/** Unwrap a Data message: a zero-copy slice of the same buffer. */
+Result<Payload> decodeData(const Payload &wire);
 
-/** Wrap raw payload as a Management message. */
-Bytes encodeManagement(const Bytes &payload);
+/** Wrap raw payload as a Management message (pooled buffer). */
+Payload encodeManagement(const Bytes &payload);
+Payload encodeManagement(const Payload &payload);
+
+/** Unwrap a Management message (zero-copy slice). */
+Result<Payload> decodeManagement(const Payload &wire);
 
 } // namespace hydra::core
 

@@ -9,23 +9,23 @@
 namespace hydra::core {
 
 Status
-ChannelHandle::write(const Bytes &message)
+ChannelHandle::write(Payload message)
 {
     if (!channel)
         return Status(ErrorCode::ChannelNotConnected, "null handle");
-    return channel->writeFrom(endpoint, message);
+    return channel->writeFrom(endpoint, std::move(message));
 }
 
 void
-ChannelHandle::install(std::function<void(const Bytes &)> handler)
+ChannelHandle::install(std::function<void(const Payload &)> handler)
 {
     if (!channel)
         return;
-    channel->installHandler(
-        endpoint,
-        [handler = std::move(handler)](const Bytes &message, std::size_t) {
-            handler(message);
-        });
+    channel->installHandler(endpoint,
+                            [handler = std::move(handler)](
+                                const Payload &message, std::size_t) {
+                                handler(message);
+                            });
 }
 
 Channel::Channel(ChannelConfig config) : config_(std::move(config)) {}
@@ -49,7 +49,7 @@ Channel::installHandler(std::size_t endpoint, Handler handler)
     }
 }
 
-Result<Bytes>
+Result<Payload>
 Channel::poll(std::size_t endpoint)
 {
     if (endpoint >= endpoints_.size())
@@ -59,7 +59,7 @@ Channel::poll(std::size_t endpoint)
         return Error(ErrorCode::NotFound, "no message pending");
     // Polling is a pull model: the caller owns its own causal scope,
     // so the stored context is dropped here.
-    Bytes message = std::move(ep.queue.front().message);
+    Payload message = std::move(ep.queue.front().message);
     ep.queue.pop_front();
     return message;
 }
@@ -120,7 +120,7 @@ Channel::connectOffcode(Offcode &offcode)
 
     const std::size_t ep = index.value();
     endpoints_[ep].offcode = &offcode;
-    endpoints_[ep].handler = [this, ep](const Bytes &message,
+    endpoints_[ep].handler = [this, ep](const Payload &message,
                                         std::size_t from) {
         dispatchToOffcode(ep, message, from);
     };
@@ -132,7 +132,7 @@ Channel::connectOffcode(Offcode &offcode)
 }
 
 void
-Channel::deliverTo(std::size_t endpoint, const Bytes &message,
+Channel::deliverTo(std::size_t endpoint, const Payload &message,
                    std::size_t from)
 {
     if (endpoint >= endpoints_.size())
@@ -152,7 +152,7 @@ Channel::deliverTo(std::size_t endpoint, const Bytes &message,
 }
 
 void
-Channel::dispatchToOffcode(std::size_t endpoint, const Bytes &message,
+Channel::dispatchToOffcode(std::size_t endpoint, const Payload &message,
                            std::size_t from)
 {
     Endpoint &ep = endpoints_[endpoint];
@@ -221,6 +221,7 @@ Channel::dispatchToOffcode(std::size_t endpoint, const Bytes &message,
         break;
       }
       case MessageKind::Data: {
+        // The body is a zero-copy slice of the delivered buffer.
         auto payload = decodeData(message);
         if (payload)
             offcode->onData(payload.value(),
@@ -230,10 +231,8 @@ Channel::dispatchToOffcode(std::size_t endpoint, const Bytes &message,
         break;
       }
       case MessageKind::Management: {
-        ByteReader reader(message);
-        reader.readU8(); // kind
-        auto payload = reader.readBytes();
-        offcode->onManagement(payload ? payload.value() : Bytes{},
+        auto payload = decodeManagement(message);
+        offcode->onManagement(payload ? payload.value() : Payload{},
                               ChannelHandle{this, endpoint});
         break;
       }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/bytes.hh"
+#include "common/payload.hh"
 #include "common/result.hh"
 #include "core/site.hh"
 #include "obs/span.hh"
@@ -73,8 +74,8 @@ struct ChannelHandle
     std::size_t endpoint = 0;
 
     bool valid() const { return channel != nullptr; }
-    Status write(const Bytes &message);
-    void install(std::function<void(const Bytes &)> handler);
+    Status write(Payload message);
+    void install(std::function<void(const Payload &)> handler);
 };
 
 /** Abstract channel; concrete transports live in providers.cc. */
@@ -82,7 +83,7 @@ class Channel
 {
   public:
     /** Handler receives (message, sender endpoint index). */
-    using Handler = std::function<void(const Bytes &, std::size_t)>;
+    using Handler = std::function<void(const Payload &, std::size_t)>;
 
     explicit Channel(ChannelConfig config);
     virtual ~Channel();
@@ -95,11 +96,18 @@ class Channel
     std::size_t numEndpoints() const { return endpoints_.size(); }
 
     /** Creator-side write (endpoint 0), as in the paper's examples. */
-    Status write(const Bytes &message) { return writeFrom(0, message); }
+    Status write(Payload message)
+    {
+        return writeFrom(0, std::move(message));
+    }
 
-    /** Write from any endpoint; delivered to every other endpoint. */
-    virtual Status writeFrom(std::size_t endpoint,
-                             const Bytes &message) = 0;
+    /**
+     * Write from any endpoint; delivered to every other endpoint.
+     * The message is a shared immutable buffer: every destination,
+     * scheduled lambda, and backlog entry holds a reference to the
+     * same bytes — nothing on the path may mutate them.
+     */
+    virtual Status writeFrom(std::size_t endpoint, Payload message) = 0;
 
     /** Install a dispatch handler at the creator endpoint. */
     void installCallHandler(Handler handler)
@@ -110,7 +118,7 @@ class Channel
     void installHandler(std::size_t endpoint, Handler handler);
 
     /** Non-blocking read of a queued message (no handler installed). */
-    Result<Bytes> poll(std::size_t endpoint);
+    Result<Payload> poll(std::size_t endpoint);
 
     /**
      * Attach an Offcode: constructs its endpoint at the Offcode's
@@ -136,7 +144,7 @@ class Channel
     /** A queued message plus the causal context it arrived under. */
     struct Queued
     {
-        Bytes message;
+        Payload message;
         obs::SpanContext ctx;
     };
 
@@ -152,11 +160,11 @@ class Channel
     virtual Result<std::size_t> addEndpoint(ExecutionSite &site);
 
     /** Final delivery into handler or queue (updates stats). */
-    void deliverTo(std::size_t endpoint, const Bytes &message,
+    void deliverTo(std::size_t endpoint, const Payload &message,
                    std::size_t from);
 
     /** Default dispatch for Offcode endpoints (Calls, Data, Mgmt). */
-    void dispatchToOffcode(std::size_t endpoint, const Bytes &message,
+    void dispatchToOffcode(std::size_t endpoint, const Payload &message,
                            std::size_t from);
 
     ChannelConfig config_;

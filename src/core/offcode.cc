@@ -90,7 +90,7 @@ Offcode::onChannelConnected(ChannelHandle channel)
 }
 
 void
-Offcode::onData(const Bytes &payload, ChannelHandle from)
+Offcode::onData(const Payload &payload, ChannelHandle from)
 {
     (void)payload;
     (void)from;
@@ -98,7 +98,7 @@ Offcode::onData(const Bytes &payload, ChannelHandle from)
 }
 
 void
-Offcode::onManagement(const Bytes &payload, ChannelHandle from)
+Offcode::onManagement(const Payload &payload, ChannelHandle from)
 {
     (void)payload;
     (void)from;

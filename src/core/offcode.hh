@@ -124,10 +124,10 @@ class Offcode
     // --- channel events (runtime/channel layer calls these) ---
     /** A channel was connected to this Offcode (paper §3.2). */
     virtual void onChannelConnected(ChannelHandle channel);
-    /** Raw data arrived on a connected channel. */
-    virtual void onData(const Bytes &payload, ChannelHandle from);
+    /** Raw data arrived (a zero-copy view into the message). */
+    virtual void onData(const Payload &payload, ChannelHandle from);
     /** Management traffic arrived (OOB or any connected channel). */
-    virtual void onManagement(const Bytes &payload, ChannelHandle from);
+    virtual void onManagement(const Payload &payload, ChannelHandle from);
 
     /** Context access (valid after doInitialize). */
     OffcodeContext &context() { return ctx_; }

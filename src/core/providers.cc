@@ -31,6 +31,30 @@ struct TransportMetrics
     }
 };
 
+/**
+ * Message-buffer copies performed by the channel layer, by buffering
+ * mode. The zero-copy counter exists so its absence of increments is
+ * observable: every hop shares one refcounted Payload, so the
+ * zero-copy path performs no copies per delivery (asserted by the
+ * TiVo integration test). Copying mode stages a copy into the ring
+ * slot on send and out of it on receive, exactly as modeled by
+ * OsKernel::copyBytes.
+ */
+struct CopyMetrics
+{
+    obs::Counter &zeroCopy = obs::counter(
+        "channel.payload_copies", {{"buffering", "zero-copy"}});
+    obs::Counter &copying = obs::counter(
+        "channel.payload_copies", {{"buffering", "copying"}});
+};
+
+CopyMetrics &
+copyMetrics()
+{
+    static CopyMetrics metrics;
+    return metrics;
+}
+
 TransportMetrics &
 localMetrics()
 {
@@ -69,7 +93,7 @@ class LocalChannel : public Channel
     }
 
     Status
-    writeFrom(std::size_t from, const Bytes &message) override
+    writeFrom(std::size_t from, Payload message) override
     {
         if (closed_)
             return Status(ErrorCode::ChannelClosed, "channel closed");
@@ -97,9 +121,12 @@ class LocalChannel : public Channel
         for (std::size_t ep = 0; ep < endpoints_.size(); ++ep) {
             if (ep == from)
                 continue;
+            // The lambda shares the sender's buffer (refcount bump);
+            // every destination of a fan-out sees the same bytes.
             sim_.schedule(
                 costs_.localLatency,
-                [this, ep, from, sentAt, ctx, msg = message]() {
+                [this, ep, from, sentAt, ctx,
+                 msg = message]() {
                     localMetrics().latencyNs.record(sim_.now() - sentAt);
                     obs::ContextScope scope(ctx);
                     obs::Span span;
@@ -131,6 +158,9 @@ class RingChannel : public Channel
         : Channel(std::move(config)), sim_(simulator),
           busMulticast_(bus_multicast)
     {
+        // Register both buffering-mode copy counters up front so a
+        // zero-copy run exports an observable 0, not an absent metric.
+        copyMetrics();
     }
 
     Result<std::size_t>
@@ -154,7 +184,7 @@ class RingChannel : public Channel
     }
 
     Status
-    writeFrom(std::size_t from, const Bytes &message) override
+    writeFrom(std::size_t from, Payload message) override
     {
         if (closed_)
             return Status(ErrorCode::ChannelClosed, "channel closed");
@@ -179,6 +209,7 @@ class RingChannel : public Channel
             machine.cpu().runCycles(costs_.hostDescriptorCycles);
             if (config_.buffering == ChannelConfig::Buffering::Copying) {
                 // Staged copy into the ring slot (pollutes L2).
+                copyMetrics().copying.increment();
                 EpState &st = state_[from];
                 const hw::Addr slot =
                     st.ringBuffer +
@@ -212,7 +243,7 @@ class RingChannel : public Channel
     struct BacklogEntry
     {
         std::size_t from = 0;
-        Bytes message;
+        Payload message; ///< shares the sender's buffer
         sim::SimTime sentAt = 0;
         obs::SpanContext ctx;
     };
@@ -228,7 +259,7 @@ class RingChannel : public Channel
 
     /** Move one message from endpoint @p from to @p to. */
     void
-    transport(std::size_t from, std::size_t to, const Bytes &message,
+    transport(std::size_t from, std::size_t to, const Payload &message,
               bool charge_bus, sim::SimTime sent_at,
               const obs::SpanContext &ctx)
     {
@@ -249,7 +280,7 @@ class RingChannel : public Channel
     }
 
     void
-    startDma(std::size_t from, std::size_t to, const Bytes &message,
+    startDma(std::size_t from, std::size_t to, const Payload &message,
              bool charge_bus, sim::SimTime sent_at,
              const obs::SpanContext &ctx)
     {
@@ -257,6 +288,7 @@ class RingChannel : public Channel
         ExecutionSite *dst = endpoints_[to].site;
         const std::size_t bytes = message.size();
 
+        // The completion closure holds a reference, not a copy.
         auto finish = [this, from, to, sent_at, ctx, msg = message]() {
             completeDelivery(from, to, msg, sent_at, ctx);
         };
@@ -281,8 +313,9 @@ class RingChannel : public Channel
     }
 
     void
-    completeDelivery(std::size_t from, std::size_t to, const Bytes &message,
-                     sim::SimTime sent_at, const obs::SpanContext &ctx)
+    completeDelivery(std::size_t from, std::size_t to,
+                     const Payload &message, sim::SimTime sent_at,
+                     const obs::SpanContext &ctx)
     {
         ExecutionSite *dst = endpoints_[to].site;
         EpState &dst_state = state_[to];
@@ -302,9 +335,12 @@ class RingChannel : public Channel
             dst_state.slot = (dst_state.slot + 1) % config_.ringDepth;
             machine.os().dmaDelivered(slot, message.size());
             machine.os().handleInterrupt();
-            if (config_.buffering == ChannelConfig::Buffering::Copying)
+            if (config_.buffering == ChannelConfig::Buffering::Copying) {
+                // Copy out of the ring into the user buffer.
+                copyMetrics().copying.increment();
                 machine.os().copyBytes(slot, dst_state.userBuffer,
                                        message.size());
+            }
         } else {
             dst->run(costs_.deviceRxCycles);
         }

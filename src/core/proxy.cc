@@ -11,7 +11,7 @@ Proxy::Proxy(Channel &channel, Guid target_offcode, Guid interface_guid,
       interface_(interface_guid)
 {
     channel_.installHandler(endpoint_,
-                            [this](const Bytes &message, std::size_t) {
+                            [this](const Payload &message, std::size_t) {
                                 onMessage(message);
                             });
 }
@@ -66,7 +66,7 @@ Proxy::invokeOneWay(const std::string &method, const Bytes &arguments)
 }
 
 void
-Proxy::onMessage(const Bytes &message)
+Proxy::onMessage(const Payload &message)
 {
     auto kind = peekKind(message);
     if (!kind || kind.value() != MessageKind::Return) {

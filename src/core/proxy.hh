@@ -52,7 +52,7 @@ class Proxy
         obs::SpanContext ctx;
     };
 
-    void onMessage(const Bytes &message);
+    void onMessage(const Payload &message);
 
     Channel &channel_;
     std::size_t endpoint_;

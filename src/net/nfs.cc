@@ -34,9 +34,9 @@ encodeRequest(const Request &req)
 }
 
 bool
-decodeRequest(const Bytes &wire, Request &out)
+decodeRequest(const Payload &wire, Request &out)
 {
-    ByteReader reader(wire);
+    ByteReader reader(wire.data(), wire.size());
     auto op = reader.readU8();
     auto xid = reader.readU64();
     auto file = reader.readString();
@@ -259,7 +259,7 @@ NfsClient::getSize(const std::string &file, SizeCallback done)
 void
 NfsClient::onReply(const Packet &reply)
 {
-    ByteReader reader(reply.payload);
+    ByteReader reader(reply.payload.data(), reply.payload.size());
     auto status = reader.readU8();
     auto xid = reader.readU64();
     auto orig = reader.readU8();

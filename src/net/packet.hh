@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "common/bytes.hh"
+#include "common/payload.hh"
 #include "obs/span.hh"
 #include "sim/time.hh"
 
@@ -31,7 +32,8 @@ struct Packet
     Port srcPort = 0;
     Port dstPort = 0;
     std::uint64_t seq = 0;
-    Bytes payload;
+    /** Shared immutable buffer; copying the Packet shares the bytes. */
+    Payload payload;
     /** Stamped by Network::send for latency/jitter measurement. */
     sim::SimTime sentAt = 0;
     /** Causal context of the sender, restored at delivery. */

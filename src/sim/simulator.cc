@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 
@@ -37,12 +38,28 @@ Simulator::schedule(SimTime delay, Callback fn)
     return scheduleAt(now_ + delay, std::move(fn));
 }
 
+void
+Simulator::push(Record record)
+{
+    heap_.push_back(std::move(record));
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+}
+
+Simulator::Record
+Simulator::popTop()
+{
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    Record record = std::move(heap_.back());
+    heap_.pop_back();
+    return record;
+}
+
 EventId
 Simulator::scheduleAt(SimTime when, Callback fn)
 {
     assert(when >= now_);
     const EventId id = nextId_++;
-    queue_.push(Record{when, id, std::move(fn)});
+    push(Record{when, id, std::move(fn)});
     simMetrics().scheduled.increment();
     return id;
 }
@@ -56,8 +73,8 @@ Simulator::schedulePeriodic(SimTime period, std::function<bool()> fn)
     // holds a self-referential closure.
     const EventId seriesId = nextId_++;
     periodics_[seriesId] = Periodic{period, std::move(fn)};
-    queue_.push(Record{now_ + period, nextId_++,
-                       [this, seriesId]() { firePeriodic(seriesId); }});
+    push(Record{now_ + period, nextId_++,
+                [this, seriesId]() { firePeriodic(seriesId); }});
     return seriesId;
 }
 
@@ -75,8 +92,8 @@ Simulator::firePeriodic(EventId series_id)
     it = periodics_.find(series_id);
     if (it == periodics_.end())
         return;
-    queue_.push(Record{now_ + it->second.period, nextId_++,
-                       [this, series_id]() { firePeriodic(series_id); }});
+    push(Record{now_ + it->second.period, nextId_++,
+                [this, series_id]() { firePeriodic(series_id); }});
 }
 
 void
@@ -85,15 +102,36 @@ Simulator::cancel(EventId id)
     simMetrics().cancelled.increment();
     if (periodics_.erase(id))
         return;
+    // Ids never handed out cannot be pending; remembering them would
+    // grow cancelled_ forever with nothing to erase them.
+    if (id >= nextId_)
+        return;
     cancelled_.insert(id);
+    pruneCancelled();
+}
+
+void
+Simulator::pruneCancelled()
+{
+    // Cancelling an already-fired id leaves a tombstone no pop will
+    // ever claim. Once the set clearly outgrows the pending queue,
+    // intersect it with the ids actually still scheduled.
+    constexpr std::size_t kSlack = 64;
+    if (cancelled_.size() <= heap_.size() + kSlack)
+        return;
+    std::unordered_set<EventId> live;
+    live.reserve(heap_.size());
+    for (const Record &record : heap_)
+        live.insert(record.id);
+    std::erase_if(cancelled_,
+                  [&live](EventId id) { return !live.count(id); });
 }
 
 bool
 Simulator::step()
 {
-    while (!queue_.empty()) {
-        Record rec = queue_.top();
-        queue_.pop();
+    while (!heap_.empty()) {
+        Record rec = popTop();
         if (cancelled_.erase(rec.id))
             continue;
         assert(rec.when >= now_);
@@ -101,7 +139,7 @@ Simulator::step()
         ++dispatched_;
         SimMetrics &metrics = simMetrics();
         metrics.dispatched.increment();
-        metrics.queueDepth.set(static_cast<double>(queue_.size()));
+        metrics.queueDepth.set(static_cast<double>(heap_.size()));
         rec.fn();
         return true;
     }
@@ -111,11 +149,11 @@ Simulator::step()
 void
 Simulator::runUntil(SimTime until)
 {
-    while (!queue_.empty()) {
-        const Record &top = queue_.top();
+    while (!heap_.empty()) {
+        const Record &top = heap_.front();
         if (cancelled_.count(top.id)) {
             cancelled_.erase(top.id);
-            queue_.pop();
+            popTop();
             continue;
         }
         if (top.when > until)
@@ -136,7 +174,7 @@ Simulator::runToCompletion()
 std::size_t
 Simulator::pendingEvents() const
 {
-    return queue_.size();
+    return heap_.size();
 }
 
 } // namespace hydra::sim

@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -69,6 +68,13 @@ class Simulator
     /** Number of events currently pending. */
     std::size_t pendingEvents() const;
 
+    /**
+     * Cancelled ids remembered but not yet matched against a fired or
+     * popped event. Bounded: cancel() ignores ids that cannot be
+     * pending and prunes entries whose events are long gone (tests).
+     */
+    std::size_t cancelledBacklog() const { return cancelled_.size(); }
+
   private:
     struct Record
     {
@@ -93,7 +99,17 @@ class Simulator
 
     void firePeriodic(EventId series_id);
 
-    std::priority_queue<Record, std::vector<Record>, std::greater<>> queue_;
+    void push(Record record);
+    /** Move the top record out of the heap (no std::function copy). */
+    Record popTop();
+    void pruneCancelled();
+
+    /**
+     * Min-heap on (when, id) kept by std::push_heap/std::pop_heap. A
+     * hand-rolled heap instead of std::priority_queue so dispatch can
+     * move the record (and its captured state) out of the container.
+     */
+    std::vector<Record> heap_;
     std::unordered_set<EventId> cancelled_;
     std::unordered_map<EventId, Periodic> periodics_;
     SimTime now_ = 0;

@@ -48,9 +48,9 @@ serializeRawFrame(const RawFrame &frame)
 }
 
 Result<RawFrame>
-deserializeRawFrame(const Bytes &wire)
+deserializeRawFrame(const Payload &wire)
 {
-    ByteReader reader(wire);
+    ByteReader reader(wire.data(), wire.size());
     auto width = reader.readU32();
     auto height = reader.readU32();
     auto seq = reader.readU32();
@@ -250,7 +250,7 @@ StreamerDiskOffcode::stop()
 }
 
 void
-StreamerDiskOffcode::onData(const Bytes &payload, core::ChannelHandle from)
+StreamerDiskOffcode::onData(const Payload &payload, core::ChannelHandle from)
 {
     (void)from;
     // Record path: store the chunk unmodified, so the stored stream
@@ -272,7 +272,7 @@ StreamerDiskOffcode::onData(const Bytes &payload, core::ChannelHandle from)
 }
 
 void
-StreamerDiskOffcode::onManagement(const Bytes &payload,
+StreamerDiskOffcode::onManagement(const Payload &payload,
                                   core::ChannelHandle from)
 {
     (void)from;
@@ -362,7 +362,7 @@ DecoderOffcode::stop()
 }
 
 void
-DecoderOffcode::onData(const Bytes &payload, core::ChannelHandle from)
+DecoderOffcode::onData(const Payload &payload, core::ChannelHandle from)
 {
     (void)from;
     assembler_.feed(payload);
@@ -419,7 +419,7 @@ DisplayOffcode::DisplayOffcode(TivoEnvPtr env)
 }
 
 void
-DisplayOffcode::onData(const Bytes &payload, core::ChannelHandle from)
+DisplayOffcode::onData(const Payload &payload, core::ChannelHandle from)
 {
     (void)from;
     auto frame = deserializeRawFrame(payload);
@@ -480,7 +480,7 @@ FileOffcode::start()
 }
 
 void
-FileOffcode::onData(const Bytes &payload, core::ChannelHandle from)
+FileOffcode::onData(const Payload &payload, core::ChannelHandle from)
 {
     (void)from;
     // Append to the controller's write-back cache, then flush whole
@@ -629,10 +629,10 @@ ServerFileOffcode::onChannelConnected(core::ChannelHandle channel)
 }
 
 void
-ServerFileOffcode::onManagement(const Bytes &payload,
+ServerFileOffcode::onManagement(const Payload &payload,
                                 core::ChannelHandle from)
 {
-    ByteReader reader(payload);
+    ByteReader reader(payload.data(), payload.size());
     auto command = reader.readString();
     auto count = reader.readU32();
     if (!command || command.value() != "more" || !count)
@@ -683,7 +683,7 @@ ServerBroadcastOffcode::ServerBroadcastOffcode(TivoEnvPtr env)
 }
 
 void
-ServerBroadcastOffcode::onData(const Bytes &payload,
+ServerBroadcastOffcode::onData(const Payload &payload,
                                core::ChannelHandle from)
 {
     (void)from;
@@ -733,7 +733,7 @@ ServerStreamerOffcode::start()
 
     // File pushes chunks back on our creator endpoint.
     fromFile_->installCallHandler(
-        [this](const Bytes &message, std::size_t) {
+        [this](const Payload &message, std::size_t) {
             auto payload = core::decodeData(message);
             if (payload)
                 buffer_.push_back(std::move(payload).value());
@@ -762,7 +762,7 @@ ServerStreamerOffcode::tick()
         ++underruns_;
         obs::counter("tivo.server.underruns").increment();
     } else {
-        Bytes chunk = std::move(buffer_.front());
+        Payload chunk = std::move(buffer_.front());
         buffer_.pop_front();
         const sim::SimTime started = site().machine().simulator().now();
         // Ticks fire from a timer with no active context, so this

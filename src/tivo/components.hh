@@ -86,8 +86,8 @@ class StreamerDiskOffcode : public core::Offcode
   public:
     explicit StreamerDiskOffcode(TivoEnvPtr env);
 
-    void onData(const Bytes &payload, core::ChannelHandle from) override;
-    void onManagement(const Bytes &payload,
+    void onData(const Payload &payload, core::ChannelHandle from) override;
+    void onManagement(const Payload &payload,
                       core::ChannelHandle from) override;
 
     std::uint64_t chunksRecorded() const { return chunksRecorded_; }
@@ -118,7 +118,7 @@ class DecoderOffcode : public core::Offcode
   public:
     explicit DecoderOffcode(TivoEnvPtr env);
 
-    void onData(const Bytes &payload, core::ChannelHandle from) override;
+    void onData(const Payload &payload, core::ChannelHandle from) override;
 
     std::uint64_t framesDecoded() const { return framesDecoded_; }
     std::uint64_t decodeErrors() const { return decodeErrors_; }
@@ -143,7 +143,7 @@ class DisplayOffcode : public core::Offcode
   public:
     explicit DisplayOffcode(TivoEnvPtr env);
 
-    void onData(const Bytes &payload, core::ChannelHandle from) override;
+    void onData(const Payload &payload, core::ChannelHandle from) override;
 
     std::uint64_t framesPresented() const { return framesPresented_; }
 
@@ -158,7 +158,7 @@ class FileOffcode : public core::Offcode
   public:
     explicit FileOffcode(TivoEnvPtr env, std::string bindname);
 
-    void onData(const Bytes &payload, core::ChannelHandle from) override;
+    void onData(const Payload &payload, core::ChannelHandle from) override;
 
     std::uint64_t bytesStored() const { return content_.size(); }
 
@@ -208,7 +208,7 @@ class ServerFileOffcode : public core::Offcode
 
   public:
     void onChannelConnected(core::ChannelHandle channel) override;
-    void onManagement(const Bytes &payload,
+    void onManagement(const Payload &payload,
                       core::ChannelHandle from) override;
 
   private:
@@ -231,7 +231,7 @@ class ServerBroadcastOffcode : public core::Offcode
   public:
     explicit ServerBroadcastOffcode(TivoEnvPtr env);
 
-    void onData(const Bytes &payload, core::ChannelHandle from) override;
+    void onData(const Payload &payload, core::ChannelHandle from) override;
 
     std::uint64_t packetsSent() const { return packetsSent_; }
 
@@ -260,7 +260,7 @@ class ServerStreamerOffcode : public core::Offcode
     TivoEnvPtr env_;
     core::Channel *fromFile_ = nullptr;
     core::Channel *toBroadcast_ = nullptr;
-    std::deque<Bytes> buffer_;
+    std::deque<Payload> buffer_;
     std::uint64_t chunksSent_ = 0;
     std::uint64_t underruns_ = 0;
     bool stopped_ = false;

@@ -203,7 +203,7 @@ serializeFrame(const EncodedFrame &frame)
 }
 
 void
-StreamAssembler::feed(const Bytes &chunk)
+StreamAssembler::feed(const std::uint8_t *data, std::size_t size)
 {
     // Compact occasionally so long streams stay bounded.
     if (pos_ > 0 && pos_ * 2 > buffer_.size()) {
@@ -211,7 +211,7 @@ StreamAssembler::feed(const Bytes &chunk)
                       buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
         pos_ = 0;
     }
-    buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+    buffer_.insert(buffer_.end(), data, data + size);
 }
 
 Result<EncodedFrame>

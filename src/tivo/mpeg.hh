@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/bytes.hh"
+#include "common/payload.hh"
 #include "common/result.hh"
 
 namespace hydra::tivo {
@@ -120,7 +121,9 @@ class StreamAssembler
 {
   public:
     /** Append a chunk of stream bytes. */
-    void feed(const Bytes &chunk);
+    void feed(const std::uint8_t *data, std::size_t size);
+    void feed(const Bytes &chunk) { feed(chunk.data(), chunk.size()); }
+    void feed(const Payload &chunk) { feed(chunk.data(), chunk.size()); }
 
     /** Pop the next complete frame, if any. */
     Result<EncodedFrame> nextFrame();

@@ -93,7 +93,8 @@ SimpleServer::iteration()
                    // The blocked process resumes at the next tick.
                    const sim::SimTime resume = os.ioWake();
                    machine_.simulator().scheduleAt(
-                       resume, [this, chunk = std::move(data).value()]() {
+                       resume,
+                       [this, chunk = std::move(data).value()]() mutable {
                            if (!running_)
                                return;
                            hw::OsKernel &os = machine_.os();
@@ -120,7 +121,7 @@ SimpleServer::iteration()
                            packet.srcPort = config_.videoPort;
                            packet.dstPort = config_.videoPort;
                            packet.seq = seq_++;
-                           packet.payload = chunk;
+                           packet.payload = std::move(chunk);
                            nic_.sendFromHost(std::move(packet), skb);
                            ++chunksSent_;
 

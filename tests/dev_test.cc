@@ -142,7 +142,7 @@ class NicFixture : public ::testing::Test
         p.src = peer_;
         p.dst = nicNode_;
         p.dstPort = port;
-        p.payload.assign(bytes, 0x11);
+        p.payload = Bytes(bytes, 0x11);
         return p;
     }
 
@@ -197,7 +197,7 @@ TEST_F(NicFixture, SendFromDeviceReachesWire)
     net::Packet p;
     p.dst = peer_;
     p.dstPort = 90;
-    p.payload.assign(100, 1);
+    p.payload = Bytes(100, 1);
     nic_->sendFromDevice(std::move(p));
     sim_.runToCompletion();
     EXPECT_EQ(received, 1);
@@ -211,7 +211,7 @@ TEST_F(NicFixture, SendFromHostCrossesBusFirst)
     net::Packet p;
     p.dst = peer_;
     p.dstPort = 90;
-    p.payload.assign(1024, 1);
+    p.payload = Bytes(1024, 1);
     nic_->sendFromHost(std::move(p), 0x1000);
     sim_.runToCompletion();
     EXPECT_EQ(received, 1);

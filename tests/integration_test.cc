@@ -74,6 +74,15 @@ TEST(TestbedTest, RunPopulatesObservabilityMetrics)
     ASSERT_NE(latency, nullptr);
     EXPECT_GT(latency->count(), 0u);
     EXPECT_GT(latency->max(), 0u);
+
+    // The zero-copy fabric: a full offloaded run moves thousands of
+    // messages yet the channel layer never deep-copies one — the
+    // counter exists (registered up front) and stays at zero.
+    EXPECT_EQ(registry.counterValue("channel.payload_copies",
+                                    {{"buffering", "zero-copy"}}),
+              0u);
+    // Message buffers come from the payload pool and recycle.
+    EXPECT_GT(registry.counterTotal("payload.pool_hits"), 0u);
 }
 
 TEST(TestbedTest, OffloadedLayoutMatchesFigure8)

@@ -105,7 +105,7 @@ TEST(NetworkModelTest, ReceiverDownlinkSerializesConcurrentSenders)
         p.src = src;
         p.dst = sink;
         p.dstPort = 1;
-        p.payload.assign(1458, 0); // 1500 B on the wire
+        p.payload = Bytes(1458, 0); // 1500 B on the wire
         return p;
     };
     // Both senders transmit simultaneously; the sink's downlink can

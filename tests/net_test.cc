@@ -31,7 +31,7 @@ class NetworkTest : public ::testing::Test
         p.dst = dst;
         p.srcPort = 1000;
         p.dstPort = port;
-        p.payload.assign(bytes, 0x5a);
+        p.payload = Bytes(bytes, 0x5a);
         return p;
     }
 
@@ -135,7 +135,7 @@ TEST(NetworkDropTest, LossyFabricDropsStatistically)
         p.src = a;
         p.dst = b;
         p.dstPort = 80;
-        p.payload.assign(10, 1);
+        p.payload = Bytes(10, 1);
         net.send(std::move(p));
     }
     sim.runToCompletion();

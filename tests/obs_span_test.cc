@@ -47,7 +47,7 @@ class ContextProbeOffcode : public Offcode
     }
 
     void
-    onData(const Bytes &, ChannelHandle) override
+    onData(const Payload &, ChannelHandle) override
     {
         dataCtx = obs::activeContext();
         ++dataCount;

@@ -144,7 +144,7 @@ TEST(CallRobustnessTest, EveryTruncationFailsCleanly)
     call.method = "SomeMethod";
     call.arguments = Bytes(100, 9);
     call.callId = 7;
-    const Bytes wire = call.serialize();
+    const Bytes wire = call.serialize().toBytes();
 
     for (std::size_t cut = 0; cut < wire.size(); ++cut) {
         const Bytes truncated(wire.begin(),
@@ -183,9 +183,9 @@ class OrderSink : public core::Offcode
     OrderSink() : Offcode("prop.OrderSink") {}
 
     void
-    onData(const Bytes &payload, core::ChannelHandle) override
+    onData(const Payload &payload, core::ChannelHandle) override
     {
-        ByteReader reader(payload);
+        ByteReader reader(payload.data(), payload.size());
         sequence.push_back(reader.readU64().valueOr(0));
     }
 

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "sim/simulator.hh"
 
 namespace hydra::sim {
@@ -143,6 +145,80 @@ TEST(SimulatorTest, ScheduleAtAbsoluteTime)
     sim.scheduleAt(123, [&]() { fired_at = sim.now(); });
     sim.runToCompletion();
     EXPECT_EQ(fired_at, 123u);
+}
+
+TEST(SimulatorTest, CancelBacklogStaysBounded)
+{
+    // Regression: cancelling ids of events that already fired used to
+    // leave a tombstone in the cancelled-set forever. The set must be
+    // pruned against the pending queue once it outgrows the slack.
+    Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+        const EventId id = sim.schedule(1, []() {});
+        sim.runToCompletion();
+        sim.cancel(id); // no-op: the event is long gone
+    }
+    EXPECT_LE(sim.cancelledBacklog(), 65u); // not 1000
+    EXPECT_EQ(sim.eventsDispatched(), 1000u);
+}
+
+TEST(SimulatorTest, CancelOfUnissuedIdIsIgnored)
+{
+    Simulator sim;
+    // Ids never handed out cannot be pending; remembering them would
+    // also wrongly cancel the future event that gets that id.
+    sim.cancel(12345);
+    EXPECT_EQ(sim.cancelledBacklog(), 0u);
+
+    bool fired = false;
+    sim.schedule(1, [&]() { fired = true; });
+    sim.runToCompletion();
+    EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, CancelledPendingEventsLeaveNoResidue)
+{
+    Simulator sim;
+    for (int i = 0; i < 100; ++i)
+        sim.cancel(sim.schedule(10, []() {}));
+    sim.runToCompletion();
+    // Every tombstone was consumed when its event was popped.
+    EXPECT_EQ(sim.cancelledBacklog(), 0u);
+    EXPECT_EQ(sim.eventsDispatched(), 0u);
+}
+
+/** Callable that counts how often it is copied (moves are free). */
+struct CopyCountingCallback
+{
+    std::shared_ptr<int> copies;
+
+    explicit CopyCountingCallback(std::shared_ptr<int> counter)
+        : copies(std::move(counter))
+    {
+    }
+    CopyCountingCallback(const CopyCountingCallback &other)
+        : copies(other.copies)
+    {
+        ++*copies;
+    }
+    CopyCountingCallback(CopyCountingCallback &&) noexcept = default;
+
+    void operator()() const {}
+};
+
+TEST(SimulatorTest, DispatchMovesCallbacksOutOfTheQueue)
+{
+    // The hot path (one pop per event) must move the callback and its
+    // captured state out of the heap, never copy it.
+    Simulator sim;
+    auto copies = std::make_shared<int>(0);
+    for (int i = 0; i < 100; ++i)
+        sim.schedule(static_cast<SimTime>(i),
+                     CopyCountingCallback(copies));
+    const int afterScheduling = *copies;
+    sim.runToCompletion();
+    EXPECT_EQ(sim.eventsDispatched(), 100u);
+    EXPECT_EQ(*copies, afterScheduling);
 }
 
 TEST(SimulatorTest, ManyEventsStressOrdering)
