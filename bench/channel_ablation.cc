@@ -19,6 +19,8 @@
 #include "hw/machine.hh"
 #include "net/network.hh"
 
+#include "exec/sim_executor.hh"
+
 namespace {
 
 using namespace hydra;
@@ -51,7 +53,7 @@ RunResult
 driveChannel(ChannelConfig::Buffering buffering, std::size_t message_bytes,
              std::size_t messages, std::size_t ring_depth, bool reliable)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     hw::Machine machine(sim, hw::MachineConfig{});
     net::Network net(sim, net::NetworkConfig{});
     const net::NodeId node = net.addNode("nic");

@@ -16,6 +16,8 @@
 #include "net/network.hh"
 #include "tivo/harness.hh"
 
+#include "exec/sim_executor.hh"
+
 using namespace hydra;
 
 namespace {
@@ -29,7 +31,7 @@ class NullOffcode : public core::Offcode
 double
 deployMs(std::size_t image_bytes)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     hw::Machine machine(sim, hw::MachineConfig{});
     net::Network network(sim, net::NetworkConfig{});
     dev::DeviceConfig nicConfig = dev::ProgrammableNic::nicDefaultConfig();
@@ -77,15 +79,15 @@ main()
     config.client = tivo::ClientKind::Offloaded;
     tivo::Testbed testbed(config);
     testbed.offloadedClient()->startWatching();
-    const sim::SimTime start = testbed.simulator().now();
+    const sim::SimTime start = testbed.executor().now();
     while (!testbed.offloadedClient()->deployed() &&
-           testbed.simulator().now() < sim::seconds(5)) {
-        if (!testbed.simulator().step())
+           testbed.executor().now() < sim::seconds(5)) {
+        if (!testbed.executor().step())
             break;
     }
     std::printf("\nfull TiVoPC client (6 Offcodes, 3 devices, "
                 "serial loads): %.3f ms\n",
-                sim::toMilliseconds(testbed.simulator().now() - start));
+                sim::toMilliseconds(testbed.executor().now() - start));
     std::printf("\nshape: deployment is a cold-path millisecond-class "
                 "operation; it amortizes over hours of streaming\n");
     return 0;

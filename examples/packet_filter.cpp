@@ -19,6 +19,8 @@
 #include "hw/machine.hh"
 #include "net/network.hh"
 
+#include "exec/sim_executor.hh"
+
 using namespace hydra;
 
 namespace {
@@ -99,7 +101,7 @@ const char *kFilterOdf = R"(<offcode>
 
 /** Generate a burst of traffic toward a node. */
 void
-blast(sim::Simulator &sim, net::Network &net, net::NodeId from,
+blast(exec::SimExecutor &sim, net::Network &net, net::NodeId from,
       net::NodeId to, int packets)
 {
     for (int i = 0; i < packets; ++i) {
@@ -132,7 +134,7 @@ main()
     std::uint64_t hostCrossings = 0;
     std::uint64_t hostMatched = 0;
     {
-        sim::Simulator sim;
+        exec::SimExecutor sim;
         hw::Machine machine(sim, hw::MachineConfig{});
         net::Network network(sim, net::NetworkConfig{});
         const net::NodeId source = network.addNode("traffic-src");
@@ -160,7 +162,7 @@ main()
     std::uint64_t offloadMatched = 0;
     std::uint64_t offloadInspected = 0;
     {
-        sim::Simulator sim;
+        exec::SimExecutor sim;
         hw::Machine machine(sim, hw::MachineConfig{});
         net::Network network(sim, net::NetworkConfig{});
         const net::NodeId source = network.addNode("traffic-src");

@@ -16,6 +16,8 @@
 #include "hw/machine.hh"
 #include "net/network.hh"
 
+#include "exec/sim_executor.hh"
+
 using namespace hydra;
 
 namespace {
@@ -54,7 +56,7 @@ int
 main()
 {
     // --- the simulated world: one host, one programmable NIC ---
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     hw::Machine machine(sim, hw::MachineConfig{});
     net::Network network(sim, net::NetworkConfig{});
     dev::ProgrammableNic nic(sim, machine.bus(), network,

@@ -21,6 +21,8 @@
 #include "dev/disk.hh"
 #include "hw/machine.hh"
 
+#include "exec/sim_executor.hh"
+
 using namespace hydra;
 
 namespace {
@@ -130,7 +132,7 @@ main()
     std::size_t hostHits = 0;
     double hostElapsedMs = 0.0;
     {
-        sim::Simulator sim;
+        exec::SimExecutor sim;
         hw::Machine machine(sim, hw::MachineConfig{});
         dev::SmartDisk disk(sim, machine.bus());
         const std::size_t block = disk.diskConfig().blockBytes;
@@ -187,7 +189,7 @@ main()
     std::size_t offloadHits = 0;
     double offloadElapsedMs = 0.0;
     {
-        sim::Simulator sim;
+        exec::SimExecutor sim;
         hw::Machine machine(sim, hw::MachineConfig{});
         dev::SmartDisk disk(sim, machine.bus());
 

@@ -14,6 +14,8 @@
 
 #include "tivo/harness.hh"
 
+#include "exec/sim_executor.hh"
+
 using namespace hydra;
 using namespace hydra::tivo;
 
@@ -26,7 +28,7 @@ main()
     config.movieFrames = 192;
 
     Testbed testbed(config);
-    sim::Simulator &sim = testbed.simulator();
+    exec::Executor &sim = testbed.executor();
 
     std::printf("TiVoPC: deploying offload-aware client and server...\n");
     testbed.offloadedClient()->startWatching();

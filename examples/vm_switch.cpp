@@ -21,6 +21,8 @@
 #include "hw/machine.hh"
 #include "net/network.hh"
 
+#include "exec/sim_executor.hh"
+
 using namespace hydra;
 
 namespace {
@@ -104,7 +106,7 @@ const char *kVmSwitchOdf = R"(<offcode>
 </offcode>)";
 
 void
-blast(sim::Simulator &sim, net::Network &net, net::NodeId from,
+blast(exec::SimExecutor &sim, net::Network &net, net::NodeId from,
       net::NodeId to)
 {
     for (int i = 0; i < kPackets; ++i) {
@@ -132,7 +134,7 @@ main()
     std::uint64_t hyperBusyNs = 0;
     std::vector<std::uint64_t> hyperDelivered(kVms, 0);
     {
-        sim::Simulator sim;
+        exec::SimExecutor sim;
         hw::Machine machine(sim, hw::MachineConfig{});
         net::Network network(sim, net::NetworkConfig{});
         const net::NodeId source = network.addNode("wire");
@@ -166,7 +168,7 @@ main()
     std::uint64_t offloadBusyNs = 0;
     std::vector<std::uint64_t> offloadDelivered(kVms, 0);
     {
-        sim::Simulator sim;
+        exec::SimExecutor sim;
         hw::Machine machine(sim, hw::MachineConfig{});
         net::Network network(sim, net::NetworkConfig{});
         const net::NodeId source = network.addNode("wire");

@@ -13,6 +13,11 @@
 #                                  # data-path benches, fail if any is
 #                                  # >2x slower than the checked-in
 #                                  # baseline (scripts/bench_baseline.json)
+#   scripts/check.sh --tsan        # ThreadSanitizer build, run the
+#                                  # threaded-executor test label (the
+#                                  # SPSC rings, payload pool, span id
+#                                  # generator, and the full TiVo run
+#                                  # on the threaded engine)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,6 +26,7 @@ BUILD_DIR=build
 CMAKE_ARGS=()
 SANITIZE=0
 BENCH_SMOKE=0
+TSAN=0
 
 for arg in "$@"; do
     case "$arg" in
@@ -38,8 +44,13 @@ for arg in "$@"; do
         BUILD_DIR=build
         CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Release)
         ;;
+      --tsan)
+        TSAN=1
+        BUILD_DIR=build-tsan
+        CMAKE_ARGS+=(-DHYDRA_TSAN=ON)
+        ;;
       *)
-        echo "usage: $0 [--sanitize|--no-tracing|--bench-smoke]" >&2
+        echo "usage: $0 [--sanitize|--no-tracing|--bench-smoke|--tsan]" >&2
         exit 2
         ;;
     esac
@@ -49,15 +60,18 @@ cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 if [ "$BENCH_SMOKE" -eq 1 ]; then
-    # Wall-clock smoke of the zero-copy data path: the two channel
-    # benches against the committed baseline. Generous 2x threshold --
-    # this catches "the fast path regressed to deep copies", not
+    # Wall-clock smoke of the zero-copy data path: the channel benches
+    # plus the sim-engine pipeline rows (the deterministic executor's
+    # per-hop dispatch cost; the threaded rows are excluded — real
+    # threads on a shared box are too noisy for a regression gate)
+    # against the committed baseline. Generous 2x threshold -- this
+    # catches "the fast path regressed to deep copies", not
     # machine-to-machine noise.
     OUT="$BUILD_DIR/bench_smoke.json"
     # Note: the bundled google-benchmark wants a bare double here (no
     # trailing time unit).
     "$BUILD_DIR/bench/perf_micro" \
-        --benchmark_filter='BM_ChannelThroughput|BM_MulticastFanout' \
+        --benchmark_filter='BM_ChannelThroughput|BM_MulticastFanout|BM_PipelineParallel.*threaded:0' \
         --benchmark_min_time=0.1 \
         --benchmark_format=json > "$OUT"
     echo "bench JSON written to $OUT"
@@ -66,6 +80,14 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
 fi
 
 cd "$BUILD_DIR"
+if [ "$TSAN" -eq 1 ]; then
+    # Under TSan, only the threaded label matters: it exercises every
+    # cross-thread structure (SPSC rings, the worker park/wake
+    # protocol, the payload pool, atomic span ids) plus one full TiVo
+    # scenario on the threaded engine.
+    ctest -L threaded --output-on-failure
+    exit 0
+fi
 if [ "$SANITIZE" -eq 1 ]; then
     # The obs label covers the subsystem with the most lock-free and
     # ring-buffer code — run it first for a fast sanitizer signal.

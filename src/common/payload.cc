@@ -1,6 +1,7 @@
 #include "common/payload.hh"
 
 #include <cstring>
+#include <mutex>
 
 #include "obs/metrics.hh"
 
@@ -32,8 +33,16 @@ payloadMetrics()
     return metrics;
 }
 
+/**
+ * Freelist shared by every execution site; all fields are guarded by
+ * `mutex`. Pool traffic is a cold path next to refcount churn — a
+ * node crosses the pool once per message, but its refcount moves on
+ * every copy/slice/release — so one uncontended lock is cheaper than
+ * sharding until profiles say otherwise.
+ */
 struct Pool
 {
+    std::mutex mutex;
     detail::PayloadNode *freeList = nullptr;
     std::size_t freeNodes = 0;
     PayloadPoolStats stats;
@@ -54,6 +63,7 @@ PayloadNode *
 payloadAcquire()
 {
     Pool &p = pool();
+    std::lock_guard<std::mutex> lock(p.mutex);
     if (p.freeList) {
         PayloadNode *node = p.freeList;
         p.freeList = node->nextFree;
@@ -75,6 +85,7 @@ payloadAdopt(Bytes &&bytes)
     // The incoming vector brings its own buffer; taking a pooled node
     // would waste the pooled capacity, so allocate the wrapper only.
     Pool &p = pool();
+    std::lock_guard<std::mutex> lock(p.mutex);
     PayloadNode *node;
     if (p.freeList && p.freeList->storage.capacity() == 0) {
         node = p.freeList;
@@ -96,22 +107,29 @@ void
 payloadRelease(PayloadNode *node)
 {
     Pool &p = pool();
-    if (p.freeNodes >= kMaxFreeNodes ||
-        node->storage.capacity() > kMaxPooledCapacity) {
-        delete node;
-        return;
+    {
+        std::lock_guard<std::mutex> lock(p.mutex);
+        if (p.freeNodes < kMaxFreeNodes &&
+            node->storage.capacity() <= kMaxPooledCapacity) {
+            node->nextFree = p.freeList;
+            p.freeList = node;
+            ++p.freeNodes;
+            ++p.stats.recycles;
+            payloadMetrics().recycles.increment();
+            return;
+        }
     }
-    node->nextFree = p.freeList;
-    p.freeList = node;
-    ++p.freeNodes;
-    ++p.stats.recycles;
-    payloadMetrics().recycles.increment();
+    delete node; // outside the lock
 }
 
 void
 payloadCountDeepCopy()
 {
-    ++pool().stats.deepCopies;
+    Pool &p = pool();
+    {
+        std::lock_guard<std::mutex> lock(p.mutex);
+        ++p.stats.deepCopies;
+    }
     payloadMetrics().deepCopies.increment();
 }
 
@@ -155,8 +173,10 @@ operator==(const Payload &a, const Bytes &b)
 PayloadPoolStats
 payloadPoolStats()
 {
-    PayloadPoolStats stats = pool().stats;
-    stats.freeNodes = pool().freeNodes;
+    Pool &p = pool();
+    std::lock_guard<std::mutex> lock(p.mutex);
+    PayloadPoolStats stats = p.stats;
+    stats.freeNodes = p.freeNodes;
     return stats;
 }
 
@@ -164,6 +184,7 @@ void
 payloadPoolTrim()
 {
     Pool &p = pool();
+    std::lock_guard<std::mutex> lock(p.mutex);
     while (p.freeList) {
         detail::PayloadNode *node = p.freeList;
         p.freeList = node->nextFree;

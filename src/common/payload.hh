@@ -12,9 +12,12 @@
  *
  * Buffers come from a process-wide freelist pool so steady-state
  * message traffic recycles capacity instead of hitting the
- * allocator. The pool and the refcounts are deliberately NOT
- * thread-safe: the simulator is single-threaded and the hot path
- * must not pay for atomics.
+ * allocator. The fabric is thread-safe: refcounts are atomic
+ * (relaxed increments, acquire/release decrement — the standard
+ * shared-ownership protocol) and the pool freelist is mutex-guarded,
+ * so Payloads may be handed between execution sites through the
+ * threaded executor's SPSC rings. Cold-path only: the hot path
+ * (copying, slicing) touches one atomic, never the mutex.
  *
  * Ownership model: whoever holds a Payload may read it, nobody may
  * mutate it. Producers build content in a PayloadBuilder (or a
@@ -26,6 +29,7 @@
 #ifndef HYDRA_COMMON_PAYLOAD_HH
 #define HYDRA_COMMON_PAYLOAD_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -40,7 +44,7 @@ namespace detail {
 struct PayloadNode
 {
     Bytes storage;
-    std::uint32_t refs = 0;
+    std::atomic<std::uint32_t> refs{0};
     PayloadNode *nextFree = nullptr;
 };
 
@@ -80,7 +84,7 @@ class Payload
     Payload(Bytes &&bytes)
         : node_(detail::payloadAdopt(std::move(bytes)))
     {
-        node_->refs = 1;
+        node_->refs.store(1, std::memory_order_relaxed);
         len_ = node_->storage.size();
     }
 
@@ -94,7 +98,7 @@ class Payload
         : node_(other.node_), off_(other.off_), len_(other.len_)
     {
         if (node_)
-            ++node_->refs;
+            node_->refs.fetch_add(1, std::memory_order_relaxed);
     }
 
     Payload(Payload &&other) noexcept
@@ -161,7 +165,7 @@ class Payload
         if (!node_ || offset >= len_)
             return out;
         out.node_ = node_;
-        ++out.node_->refs;
+        out.node_->refs.fetch_add(1, std::memory_order_relaxed);
         out.off_ = off_ + offset;
         out.len_ = length < len_ - offset ? length : len_ - offset;
         return out;
@@ -171,7 +175,11 @@ class Payload
     Bytes toBytes() const;
 
     /** References on the underlying buffer (0 for empty payloads). */
-    std::uint32_t refCount() const { return node_ ? node_->refs : 0; }
+    std::uint32_t
+    refCount() const
+    {
+        return node_ ? node_->refs.load(std::memory_order_relaxed) : 0;
+    }
 
     void
     swap(Payload &other) noexcept
@@ -187,7 +195,11 @@ class Payload
     void
     release()
     {
-        if (node_ && --node_->refs == 0)
+        // acq_rel: the release half publishes this owner's reads; the
+        // acquire half (in whoever drops the last ref) synchronizes
+        // with them before the buffer is recycled.
+        if (node_ &&
+            node_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
             detail::payloadRelease(node_);
         node_ = nullptr;
     }
@@ -245,7 +257,7 @@ class PayloadBuilder
         Payload out;
         if (!node_)
             node_ = detail::payloadAcquire();
-        node_->refs = 1;
+        node_->refs.store(1, std::memory_order_relaxed);
         out.node_ = node_;
         out.len_ = node_->storage.size();
         node_ = nullptr;

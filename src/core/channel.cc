@@ -168,7 +168,7 @@ Channel::dispatchToOffcode(std::size_t endpoint, const Payload &message,
     }
 
     const sim::SimTime started =
-        ep.site ? ep.site->machine().simulator().now() : 0;
+        ep.site ? ep.site->machine().executor().now() : 0;
     bool ok = true;
 
     switch (kind.value()) {

@@ -37,17 +37,17 @@ HostLoader::load(const DepotEntry &entry, std::function<void(Status)> done)
 {
     // In-process dynamic linking: resolve symbols against the
     // runtime's pseudo Offcodes, relocate, done.
-    const sim::SimTime started = machine_.simulator().now();
+    const sim::SimTime started = machine_.executor().now();
     const auto cycles =
         costs_.linkBaseCycles +
         static_cast<std::uint64_t>(costs_.linkCyclesPerByte *
                                    static_cast<double>(entry.imageBytes));
     const sim::SimTime ready = machine_.cpu().runCycles(cycles);
-    machine_.simulator().scheduleAt(
+    machine_.executor().scheduleAt(
         ready, [this, started, bindname = entry.manifest.bindname,
                 done = std::move(done)]() {
             noteDeploy("host", bindname, machine_.name() + ".host",
-                       started, machine_.simulator().now());
+                       started, machine_.executor().now());
             done(Status::success());
         });
 }
@@ -69,7 +69,7 @@ DeviceDmaLoader::load(const DepotEntry &entry,
                       std::function<void(Status)> done)
 {
     // Phase 1: AllocateOffcodeMemory at the device (OOB round trip).
-    const sim::SimTime started = device_.simulator().now();
+    const sim::SimTime started = device_.executor().now();
     const std::string bindname = entry.manifest.bindname;
     const std::size_t image_bytes = entry.imageBytes;
     const std::size_t total_bytes =
@@ -106,12 +106,12 @@ DeviceDmaLoader::load(const DepotEntry &entry,
                     static_cast<double>(image_bytes));
             const sim::SimTime ready =
                 device_.runFirmware(install_cycles);
-            device_.simulator().scheduleAt(
+            device_.executor().scheduleAt(
                 ready, [this, started, bindname,
                         done = std::move(done)]() {
                     ++imagesLoaded_;
                     noteDeploy("device", bindname, device_.name(), started,
-                               device_.simulator().now());
+                               device_.executor().now());
                     done(Status::success());
                 });
         });

@@ -87,8 +87,8 @@ struct RingCosts
 class LocalChannel : public Channel
 {
   public:
-    LocalChannel(ChannelConfig config, sim::Simulator &simulator)
-        : Channel(std::move(config)), sim_(simulator)
+    LocalChannel(ChannelConfig config, exec::Executor &executor)
+        : Channel(std::move(config)), exec_(executor)
     {
     }
 
@@ -114,7 +114,7 @@ class LocalChannel : public Channel
         if (endpoints_[from].site)
             endpoints_[from].site->run(250);
 
-        const sim::SimTime sentAt = sim_.now();
+        const sim::SimTime sentAt = exec_.now();
         // Capture the sender's causal context; delivery runs later
         // from the scheduler with an empty one.
         const obs::SpanContext ctx = obs::activeContext();
@@ -123,18 +123,18 @@ class LocalChannel : public Channel
                 continue;
             // The lambda shares the sender's buffer (refcount bump);
             // every destination of a fan-out sees the same bytes.
-            sim_.schedule(
+            exec_.schedule(
                 costs_.localLatency,
                 [this, ep, from, sentAt, ctx,
                  msg = message]() {
-                    localMetrics().latencyNs.record(sim_.now() - sentAt);
+                    localMetrics().latencyNs.record(exec_.now() - sentAt);
                     obs::ContextScope scope(ctx);
                     obs::Span span;
                     ExecutionSite *dst = endpoints_[ep].site;
                     if (HYDRA_TRACE_ACTIVE() && dst)
                         span.open(dst->machine().name(), dst->name(),
                                   "channel.send", "channel", sentAt);
-                    span.end(sim_.now());
+                    span.end(exec_.now());
                     deliverTo(ep, msg, from);
                 });
         }
@@ -142,7 +142,7 @@ class LocalChannel : public Channel
     }
 
   private:
-    sim::Simulator &sim_;
+    exec::Executor &exec_;
     RingCosts costs_;
 };
 
@@ -153,9 +153,9 @@ class LocalChannel : public Channel
 class RingChannel : public Channel
 {
   public:
-    RingChannel(ChannelConfig config, sim::Simulator &simulator,
+    RingChannel(ChannelConfig config, exec::Executor &executor,
                 bool bus_multicast)
-        : Channel(std::move(config)), sim_(simulator),
+        : Channel(std::move(config)), exec_(executor),
           busMulticast_(bus_multicast)
     {
         // Register both buffering-mode copy counters up front so a
@@ -200,7 +200,7 @@ class RingChannel : public Channel
         stats_.bytesSent += message.size();
         ringMetrics().sent.increment();
         ringMetrics().bytes.add(message.size());
-        const sim::SimTime sentAt = sim_.now();
+        const sim::SimTime sentAt = exec_.now();
 
         // Sender-side descriptor preparation.
         ExecutionSite *src = endpoints_[from].site;
@@ -300,12 +300,12 @@ class RingChannel : public Channel
         if (!engineOwner) {
             // Host-to-host ring: no bus, a kernel handoff.
             src->machine().cpu().runCycles(costs_.hostRxCopySetupCycles);
-            sim_.schedule(costs_.localLatency, std::move(finish));
+            exec_.schedule(costs_.localLatency, std::move(finish));
             return;
         }
         if (!charge_bus) {
             // Covered by a multicast transaction charged already.
-            sim_.schedule(sim::microseconds(1), std::move(finish));
+            exec_.schedule(sim::microseconds(1), std::move(finish));
             return;
         }
         ++stats_.busCrossings;
@@ -320,7 +320,7 @@ class RingChannel : public Channel
         ExecutionSite *dst = endpoints_[to].site;
         EpState &dst_state = state_[to];
 
-        ringMetrics().latencyNs.record(sim_.now() - sent_at);
+        ringMetrics().latencyNs.record(exec_.now() - sent_at);
         obs::ContextScope scope(ctx);
         obs::Span span;
         if (HYDRA_TRACE_ACTIVE() && dst)
@@ -345,7 +345,7 @@ class RingChannel : public Channel
             dst->run(costs_.deviceRxCycles);
         }
 
-        span.end(sim_.now());
+        span.end(exec_.now());
         deliverTo(to, message, from);
 
         // Descriptor recycled; drain backlog if any.
@@ -360,7 +360,7 @@ class RingChannel : public Channel
         }
     }
 
-    sim::Simulator &sim_;
+    exec::Executor &exec_;
     bool busMulticast_;
     RingCosts costs_;
     std::vector<EpState> state_;
@@ -368,8 +368,8 @@ class RingChannel : public Channel
 
 } // namespace
 
-LocalChannelProvider::LocalChannelProvider(sim::Simulator &simulator)
-    : sim_(simulator)
+LocalChannelProvider::LocalChannelProvider(exec::Executor &executor)
+    : exec_(executor)
 {
 }
 
@@ -403,14 +403,14 @@ std::unique_ptr<Channel>
 LocalChannelProvider::create(const ChannelConfig &config,
                              ExecutionSite &creator)
 {
-    auto channel = std::make_unique<LocalChannel>(config, sim_);
+    auto channel = std::make_unique<LocalChannel>(config, exec_);
     channel->connectCreator(creator);
     return channel;
 }
 
-DmaRingChannelProvider::DmaRingChannelProvider(sim::Simulator &simulator,
+DmaRingChannelProvider::DmaRingChannelProvider(exec::Executor &executor,
                                                bool bus_multicast)
-    : sim_(simulator), busMulticast_(bus_multicast)
+    : exec_(executor), busMulticast_(bus_multicast)
 {
 }
 
@@ -448,7 +448,7 @@ DmaRingChannelProvider::create(const ChannelConfig &config,
                                ExecutionSite &creator)
 {
     auto channel =
-        std::make_unique<RingChannel>(config, sim_, busMulticast_);
+        std::make_unique<RingChannel>(config, exec_, busMulticast_);
     channel->connectCreator(creator);
     return channel;
 }

@@ -20,7 +20,7 @@
 #include <string>
 
 #include "core/channel.hh"
-#include "sim/simulator.hh"
+#include "exec/executor.hh"
 
 namespace hydra::core {
 
@@ -58,7 +58,7 @@ class ChannelProvider
 class LocalChannelProvider : public ChannelProvider
 {
   public:
-    explicit LocalChannelProvider(sim::Simulator &simulator);
+    explicit LocalChannelProvider(exec::Executor &executor);
 
     const std::string &name() const override { return name_; }
     bool canServe(const ChannelConfig &config, ExecutionSite &creator,
@@ -70,7 +70,7 @@ class LocalChannelProvider : public ChannelProvider
                                     ExecutionSite &creator) override;
 
   private:
-    sim::Simulator &sim_;
+    exec::Executor &exec_;
     std::string name_ = "local";
 };
 
@@ -83,7 +83,7 @@ class DmaRingChannelProvider : public ChannelProvider
      * every device endpoint of a multicast write (the paper's PCIe
      * aside); otherwise each device leg is a separate crossing.
      */
-    DmaRingChannelProvider(sim::Simulator &simulator, bool bus_multicast);
+    DmaRingChannelProvider(exec::Executor &executor, bool bus_multicast);
 
     const std::string &name() const override { return name_; }
     bool canServe(const ChannelConfig &config, ExecutionSite &creator,
@@ -95,7 +95,7 @@ class DmaRingChannelProvider : public ChannelProvider
                                     ExecutionSite &creator) override;
 
   private:
-    sim::Simulator &sim_;
+    exec::Executor &exec_;
     bool busMulticast_;
     std::string name_ = "dma-ring";
 };

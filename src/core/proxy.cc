@@ -40,7 +40,7 @@ Proxy::invoke(const std::string &method, const Bytes &arguments,
     obs::Span span;
     if (HYDRA_TRACE_ACTIVE() && site)
         span.open(site->machine().name(), site->name(), spanName(call),
-                  "call", site->machine().simulator().now());
+                  "call", site->machine().executor().now());
     Status sent = channel_.writeFrom(endpoint_, call.serialize());
     if (site)
         span.end(site->run(0));
@@ -58,7 +58,7 @@ Proxy::invokeOneWay(const std::string &method, const Bytes &arguments)
     obs::Span span;
     if (HYDRA_TRACE_ACTIVE() && site)
         span.open(site->machine().name(), site->name(), spanName(call),
-                  "call", site->machine().simulator().now());
+                  "call", site->machine().executor().now());
     Status sent = channel_.writeFrom(endpoint_, call.serialize());
     if (site)
         span.end(site->run(0));

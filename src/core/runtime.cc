@@ -196,9 +196,9 @@ Runtime::Runtime(hw::Machine &machine, RuntimeConfig config)
     executive_ = std::make_unique<ChannelExecutive>(
         [this](const std::string &name) { return siteByName(name); });
     executive_->registerProvider(
-        std::make_unique<LocalChannelProvider>(machine_.simulator()));
+        std::make_unique<LocalChannelProvider>(machine_.executor()));
     executive_->registerProvider(std::make_unique<DmaRingChannelProvider>(
-        machine_.simulator(), config_.busMulticast));
+        machine_.executor(), config_.busMulticast));
 
     registerPseudoOffcodes();
 }
@@ -635,7 +635,7 @@ Runtime::introspect() const
 {
     IntrospectionSnapshot snap;
     snap.machine = machine_.name();
-    snap.now = machine_.simulator().now();
+    snap.now = machine_.executor().now();
     for (const auto &[bindname, dep] : deployed_) {
         if (!dep.instance)
             continue;

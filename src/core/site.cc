@@ -19,7 +19,7 @@ HostSite::timerAfter(sim::SimTime delay, std::function<void()> done)
     // Host timers are quantized to the scheduler tick and disturbed
     // by run-queue noise; the wakeup also costs a context switch.
     const sim::SimTime wake = machine_.os().wakeAfter(delay);
-    machine_.simulator().scheduleAt(wake, [this, done = std::move(done)]() {
+    machine_.executor().scheduleAt(wake, [this, done = std::move(done)]() {
         machine_.os().contextSwitch();
         done();
     });

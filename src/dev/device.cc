@@ -20,15 +20,16 @@ DeviceClassSpec::satisfies(const DeviceClassSpec &required) const
     return true;
 }
 
-Device::Device(sim::Simulator &simulator, hw::Bus &host_bus,
+Device::Device(exec::Executor &executor, hw::Bus &host_bus,
                DeviceConfig config, DeviceClassSpec klass)
-    : sim_(simulator), hostBus_(host_bus), config_(std::move(config)),
+    : exec_(executor), hostBus_(host_bus), config_(std::move(config)),
       class_(std::move(klass)), rng_(config_.noiseSeed)
 {
-    firmwareCpu_ = std::make_unique<hw::Cpu>(sim_, config_.name + ".fw",
+    firmwareCpu_ = std::make_unique<hw::Cpu>(exec_, config_.name + ".fw",
                                              config_.firmwareGhz);
-    dma_ = std::make_unique<hw::DmaEngine>(sim_, hostBus_,
+    dma_ = std::make_unique<hw::DmaEngine>(exec_, hostBus_,
                                            config_.dmaDescriptorCost);
+    site_ = exec_.addSite(config_.name);
 }
 
 bool
@@ -71,7 +72,7 @@ Device::timerAfter(sim::SimTime delay, std::function<void()> done)
 {
     const double noise = std::abs(
         rng_.normal(0.0, static_cast<double>(config_.timerNoiseSigma)));
-    sim_.schedule(delay + static_cast<sim::SimTime>(noise),
+    exec_.schedule(delay + static_cast<sim::SimTime>(noise),
                   std::move(done));
 }
 

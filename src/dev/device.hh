@@ -23,7 +23,7 @@
 #include "common/rng.hh"
 #include "hw/bus.hh"
 #include "hw/cpu.hh"
-#include "sim/simulator.hh"
+#include "exec/executor.hh"
 
 namespace hydra::dev {
 
@@ -60,7 +60,7 @@ struct DeviceConfig
 class Device
 {
   public:
-    Device(sim::Simulator &simulator, hw::Bus &host_bus,
+    Device(exec::Executor &executor, hw::Bus &host_bus,
            DeviceConfig config, DeviceClassSpec klass);
     virtual ~Device() = default;
 
@@ -73,7 +73,15 @@ class Device
 
     hw::Cpu &firmwareCpu() { return *firmwareCpu_; }
     hw::DmaEngine &dma() { return *dma_; }
-    sim::Simulator &simulator() { return sim_; }
+    exec::Executor &executor() { return exec_; }
+
+    /**
+     * This device's execution site. The threaded engine backs it with
+     * a dedicated worker thread (the paper's fountain of CPUs made
+     * literal); the sim engine only records the name. Firmware-side
+     * work can be handed here with executor().post(execSite(), fn).
+     */
+    exec::SiteId execSite() const { return site_; }
 
     /** Device capability tags, e.g. "mpeg-decode", "block-store". */
     const std::set<std::string> &capabilities() const { return caps_; }
@@ -97,7 +105,7 @@ class Device
     sim::SimTime runFirmware(std::uint64_t cycles);
 
   protected:
-    sim::Simulator &sim_;
+    exec::Executor &exec_;
     hw::Bus &hostBus_;
 
   private:
@@ -107,6 +115,7 @@ class Device
     std::unique_ptr<hw::DmaEngine> dma_;
     std::set<std::string> caps_;
     std::size_t localUsed_ = 0;
+    exec::SiteId site_ = exec::kMainSite;
     hydra::Rng rng_;
 };
 

@@ -32,19 +32,19 @@ SmartDisk::diskClassSpec()
     return spec;
 }
 
-SmartDisk::SmartDisk(sim::Simulator &simulator, hw::Bus &host_bus,
+SmartDisk::SmartDisk(exec::Executor &executor, hw::Bus &host_bus,
                      DeviceConfig config, DiskConfig disk)
-    : Device(simulator, host_bus, std::move(config), diskClassSpec()),
+    : Device(executor, host_bus, std::move(config), diskClassSpec()),
       disk_(disk), backend_(DiskBackend::Local)
 {
     addCapability("block-store");
     addCapability("programmable");
 }
 
-SmartDisk::SmartDisk(sim::Simulator &simulator, hw::Bus &host_bus,
+SmartDisk::SmartDisk(exec::Executor &executor, hw::Bus &host_bus,
                      net::Network &network, net::NodeId node,
                      net::NodeId nas, DeviceConfig config, DiskConfig disk)
-    : Device(simulator, host_bus, std::move(config), diskClassSpec()),
+    : Device(executor, host_bus, std::move(config), diskClassSpec()),
       disk_(disk), backend_(DiskBackend::NfsBacked)
 {
     addCapability("block-store");
@@ -103,7 +103,7 @@ SmartDisk::readBlocks(std::uint64_t lba, std::uint32_t count,
         else
             data.insert(data.end(), it->second.begin(), it->second.end());
     }
-    sim_.schedule(disk_.localAccessLatency,
+    exec_.schedule(disk_.localAccessLatency,
                   [data = std::move(data), done = std::move(done)]() mutable {
                       done(std::move(data));
                   });
@@ -141,7 +141,7 @@ SmartDisk::writeBlocks(std::uint64_t lba, const Bytes &data,
                      data.begin() + static_cast<std::ptrdiff_t>(
                                         (i + 1) * disk_.blockBytes));
     }
-    sim_.schedule(disk_.localAccessLatency,
+    exec_.schedule(disk_.localAccessLatency,
                   [done = std::move(done)]() { done(Status::success()); });
 }
 

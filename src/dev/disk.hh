@@ -46,12 +46,12 @@ class SmartDisk : public Device
     using WriteCallback = std::function<void(Status)>;
 
     /** Local-media controller. */
-    SmartDisk(sim::Simulator &simulator, hw::Bus &host_bus,
+    SmartDisk(exec::Executor &executor, hw::Bus &host_bus,
               DeviceConfig config = diskDefaultConfig(),
               DiskConfig disk = {});
 
     /** NAS-backed controller (the paper's prototype arrangement). */
-    SmartDisk(sim::Simulator &simulator, hw::Bus &host_bus,
+    SmartDisk(exec::Executor &executor, hw::Bus &host_bus,
               net::Network &network, net::NodeId node, net::NodeId nas,
               DeviceConfig config = diskDefaultConfig(),
               DiskConfig disk = {});

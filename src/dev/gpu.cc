@@ -22,9 +22,9 @@ Gpu::gpuClassSpec()
     return spec;
 }
 
-Gpu::Gpu(sim::Simulator &simulator, hw::Bus &host_bus, DeviceConfig config,
+Gpu::Gpu(exec::Executor &executor, hw::Bus &host_bus, DeviceConfig config,
          GpuConfig gpu)
-    : Device(simulator, host_bus, std::move(config), gpuClassSpec()),
+    : Device(executor, host_bus, std::move(config), gpuClassSpec()),
       gpu_(gpu)
 {
     addCapability("framebuffer");
@@ -46,7 +46,7 @@ Gpu::presentFrame(const Bytes &frame)
 {
     ++framesPresented_;
     lastFrame_ = frame;
-    presentTimes_.push_back(sim_.now());
+    presentTimes_.push_back(exec_.now());
 }
 
 } // namespace hydra::dev

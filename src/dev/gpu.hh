@@ -33,7 +33,7 @@ struct GpuConfig
 class Gpu : public Device
 {
   public:
-    Gpu(sim::Simulator &simulator, hw::Bus &host_bus,
+    Gpu(exec::Executor &executor, hw::Bus &host_bus,
         DeviceConfig config = gpuDefaultConfig(), GpuConfig gpu = {});
 
     static DeviceConfig gpuDefaultConfig();

@@ -26,11 +26,11 @@ ProgrammableNic::nicClassSpec()
     return spec;
 }
 
-ProgrammableNic::ProgrammableNic(sim::Simulator &simulator,
+ProgrammableNic::ProgrammableNic(exec::Executor &executor,
                                  hw::Bus &host_bus, net::Network &network,
                                  net::NodeId node, DeviceConfig config,
                                  NicCosts costs)
-    : Device(simulator, host_bus, std::move(config), nicClassSpec()),
+    : Device(executor, host_bus, std::move(config), nicClassSpec()),
       net_(network), node_(node), costs_(costs)
 {
     addCapability("mac-ethernet");

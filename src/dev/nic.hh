@@ -35,7 +35,7 @@ struct NicCosts
 class ProgrammableNic : public Device
 {
   public:
-    ProgrammableNic(sim::Simulator &simulator, hw::Bus &host_bus,
+    ProgrammableNic(exec::Executor &executor, hw::Bus &host_bus,
                     net::Network &network, net::NodeId node,
                     DeviceConfig config = nicDefaultConfig(),
                     NicCosts costs = {});

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The execution engine abstraction (DESIGN.md §10).
+ *
+ * Every model in the substrate — hardware, OS, devices, network,
+ * channels, the TiVo pipeline — advances by scheduling callbacks on
+ * an Executor. The interface deliberately mirrors the discrete-event
+ * simulator it was extracted from (now/schedule/cancel/run), plus
+ * one new primitive the simulator never needed: post(site, fn),
+ * site-affine immediate execution, the hook that lets an engine run
+ * device sites on real threads.
+ *
+ * Two engines implement it:
+ *  - SimExecutor: wraps sim::Simulator bit-for-bit. Deterministic;
+ *    the default. post() degrades to a zero-delay event, so ordering
+ *    stays globally serial.
+ *  - ThreadedExecutor: thread-per-device-site with mutex-free SPSC
+ *    handoff between sites. Virtual time still advances on the
+ *    coordinator, but posted work runs concurrently.
+ *
+ * No file outside src/exec/ and src/sim/ may include
+ * sim/simulator.hh; consumers depend on this interface only.
+ */
+
+#ifndef HYDRA_EXEC_EXECUTOR_HH
+#define HYDRA_EXEC_EXECUTOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/time.hh"
+
+namespace hydra::exec {
+
+/** Timestamps and durations, in the simulator's nanosecond units. */
+using Time = sim::SimTime;
+
+/** Opaque handle identifying a scheduled task (for cancellation). */
+using TaskId = std::uint64_t;
+
+/** An execution site registered with addSite(); 0 is the main loop. */
+using SiteId = std::uint32_t;
+
+/** The coordinator's own site: post() here runs on the main loop. */
+constexpr SiteId kMainSite = 0;
+
+/** Central clock, timer queue, and cross-site work router. */
+class Executor
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Executor() = default;
+    virtual ~Executor() = default;
+
+    Executor(const Executor &) = delete;
+    Executor &operator=(const Executor &) = delete;
+
+    /** Engine name, "sim" or "threaded" (metric label, CLI value). */
+    virtual const char *backendName() const = 0;
+
+    /** Current virtual time. */
+    virtual Time now() const = 0;
+
+    /** Schedule @p fn to run @p delay after now. */
+    virtual TaskId schedule(Time delay, Callback fn) = 0;
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    virtual TaskId scheduleAt(Time when, Callback fn) = 0;
+
+    /**
+     * Schedule @p fn every @p period, starting one period from now,
+     * until it returns false or the task is cancelled.
+     */
+    virtual TaskId schedulePeriodic(Time period,
+                                    std::function<bool()> fn) = 0;
+
+    /** Cancel a pending task; no-op if already fired or cancelled. */
+    virtual void cancel(TaskId id) = 0;
+
+    /**
+     * Register an execution site (a device's thread of control).
+     * The threaded engine backs each site with a dedicated worker
+     * thread; the sim engine only names it.
+     */
+    virtual SiteId addSite(const std::string &name) = 0;
+
+    /** Sites registered so far (kMainSite excluded). */
+    virtual std::size_t siteCount() const = 0;
+
+    /**
+     * Run @p fn on @p site as soon as possible, in posting order per
+     * (producer, site) pair. Unlike schedule(), post() carries no
+     * virtual-time semantics: under the threaded engine it is a
+     * mutex-free SPSC handoff to the site's worker thread; under the
+     * sim engine it is a zero-delay event on the main loop.
+     */
+    virtual void post(SiteId site, Callback fn) = 0;
+
+    /** Run until the timer queue drains or the clock passes @p until.
+     * Synchronizes with posted work: returns only when every post
+     * issued before the boundary has executed. */
+    virtual void runUntil(Time until) = 0;
+
+    /** Run until no timers, injected work, or posts remain. */
+    virtual void runToCompletion() = 0;
+
+    /** Fire exactly one timer event; false when none is pending. */
+    virtual bool step() = 0;
+
+    /**
+     * Complete all in-flight posted work and any events due at the
+     * current time, without advancing virtual time past now().
+     */
+    virtual void drain() = 0;
+
+    /** Events + posts dispatched so far (tests/diagnostics). */
+    virtual std::uint64_t eventsDispatched() const = 0;
+
+    /** Timer events currently pending. */
+    virtual std::size_t pendingEvents() const = 0;
+};
+
+/** Which engine to construct (CLI: --executor=sim|threaded). */
+enum class ExecutorKind { Sim, Threaded };
+
+/** "sim" / "threaded". */
+const char *executorKindName(ExecutorKind kind);
+
+/** Parse an --executor value; false on unknown names. */
+bool parseExecutorKind(const std::string &name, ExecutorKind &out);
+
+/** Build an engine of @p kind. */
+std::unique_ptr<Executor> makeExecutor(ExecutorKind kind);
+
+} // namespace hydra::exec
+
+#endif // HYDRA_EXEC_EXECUTOR_HH

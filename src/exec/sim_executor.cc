@@ -1,0 +1,83 @@
+#include "exec/sim_executor.hh"
+
+#include "obs/metrics.hh"
+
+namespace hydra::exec {
+
+namespace {
+
+/** Process-wide instruments for the deterministic engine. */
+struct SimExecMetrics
+{
+    obs::Counter &posts =
+        obs::counter("exec.posts", {{"executor", "sim"}});
+    obs::Gauge &sites = obs::gauge("exec.sites", {{"executor", "sim"}});
+};
+
+SimExecMetrics &
+simExecMetrics()
+{
+    static SimExecMetrics metrics;
+    return metrics;
+}
+
+} // namespace
+
+SimExecutor::SimExecutor()
+{
+    simExecMetrics();
+}
+
+SiteId
+SimExecutor::addSite(const std::string &name)
+{
+    siteNames_.push_back(name);
+    simExecMetrics().sites.set(static_cast<double>(siteNames_.size()));
+    return static_cast<SiteId>(siteNames_.size());
+}
+
+void
+SimExecutor::post(SiteId site, Callback fn)
+{
+    // Site affinity is meaningless on a single thread; a zero-delay
+    // event preserves global FIFO order, which keeps runs
+    // deterministic (the property the sim engine exists to provide).
+    (void)site;
+    simExecMetrics().posts.increment();
+    sim_.schedule(0, std::move(fn));
+}
+
+void
+SimExecutor::drain()
+{
+    // Run everything due at the current instant — post() chains
+    // schedule zero-delay events, so a pipeline drains fully — but
+    // leave future timers for runUntil().
+    sim_.runUntil(sim_.now());
+}
+
+const char *
+executorKindName(ExecutorKind kind)
+{
+    switch (kind) {
+      case ExecutorKind::Sim: return "sim";
+      case ExecutorKind::Threaded: return "threaded";
+    }
+    return "?";
+}
+
+bool
+parseExecutorKind(const std::string &name, ExecutorKind &out)
+{
+    if (name == "sim") {
+        out = ExecutorKind::Sim;
+        return true;
+    }
+    if (name == "threaded") {
+        out = ExecutorKind::Threaded;
+        return true;
+    }
+    return false;
+}
+
+} // namespace hydra::exec

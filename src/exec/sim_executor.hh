@@ -1,0 +1,84 @@
+/**
+ * @file
+ * SimExecutor: the deterministic discrete-event engine, wrapping
+ * sim::Simulator bit-for-bit. Golden traces produced against the bare
+ * simulator stay unchanged: every Executor method forwards 1:1, and
+ * post(site, fn) is a zero-delay event, so cross-site handoffs fire
+ * in global scheduling order exactly as before the executor split.
+ *
+ * This file is one of the two executor backends allowed to include
+ * sim/simulator.hh.
+ */
+
+#ifndef HYDRA_EXEC_SIM_EXECUTOR_HH
+#define HYDRA_EXEC_SIM_EXECUTOR_HH
+
+#include <vector>
+
+#include "exec/executor.hh"
+#include "sim/simulator.hh"
+
+namespace hydra::exec {
+
+/** Deterministic single-threaded engine (the default). */
+class SimExecutor : public Executor
+{
+  public:
+    SimExecutor();
+
+    const char *backendName() const override { return "sim"; }
+
+    Time now() const override { return sim_.now(); }
+
+    TaskId
+    schedule(Time delay, Callback fn) override
+    {
+        return sim_.schedule(delay, std::move(fn));
+    }
+
+    TaskId
+    scheduleAt(Time when, Callback fn) override
+    {
+        return sim_.scheduleAt(when, std::move(fn));
+    }
+
+    TaskId
+    schedulePeriodic(Time period, std::function<bool()> fn) override
+    {
+        return sim_.schedulePeriodic(period, std::move(fn));
+    }
+
+    void cancel(TaskId id) override { sim_.cancel(id); }
+
+    SiteId addSite(const std::string &name) override;
+    std::size_t siteCount() const override { return siteNames_.size(); }
+
+    void post(SiteId site, Callback fn) override;
+
+    void runUntil(Time until) override { sim_.runUntil(until); }
+    void runToCompletion() override { sim_.runToCompletion(); }
+    bool step() override { return sim_.step(); }
+    void drain() override;
+
+    std::uint64_t
+    eventsDispatched() const override
+    {
+        return sim_.eventsDispatched();
+    }
+
+    std::size_t pendingEvents() const override
+    {
+        return sim_.pendingEvents();
+    }
+
+    /** The wrapped kernel, for simulator-specific tests/tools. */
+    sim::Simulator &simulator() { return sim_; }
+
+  private:
+    sim::Simulator sim_;
+    std::vector<std::string> siteNames_;
+};
+
+} // namespace hydra::exec
+
+#endif // HYDRA_EXEC_SIM_EXECUTOR_HH

@@ -1,0 +1,458 @@
+#include "exec/threaded_executor.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "obs/metrics.hh"
+
+namespace hydra::exec {
+
+namespace {
+
+/** Process-wide instruments for the threaded engine. */
+struct ThreadedExecMetrics
+{
+    obs::Counter &posts =
+        obs::counter("exec.posts", {{"executor", "threaded"}});
+    obs::Counter &overflow = obs::counter("exec.post_ring_full",
+                                          {{"executor", "threaded"}});
+    obs::Counter &timerEvents =
+        obs::counter("exec.timer_events", {{"executor", "threaded"}});
+    obs::Counter &parks =
+        obs::counter("exec.worker_parks", {{"executor", "threaded"}});
+    obs::Gauge &sites =
+        obs::gauge("exec.sites", {{"executor", "threaded"}});
+};
+
+ThreadedExecMetrics &
+metrics()
+{
+    static ThreadedExecMetrics instance;
+    return instance;
+}
+
+/** Site the current thread runs as (kMainSite off the workers). */
+thread_local SiteId tl_currentSite = kMainSite;
+
+} // namespace
+
+ThreadedExecutor::Worker::~Worker()
+{
+    for (auto &slot : inboxes)
+        delete slot.load(std::memory_order_acquire);
+}
+
+ThreadedExecutor::ThreadedExecutor() : ThreadedExecutor(Config{}) {}
+
+ThreadedExecutor::ThreadedExecutor(Config config)
+    : config_(config), coordinator_(std::this_thread::get_id())
+{
+    metrics();
+}
+
+ThreadedExecutor::~ThreadedExecutor()
+{
+    stop_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(sitesMutex_);
+    for (auto &worker : workers_) {
+        wake(*worker);
+        if (worker->thread.joinable())
+            worker->thread.join();
+    }
+}
+
+bool
+ThreadedExecutor::onCoordinator() const
+{
+    return std::this_thread::get_id() == coordinator_;
+}
+
+void
+ThreadedExecutor::pushTimer(TimerRecord record)
+{
+    heap_.push_back(std::move(record));
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+}
+
+ThreadedExecutor::TimerRecord
+ThreadedExecutor::popTimer()
+{
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    TimerRecord record = std::move(heap_.back());
+    heap_.pop_back();
+    return record;
+}
+
+TaskId
+ThreadedExecutor::schedule(Time delay, Callback fn)
+{
+    return scheduleAt(now() + delay, std::move(fn));
+}
+
+TaskId
+ThreadedExecutor::scheduleAt(Time when, Callback fn)
+{
+    const TaskId id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    if (onCoordinator()) {
+        assert(when >= now());
+        pushTimer(TimerRecord{when, id, std::move(fn)});
+    } else {
+        // Worker path: completion callbacks re-enter virtual time
+        // through the coordinator's inbox.
+        std::lock_guard<std::mutex> lock(injectMutex_);
+        injectedTimers_.push_back(TimerRecord{when, id, std::move(fn)});
+        injectedCount_.fetch_add(1, std::memory_order_release);
+    }
+    return id;
+}
+
+TaskId
+ThreadedExecutor::schedulePeriodic(Time period, std::function<bool()> fn)
+{
+    assert(period > 0);
+    assert(onCoordinator() && "periodic series belong to the main loop");
+    const TaskId seriesId = nextId_.fetch_add(1, std::memory_order_relaxed);
+    periodics_[seriesId] = Periodic{period, std::move(fn)};
+    const TaskId eventId = nextId_.fetch_add(1, std::memory_order_relaxed);
+    pushTimer(TimerRecord{now() + period, eventId,
+                          [this, seriesId]() { firePeriodic(seriesId); }});
+    return seriesId;
+}
+
+void
+ThreadedExecutor::firePeriodic(TaskId series_id)
+{
+    auto it = periodics_.find(series_id);
+    if (it == periodics_.end())
+        return; // cancelled
+    if (!it->second.fn()) {
+        periodics_.erase(series_id);
+        return;
+    }
+    it = periodics_.find(series_id); // fn may cancel its own series
+    if (it == periodics_.end())
+        return;
+    const TaskId eventId = nextId_.fetch_add(1, std::memory_order_relaxed);
+    pushTimer(TimerRecord{now() + it->second.period, eventId,
+                          [this, series_id]() { firePeriodic(series_id); }});
+}
+
+void
+ThreadedExecutor::cancel(TaskId id)
+{
+    if (!onCoordinator()) {
+        std::lock_guard<std::mutex> lock(injectMutex_);
+        injectedCancels_.push_back(id);
+        injectedCount_.fetch_add(1, std::memory_order_release);
+        return;
+    }
+    if (periodics_.erase(id))
+        return;
+    if (id >= nextId_.load(std::memory_order_relaxed))
+        return;
+    cancelled_.insert(id);
+}
+
+void
+ThreadedExecutor::moveInjected()
+{
+    if (injectedCount_.load(std::memory_order_acquire) == 0)
+        return;
+    std::vector<TimerRecord> timers;
+    std::vector<TaskId> cancels;
+    {
+        std::lock_guard<std::mutex> lock(injectMutex_);
+        timers.swap(injectedTimers_);
+        cancels.swap(injectedCancels_);
+        injectedCount_.store(0, std::memory_order_release);
+    }
+    for (TimerRecord &record : timers) {
+        // A worker may have raced the clock; never schedule into the
+        // past.
+        record.when = std::max(record.when, now());
+        pushTimer(std::move(record));
+    }
+    for (TaskId id : cancels) {
+        if (!periodics_.erase(id))
+            cancelled_.insert(id);
+    }
+}
+
+SiteId
+ThreadedExecutor::addSite(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(sitesMutex_);
+    if (workers_.size() >= kMaxSites)
+        return kMainSite; // out of site slots; run on the main loop
+    auto worker = std::make_unique<Worker>();
+    worker->name = name;
+    worker->id = static_cast<SiteId>(workers_.size() + 1);
+    Worker *raw = worker.get();
+    workers_.push_back(std::move(worker));
+    siteTable_[raw->id].store(raw, std::memory_order_release);
+    siteCount_.store(workers_.size(), std::memory_order_release);
+    metrics().sites.set(static_cast<double>(workers_.size()));
+    raw->thread = std::thread([this, raw]() { workerLoop(*raw); });
+    return raw->id;
+}
+
+std::size_t
+ThreadedExecutor::siteCount() const
+{
+    return siteCount_.load(std::memory_order_acquire);
+}
+
+ThreadedExecutor::Inbox &
+ThreadedExecutor::inboxFor(Worker &worker, SiteId producer)
+{
+    std::atomic<Inbox *> &slot = worker.inboxes[producer];
+    Inbox *inbox = slot.load(std::memory_order_acquire);
+    if (inbox)
+        return *inbox;
+    auto *fresh = new Inbox(config_.ringCapacity);
+    Inbox *expected = nullptr;
+    if (slot.compare_exchange_strong(expected, fresh,
+                                     std::memory_order_acq_rel)) {
+        return *fresh;
+    }
+    delete fresh; // another thread won the race
+    return *expected;
+}
+
+void
+ThreadedExecutor::wake(Worker &worker)
+{
+    if (!worker.parked.load(std::memory_order_acquire))
+        return;
+    {
+        // Taking the mutex orders this notify after the worker's
+        // park decision, closing the lost-wakeup window.
+        std::lock_guard<std::mutex> lock(worker.parkMutex);
+    }
+    worker.cv.notify_one();
+}
+
+void
+ThreadedExecutor::post(SiteId site, Callback fn)
+{
+    metrics().posts.increment();
+    Worker *worker = site <= kMaxSites
+                         ? siteTable_[site].load(std::memory_order_acquire)
+                         : nullptr;
+    if (!worker) {
+        // The main loop is its own site: run as a zero-delay event.
+        if (onCoordinator()) {
+            pushTimer(TimerRecord{
+                now(), nextId_.fetch_add(1, std::memory_order_relaxed),
+                std::move(fn)});
+        } else {
+            scheduleAt(now(), std::move(fn));
+        }
+        return;
+    }
+    postsPending_.fetch_add(1, std::memory_order_acq_rel);
+
+    // Only the coordinator and site workers own a producer slot; any
+    // other thread would alias the coordinator's ring (tl_currentSite
+    // defaults to kMainSite), so it serializes through the overflow
+    // lane instead of breaking the ring's single-producer contract.
+    const SiteId producer = tl_currentSite;
+    const bool ownsRing = producer != kMainSite || onCoordinator();
+    Inbox &inbox = inboxFor(*worker, producer);
+    if (ownsRing &&
+        inbox.overflowSize.load(std::memory_order_acquire) == 0 &&
+        inbox.ring.push(std::move(fn))) {
+        wake(*worker);
+        return;
+    }
+    // Ring full (burst) or foreign producer: spill to the mutex-guarded
+    // overflow lane rather than block. The overflowSize gate keeps this
+    // producer spilling until the worker catches up, preserving
+    // per-(producer, site) FIFO order.
+    metrics().overflow.increment();
+    {
+        std::lock_guard<std::mutex> lock(inbox.mutex);
+        inbox.overflow.push_back(std::move(fn));
+        inbox.overflowSize.fetch_add(1, std::memory_order_release);
+    }
+    wake(*worker);
+}
+
+std::size_t
+ThreadedExecutor::drainInbox(Worker &worker)
+{
+    std::size_t executed = 0;
+    Callback fn;
+    const std::size_t producers = siteCount() + 1;
+    for (SiteId p = 0; p < producers && p <= kMaxSites; ++p) {
+        Inbox *inbox = worker.inboxes[p].load(std::memory_order_acquire);
+        if (!inbox)
+            continue;
+        // Ring first (older), then this producer's spill. Popping one
+        // closure at a time keeps the lock hold short; the producer
+        // re-enters the ring only once overflowSize reaches zero, so
+        // order is preserved across the handback.
+        while (inbox->ring.pop(fn)) {
+            fn();
+            fn = nullptr;
+            ++executed;
+        }
+        for (;;) {
+            {
+                std::lock_guard<std::mutex> lock(inbox->mutex);
+                if (inbox->overflow.empty())
+                    break;
+                fn = std::move(inbox->overflow.front());
+                inbox->overflow.pop_front();
+                inbox->overflowSize.fetch_sub(1, std::memory_order_release);
+            }
+            fn();
+            fn = nullptr;
+            ++executed;
+        }
+    }
+    if (executed > 0) {
+        postsExecuted_.fetch_add(executed, std::memory_order_relaxed);
+        postsPending_.fetch_sub(executed, std::memory_order_acq_rel);
+    }
+    return executed;
+}
+
+void
+ThreadedExecutor::workerLoop(Worker &worker)
+{
+    tl_currentSite = worker.id;
+    int idle = 0;
+    while (!stop_.load(std::memory_order_acquire)) {
+        if (drainInbox(worker) > 0) {
+            idle = 0;
+            continue;
+        }
+        if (++idle < config_.spinBeforePark) {
+            std::this_thread::yield();
+            continue;
+        }
+        metrics().parks.increment();
+        std::unique_lock<std::mutex> lock(worker.parkMutex);
+        worker.parked.store(true, std::memory_order_release);
+        // Re-check under the parked flag so a producer's wake() can't
+        // slip between our last scan and the wait. The timeout is a
+        // belt-and-braces bound, not the wakeup mechanism.
+        bool empty = true;
+        for (SiteId p = 0; p <= kMaxSites && empty; ++p) {
+            Inbox *inbox =
+                worker.inboxes[p].load(std::memory_order_acquire);
+            if (inbox &&
+                (inbox->ring.sizeHint() > 0 ||
+                 inbox->overflowSize.load(std::memory_order_acquire) > 0))
+                empty = false;
+        }
+        if (empty && !stop_.load(std::memory_order_acquire))
+            worker.cv.wait_for(lock, std::chrono::milliseconds(2));
+        worker.parked.store(false, std::memory_order_release);
+        idle = 0;
+    }
+    // Complete handed-off work so drain() callers never lose posts.
+    drainInbox(worker);
+}
+
+bool
+ThreadedExecutor::postsOutstanding() const
+{
+    return postsPending_.load(std::memory_order_acquire) != 0;
+}
+
+bool
+ThreadedExecutor::dispatchDueTimer(Time until)
+{
+    while (!heap_.empty()) {
+        const TimerRecord &top = heap_.front();
+        if (cancelled_.erase(top.id)) {
+            popTimer();
+            continue;
+        }
+        if (top.when > until)
+            return false;
+        TimerRecord record = popTimer();
+        assert(record.when >= now());
+        now_.store(record.when, std::memory_order_release);
+        dispatched_.fetch_add(1, std::memory_order_relaxed);
+        metrics().timerEvents.increment();
+        record.fn();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadedExecutor::runUntil(Time until)
+{
+    assert(onCoordinator());
+    for (;;) {
+        moveInjected();
+        if (dispatchDueTimer(until))
+            continue;
+        if (postsOutstanding() ||
+            injectedCount_.load(std::memory_order_acquire) != 0) {
+            // Let workers finish; their completions may inject more
+            // timers inside the window.
+            std::this_thread::yield();
+            continue;
+        }
+        break;
+    }
+    if (now() < until)
+        now_.store(until, std::memory_order_release);
+}
+
+void
+ThreadedExecutor::runToCompletion()
+{
+    assert(onCoordinator());
+    for (;;) {
+        moveInjected();
+        if (dispatchDueTimer(static_cast<Time>(-1)))
+            continue;
+        if (postsOutstanding() ||
+            injectedCount_.load(std::memory_order_acquire) != 0) {
+            std::this_thread::yield();
+            continue;
+        }
+        break;
+    }
+}
+
+bool
+ThreadedExecutor::step()
+{
+    assert(onCoordinator());
+    moveInjected();
+    return dispatchDueTimer(static_cast<Time>(-1));
+}
+
+void
+ThreadedExecutor::drain()
+{
+    assert(onCoordinator());
+    for (;;) {
+        moveInjected();
+        if (dispatchDueTimer(now()))
+            continue;
+        if (postsOutstanding() ||
+            injectedCount_.load(std::memory_order_acquire) != 0) {
+            std::this_thread::yield();
+            continue;
+        }
+        break;
+    }
+}
+
+std::size_t
+ThreadedExecutor::pendingEvents() const
+{
+    // Coordinator-accurate; racy (but safe) from elsewhere.
+    return heap_.size() + injectedCount_.load(std::memory_order_acquire);
+}
+
+} // namespace hydra::exec

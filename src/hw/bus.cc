@@ -27,9 +27,9 @@ busMetrics()
 
 } // namespace
 
-Bus::Bus(sim::Simulator &simulator, std::string name, double bandwidth_gbps,
+Bus::Bus(exec::Executor &executor, std::string name, double bandwidth_gbps,
          sim::SimTime setup_latency)
-    : sim_(simulator), name_(std::move(name)),
+    : exec_(executor), name_(std::move(name)),
       bandwidthGbps_(bandwidth_gbps), setupLatency_(setup_latency)
 {
     assert(bandwidth_gbps > 0.0);
@@ -38,10 +38,10 @@ Bus::Bus(sim::Simulator &simulator, std::string name, double bandwidth_gbps,
 void
 Bus::transfer(std::uint64_t bytes, Callback done)
 {
-    const sim::SimTime start = std::max(sim_.now(), freeAt_);
+    const sim::SimTime start = std::max(exec_.now(), freeAt_);
     const sim::SimTime payload = sim::transferTime(bytes, bandwidthGbps_);
     const sim::SimTime duration = setupLatency_ + payload;
-    const sim::SimTime stalled = start - sim_.now();
+    const sim::SimTime stalled = start - exec_.now();
     freeAt_ = start + duration;
 
     ++stats_.transactions;
@@ -70,19 +70,19 @@ Bus::transfer(std::uint64_t bytes, Callback done)
                         start, duration);
     }
 
-    sim_.scheduleAt(freeAt_, std::move(done));
+    exec_.scheduleAt(freeAt_, std::move(done));
 }
 
 sim::SimTime
 Bus::estimateCompletion(std::uint64_t bytes) const
 {
-    const sim::SimTime start = std::max(sim_.now(), freeAt_);
+    const sim::SimTime start = std::max(exec_.now(), freeAt_);
     return start + setupLatency_ + sim::transferTime(bytes, bandwidthGbps_);
 }
 
-DmaEngine::DmaEngine(sim::Simulator &simulator, Bus &bus,
+DmaEngine::DmaEngine(exec::Executor &executor, Bus &bus,
                      sim::SimTime per_descriptor_cost)
-    : sim_(simulator), bus_(bus), perDescriptorCost_(per_descriptor_cost)
+    : exec_(executor), bus_(bus), perDescriptorCost_(per_descriptor_cost)
 {
 }
 
@@ -92,7 +92,7 @@ DmaEngine::start(std::uint64_t bytes, Bus::Callback done)
     ++transfers_;
     // Descriptor fetch/setup happens on the device before the payload
     // crosses the bus.
-    sim_.schedule(perDescriptorCost_,
+    exec_.schedule(perDescriptorCost_,
                   [this, bytes, done = std::move(done)]() mutable {
                       bus_.transfer(bytes, std::move(done));
                   });

@@ -15,7 +15,7 @@
 #include <functional>
 #include <string>
 
-#include "sim/simulator.hh"
+#include "exec/executor.hh"
 #include "sim/time.hh"
 
 namespace hydra::hw {
@@ -42,7 +42,7 @@ class Bus
      * @param bandwidth_gbps Payload bandwidth in gigabits per second.
      * @param setup_latency Fixed per-transaction arbitration cost.
      */
-    Bus(sim::Simulator &simulator, std::string name, double bandwidth_gbps,
+    Bus(exec::Executor &executor, std::string name, double bandwidth_gbps,
         sim::SimTime setup_latency);
 
     /**
@@ -59,7 +59,7 @@ class Bus
     double bandwidthGbps() const { return bandwidthGbps_; }
 
   private:
-    sim::Simulator &sim_;
+    exec::Executor &exec_;
     std::string name_;
     double bandwidthGbps_;
     sim::SimTime setupLatency_;
@@ -75,7 +75,7 @@ class Bus
 class DmaEngine
 {
   public:
-    DmaEngine(sim::Simulator &simulator, Bus &bus,
+    DmaEngine(exec::Executor &executor, Bus &bus,
               sim::SimTime per_descriptor_cost);
 
     /** Start a DMA of @p bytes; @p done fires at completion. */
@@ -84,7 +84,7 @@ class DmaEngine
     std::uint64_t transfersStarted() const { return transfers_; }
 
   private:
-    sim::Simulator &sim_;
+    exec::Executor &exec_;
     Bus &bus_;
     sim::SimTime perDescriptorCost_;
     std::uint64_t transfers_ = 0;

@@ -5,8 +5,8 @@
 
 namespace hydra::hw {
 
-Cpu::Cpu(sim::Simulator &simulator, std::string name, double clock_ghz)
-    : sim_(simulator), name_(std::move(name)), clockGhz_(clock_ghz)
+Cpu::Cpu(exec::Executor &executor, std::string name, double clock_ghz)
+    : exec_(executor), name_(std::move(name)), clockGhz_(clock_ghz)
 {
     assert(clock_ghz > 0.0);
 }
@@ -20,7 +20,7 @@ Cpu::runCycles(std::uint64_t cycles)
 sim::SimTime
 Cpu::runFor(sim::SimTime duration)
 {
-    const sim::SimTime start = std::max(sim_.now(), freeAt_);
+    const sim::SimTime start = std::max(exec_.now(), freeAt_);
     freeAt_ = start + duration;
     busyTime_ += duration;
     return freeAt_;

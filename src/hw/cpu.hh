@@ -14,7 +14,7 @@
 
 #include <string>
 
-#include "sim/simulator.hh"
+#include "exec/executor.hh"
 #include "sim/time.hh"
 
 namespace hydra::hw {
@@ -23,7 +23,7 @@ namespace hydra::hw {
 class Cpu
 {
   public:
-    Cpu(sim::Simulator &simulator, std::string name, double clock_ghz);
+    Cpu(exec::Executor &executor, std::string name, double clock_ghz);
 
     const std::string &name() const { return name_; }
     double clockGhz() const { return clockGhz_; }
@@ -52,7 +52,7 @@ class Cpu
     }
 
   private:
-    sim::Simulator &sim_;
+    exec::Executor &exec_;
     std::string name_;
     double clockGhz_;
     sim::SimTime busyTime_ = 0;

@@ -2,15 +2,15 @@
 
 namespace hydra::hw {
 
-Machine::Machine(sim::Simulator &simulator, MachineConfig config)
-    : sim_(simulator), name_(config.name)
+Machine::Machine(exec::Executor &executor, MachineConfig config)
+    : exec_(executor), name_(config.name)
 {
-    cpu_ = std::make_unique<Cpu>(sim_, name_ + ".cpu", config.cpuGhz);
+    cpu_ = std::make_unique<Cpu>(exec_, name_ + ".cpu", config.cpuGhz);
     l2_ = std::make_unique<CacheModel>(config.l2Bytes, config.l2LineBytes,
                                        config.l2Ways);
-    bus_ = std::make_unique<Bus>(sim_, name_ + ".bus", config.busGbps,
+    bus_ = std::make_unique<Bus>(exec_, name_ + ".bus", config.busGbps,
                                  config.busSetupLatency);
-    os_ = std::make_unique<OsKernel>(sim_, *cpu_, *l2_, config.os,
+    os_ = std::make_unique<OsKernel>(exec_, *cpu_, *l2_, config.os,
                                      config.noiseSeed);
 }
 

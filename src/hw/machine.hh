@@ -15,7 +15,7 @@
 #include "hw/cache.hh"
 #include "hw/cpu.hh"
 #include "hw/os.hh"
-#include "sim/simulator.hh"
+#include "exec/executor.hh"
 
 namespace hydra::hw {
 
@@ -37,9 +37,9 @@ struct MachineConfig
 class Machine
 {
   public:
-    Machine(sim::Simulator &simulator, MachineConfig config);
+    Machine(exec::Executor &executor, MachineConfig config);
 
-    sim::Simulator &simulator() { return sim_; }
+    exec::Executor &executor() { return exec_; }
     const std::string &name() const { return name_; }
 
     Cpu &cpu() { return *cpu_; }
@@ -48,7 +48,7 @@ class Machine
     OsKernel &os() { return *os_; }
 
   private:
-    sim::Simulator &sim_;
+    exec::Executor &exec_;
     std::string name_;
     std::unique_ptr<Cpu> cpu_;
     std::unique_ptr<CacheModel> l2_;

@@ -6,9 +6,9 @@
 
 namespace hydra::hw {
 
-OsKernel::OsKernel(sim::Simulator &simulator, Cpu &cpu, CacheModel &l2,
+OsKernel::OsKernel(exec::Executor &executor, Cpu &cpu, CacheModel &l2,
                    OsConfig config, std::uint64_t noise_seed)
-    : sim_(simulator), cpu_(cpu), l2_(l2), config_(config), rng_(noise_seed)
+    : exec_(executor), cpu_(cpu), l2_(l2), config_(config), rng_(noise_seed)
 {
     hotSet_ = allocRegion(config_.hotSetBytes);
     backgroundStream_ = allocRegion(config_.backgroundStreamBytes);
@@ -60,7 +60,7 @@ OsKernel::handleInterrupt()
 sim::SimTime
 OsKernel::wakeAfter(sim::SimTime duration)
 {
-    const sim::SimTime now = sim_.now();
+    const sim::SimTime now = exec_.now();
     const sim::SimTime earliest = now + duration;
     // Timer-wheel semantics: the timer fires on the jiffy after the
     // one containing the expiry instant (floor + 1).
@@ -79,7 +79,7 @@ OsKernel::wakeAfter(sim::SimTime duration)
 sim::SimTime
 OsKernel::ioWake()
 {
-    const sim::SimTime now = sim_.now();
+    const sim::SimTime now = exec_.now();
     const sim::SimTime tick = config_.tickPeriod;
     sim::SimTime wake = now / tick * tick + tick;
     if (rng_.chance(config_.preemptionProbability))
@@ -102,7 +102,7 @@ OsKernel::startBackgroundLoad()
     if (backgroundRunning_)
         return;
     backgroundRunning_ = true;
-    sim_.schedulePeriodic(config_.tickPeriod, [this]() {
+    exec_.schedulePeriodic(config_.tickPeriod, [this]() {
         housekeepingTick();
         return true;
     });

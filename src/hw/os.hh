@@ -20,7 +20,7 @@
 #include "common/rng.hh"
 #include "hw/cache.hh"
 #include "hw/cpu.hh"
-#include "sim/simulator.hh"
+#include "exec/executor.hh"
 #include "sim/time.hh"
 
 namespace hydra::hw {
@@ -85,7 +85,7 @@ struct OsConfig
 class OsKernel
 {
   public:
-    OsKernel(sim::Simulator &simulator, Cpu &cpu, CacheModel &l2,
+    OsKernel(exec::Executor &executor, Cpu &cpu, CacheModel &l2,
              OsConfig config, std::uint64_t noise_seed);
 
     const OsConfig &config() const { return config_; }
@@ -139,7 +139,7 @@ class OsKernel
   private:
     void housekeepingTick();
 
-    sim::Simulator &sim_;
+    exec::Executor &exec_;
     Cpu &cpu_;
     CacheModel &l2_;
     OsConfig config_;

@@ -32,8 +32,8 @@ netMetrics()
 
 } // namespace
 
-Network::Network(sim::Simulator &simulator, NetworkConfig config)
-    : sim_(simulator), config_(config), rng_(config.seed)
+Network::Network(exec::Executor &executor, NetworkConfig config)
+    : exec_(executor), config_(config), rng_(config.seed)
 {
 }
 
@@ -80,7 +80,7 @@ Network::send(Packet packet)
 
     ++stats_.packetsSent;
     netMetrics().sent.increment();
-    packet.sentAt = sim_.now();
+    packet.sentAt = exec_.now();
     if (!packet.traceCtx.valid())
         packet.traceCtx = obs::activeContext();
 
@@ -96,7 +96,7 @@ Network::send(Packet packet)
     Node &src = nodes_[packet.src];
     const sim::SimTime wire =
         sim::transferTime(packet.wireBytes(), config_.linkGbps);
-    const sim::SimTime tx_start = std::max(sim_.now(), src.txFreeAt);
+    const sim::SimTime tx_start = std::max(exec_.now(), src.txFreeAt);
     src.txFreeAt = tx_start + wire;
 
     // Propagate, switch, then serialize on the receiver's downlink.
@@ -107,7 +107,7 @@ Network::send(Packet packet)
     dst.rxFreeAt = rx_start + wire;
     const sim::SimTime delivered = dst.rxFreeAt + config_.linkLatency;
 
-    sim_.scheduleAt(delivered, [this, pkt = std::move(packet)]() mutable {
+    exec_.scheduleAt(delivered, [this, pkt = std::move(packet)]() mutable {
         deliver(std::move(pkt));
     });
     return Status::success();
@@ -130,7 +130,7 @@ Network::deliver(Packet packet)
     NetMetrics &metrics = netMetrics();
     metrics.delivered.increment();
     metrics.bytes.add(packet.payload.size());
-    metrics.flightNs.record(sim_.now() - packet.sentAt);
+    metrics.flightNs.record(exec_.now() - packet.sentAt);
     // Restore the sender's causal context for the receive path; the
     // wire transfer itself is a span on the fabric's lane.
     obs::ContextScope scope(packet.traceCtx);
@@ -138,7 +138,7 @@ Network::deliver(Packet packet)
     if (HYDRA_TRACE_ACTIVE())
         span.open("network", dst.name, "net.xfer", "net",
                   packet.sentAt);
-    span.end(sim_.now());
+    span.end(exec_.now());
     it->second(packet);
 }
 

@@ -17,7 +17,7 @@
 #include "common/result.hh"
 #include "common/rng.hh"
 #include "net/packet.hh"
-#include "sim/simulator.hh"
+#include "exec/executor.hh"
 
 namespace hydra::net {
 
@@ -47,7 +47,7 @@ struct NetworkStats
 class Network
 {
   public:
-    Network(sim::Simulator &simulator, NetworkConfig config);
+    Network(exec::Executor &executor, NetworkConfig config);
 
     /** Attach a node; returns its address. */
     NodeId addNode(std::string name);
@@ -79,7 +79,7 @@ class Network
 
     void deliver(Packet packet);
 
-    sim::Simulator &sim_;
+    exec::Executor &exec_;
     NetworkConfig config_;
     std::vector<Node> nodes_;
     NetworkStats stats_;

@@ -34,11 +34,11 @@ namespace hydra::obs {
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
 /**
- * Monotonic event counter. add() is a relaxed load+store rather than
- * an atomic RMW: on the simulator's hot path (one bump per dispatched
- * event) a locked add would be the single largest cost. The trade is
- * that concurrent writers may lose increments — acceptable for
- * telemetry, and exact in the single-threaded simulator.
+ * Monotonic event counter. add() is a relaxed fetch_add: uncontended
+ * (the common case — most counters have one writer) it costs the same
+ * as a plain store on x86, and under the threaded executor concurrent
+ * writers never lose increments, which the payload-conservation
+ * invariants (allocations == recycles + live) depend on.
  */
 class Counter
 {
@@ -46,8 +46,7 @@ class Counter
     void
     add(std::uint64_t n)
     {
-        value_.store(value_.load(std::memory_order_relaxed) + n,
-                     std::memory_order_relaxed);
+        value_.fetch_add(n, std::memory_order_relaxed);
     }
     void increment() { add(1); }
     std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }

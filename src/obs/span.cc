@@ -1,20 +1,27 @@
 #include "obs/span.hh"
 
+#include <atomic>
+
 #if HYDRA_OBS_TRACING
 
 namespace hydra::obs {
 
 namespace {
 
-// The simulation is single-threaded; one global active context and a
-// plain counter keep id allocation deterministic under a fixed seed.
-SpanContext g_active{};
-std::uint64_t g_nextSpanId = 1;
+// The active context is per-thread: each executor site propagates its
+// own causal chain, so spans opened on different workers nest under
+// their own parents instead of racing on one global. Span ids come
+// from a process-wide atomic so ids stay unique across threads and
+// the cross-thread flow arrows in Perfetto stitch into one trace.
+// Under the sim executor everything runs on one thread, so id
+// allocation order — and therefore golden span output — is unchanged.
+thread_local SpanContext g_active{};
+std::atomic<std::uint64_t> g_nextSpanId{1};
 
 std::uint64_t
 nextSpanId()
 {
-    return g_nextSpanId++;
+    return g_nextSpanId.fetch_add(1, std::memory_order_relaxed);
 }
 
 } // namespace
@@ -35,7 +42,7 @@ void
 resetSpanIds()
 {
     g_active = SpanContext{};
-    g_nextSpanId = 1;
+    g_nextSpanId.store(1, std::memory_order_relaxed);
 }
 
 ContextScope::ContextScope(const SpanContext &context) : saved_(g_active)

@@ -3,11 +3,13 @@
  * Causal spans: who caused what, across sites and devices.
  *
  * A SpanContext is a (trace-id, span-id, parent-id) triple. One
- * process-global context is "active" while a handler runs (the
- * simulation is single-threaded, so this is exact, not heuristic);
+ * thread-local context is "active" while a handler runs — per-thread
+ * so executor sites each carry their own causal chain without racing;
  * message sends stamp it onto the wire and deliveries restore it at
- * the receiving site, so a frame's journey host -> NIC -> disk shows
- * up as one connected trace.
+ * the receiving site (ContextScope), so a frame's journey host ->
+ * NIC -> disk shows up as one connected trace even when the hops run
+ * on different worker threads. Span ids come from one process-wide
+ * atomic counter, so ids never collide across threads.
  *
  * Cost model matches the tracer:
  *  - compile time: with HYDRA_OBS_TRACING=0 everything here is an

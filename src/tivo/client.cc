@@ -62,7 +62,7 @@ UserSpaceClient::onPacket(const net::Packet &packet)
         return;
     ++packets_;
     if (onPacketArrival)
-        onPacketArrival(machine_.simulator().now());
+        onPacketArrival(machine_.executor().now());
 
     hw::OsKernel &os = machine_.os();
 

@@ -188,7 +188,7 @@ void
 StreamerNetOffcode::onPacket(const net::Packet &packet)
 {
     ++packetsHandled_;
-    const sim::SimTime started = site().machine().simulator().now();
+    const sim::SimTime started = site().machine().executor().now();
     obs::counter("tivo.packets_handled",
                  {{"site", site().isHost() ? "host" : "device"}})
         .increment();
@@ -258,7 +258,7 @@ StreamerDiskOffcode::onData(const Payload &payload, core::ChannelHandle from)
     // one Streamer component serve both devices).
     ++chunksRecorded_;
     obs::counter("tivo.chunks_recorded").increment();
-    const sim::SimTime started = site().machine().simulator().now();
+    const sim::SimTime started = site().machine().executor().now();
     obs::Span span;
     openStageSpan(span, site(), "StreamerDisk.record", started);
     span.end(site().run(kDeviceForwardCycles));
@@ -319,7 +319,7 @@ StreamerDiskOffcode::replayTick()
         replayOffset_ += data.value().size();
         ++chunksReplayed_;
         obs::counter("tivo.chunks_replayed").increment();
-        const sim::SimTime started = site().machine().simulator().now();
+        const sim::SimTime started = site().machine().executor().now();
         {
             obs::Span span;
             openStageSpan(span, site(), "StreamerDisk.replay", started);
@@ -382,7 +382,7 @@ DecoderOffcode::onData(const Payload &payload, core::ChannelHandle from)
         }
 
         const std::size_t out_bytes = frame.value().bytes();
-        const sim::SimTime started = site().machine().simulator().now();
+        const sim::SimTime started = site().machine().executor().now();
         obs::Span span;
         openStageSpan(span, site(), "Decoder.decode", started);
         sim::SimTime finished;
@@ -431,7 +431,7 @@ DisplayOffcode::onData(const Payload &payload, core::ChannelHandle from)
     ++framesPresented_;
     obs::counter("tivo.frames_presented").increment();
     const std::uint32_t seq = frame.value().sequence;
-    const sim::SimTime started = site().machine().simulator().now();
+    const sim::SimTime started = site().machine().executor().now();
 
     if (env_->gpu && site().device() == env_->gpu) {
         obs::Span span;
@@ -764,7 +764,7 @@ ServerStreamerOffcode::tick()
     } else {
         Payload chunk = std::move(buffer_.front());
         buffer_.pop_front();
-        const sim::SimTime started = site().machine().simulator().now();
+        const sim::SimTime started = site().machine().executor().now();
         // Ticks fire from a timer with no active context, so this
         // span is the root of each streamed chunk's trace.
         obs::Span span;

@@ -31,7 +31,7 @@ clientKindName(ClientKind kind)
 
 Testbed::Testbed(TestbedConfig config) : config_(config)
 {
-    sim_ = std::make_unique<sim::Simulator>();
+    exec_ = exec::makeExecutor(config_.executor);
     buildFabric();
     buildServer();
     buildClient();
@@ -58,7 +58,7 @@ Testbed::buildFabric()
     netConfig.dropProbability = config_.dropProbability;
     netConfig.lossPort = 5004; // lose only video datagrams, not NFS
     netConfig.seed = config_.seed * 31 + 7;
-    network_ = std::make_unique<net::Network>(*sim_, netConfig);
+    network_ = std::make_unique<net::Network>(*exec_, netConfig);
 
     nasNode_ = network_->addNode("nas");
     serverNode_ = network_->addNode("server-nic");
@@ -83,14 +83,14 @@ Testbed::buildServer()
         machineConfig.os.wakeupNoiseSigma = 0;
         machineConfig.os.preemptionProbability = 0.0;
     }
-    serverMachine_ = std::make_unique<hw::Machine>(*sim_, machineConfig);
+    serverMachine_ = std::make_unique<hw::Machine>(*exec_, machineConfig);
     serverMachine_->os().startBackgroundLoad();
 
     dev::DeviceConfig nicConfig = dev::ProgrammableNic::nicDefaultConfig();
     nicConfig.name = "server-nic";
     nicConfig.noiseSeed = config_.seed * 131 + 2;
     serverNic_ = std::make_unique<dev::ProgrammableNic>(
-        *sim_, serverMachine_->bus(), *network_, serverNode_, nicConfig);
+        *exec_, serverMachine_->bus(), *network_, serverNode_, nicConfig);
 
     ServerConfig serverConfig = config_.serverTuning;
     serverConfig.sendPeriod = config_.sendPeriod;
@@ -146,31 +146,31 @@ Testbed::buildClient()
         machineConfig.os.wakeupNoiseSigma = 0;
         machineConfig.os.preemptionProbability = 0.0;
     }
-    clientMachine_ = std::make_unique<hw::Machine>(*sim_, machineConfig);
+    clientMachine_ = std::make_unique<hw::Machine>(*exec_, machineConfig);
     clientMachine_->os().startBackgroundLoad();
 
     dev::DeviceConfig nicConfig = dev::ProgrammableNic::nicDefaultConfig();
     nicConfig.name = "client-nic";
     nicConfig.noiseSeed = config_.seed * 131 + 4;
     clientNic_ = std::make_unique<dev::ProgrammableNic>(
-        *sim_, clientMachine_->bus(), *network_, clientNode_, nicConfig);
+        *exec_, clientMachine_->bus(), *network_, clientNode_, nicConfig);
 
     dev::DeviceConfig diskConfig = dev::SmartDisk::diskDefaultConfig();
     diskConfig.name = "client-disk";
     diskConfig.noiseSeed = config_.seed * 131 + 5;
     if (config_.diskNfsBacked) {
         clientDisk_ = std::make_unique<dev::SmartDisk>(
-            *sim_, clientMachine_->bus(), *network_, clientDiskNode_,
+            *exec_, clientMachine_->bus(), *network_, clientDiskNode_,
             nasNode_, diskConfig);
     } else {
         clientDisk_ = std::make_unique<dev::SmartDisk>(
-            *sim_, clientMachine_->bus(), diskConfig);
+            *exec_, clientMachine_->bus(), diskConfig);
     }
 
     dev::DeviceConfig gpuConfig = dev::Gpu::gpuDefaultConfig();
     gpuConfig.name = "client-gpu";
     gpuConfig.noiseSeed = config_.seed * 131 + 6;
-    gpu_ = std::make_unique<dev::Gpu>(*sim_, clientMachine_->bus(),
+    gpu_ = std::make_unique<dev::Gpu>(*exec_, clientMachine_->bus(),
                                       gpuConfig);
 
     auto arrivalTap = [this](sim::SimTime now) { recordArrival(now); };
@@ -186,7 +186,7 @@ Testbed::buildClient()
             5004, [this](const net::Packet &packet) {
                 (void)packet;
                 ++result_.packetsReceived;
-                recordArrival(sim_->now());
+                recordArrival(exec_->now());
             });
         receiverBound_ = bound.ok();
         break;
@@ -264,7 +264,7 @@ Testbed::run()
     }
 
     // Let deployment and stream start-up settle.
-    sim_->runUntil(config_.warmup);
+    exec_->runUntil(config_.warmup);
 
     if (offloadedClient_ && !offloadedClient_->deployed())
         result_.deploymentOk = false;
@@ -276,8 +276,8 @@ Testbed::run()
     // Measurement epoch: reset windows and sample periodically.
     hw::CpuMeter serverMeter(serverMachine_->cpu());
     hw::CpuMeter clientMeter(clientMachine_->cpu());
-    serverMeter.beginWindow(sim_->now());
-    clientMeter.beginWindow(sim_->now());
+    serverMeter.beginWindow(exec_->now());
+    clientMeter.beginWindow(exec_->now());
     serverMachine_->l2().beginWindow();
     clientMachine_->l2().beginWindow();
 
@@ -286,10 +286,10 @@ Testbed::run()
     const std::uint64_t clientBusBase =
         clientMachine_->bus().stats().transactions;
 
-    const sim::EventId sampler =
-        sim_->schedulePeriodic(config_.sampleInterval, [&]() {
-        result_.serverCpuPct.add(serverMeter.sample(sim_->now()) * 100.0);
-        result_.clientCpuPct.add(clientMeter.sample(sim_->now()) * 100.0);
+    const exec::TaskId sampler =
+        exec_->schedulePeriodic(config_.sampleInterval, [&]() {
+        result_.serverCpuPct.add(serverMeter.sample(exec_->now()) * 100.0);
+        result_.clientCpuPct.add(clientMeter.sample(exec_->now()) * 100.0);
         result_.serverL2MissRate.add(
             serverMachine_->l2().windowStats().missRate());
         result_.clientL2MissRate.add(
@@ -299,8 +299,8 @@ Testbed::run()
         return true;
     });
 
-    sim_->runUntil(config_.warmup + config_.duration);
-    sim_->cancel(sampler); // the lambda references this frame's locals
+    exec_->runUntil(config_.warmup + config_.duration);
+    exec_->cancel(sampler); // the lambda references this frame's locals
 
     // Quiesce.
     if (server_)

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "common/stats.hh"
+#include "exec/executor.hh"
 #include "tivo/client.hh"
 #include "tivo/server.hh"
 
@@ -34,6 +35,9 @@ struct TestbedConfig
 {
     ServerKind server = ServerKind::Simple;
     ClientKind client = ClientKind::Receiver;
+
+    /** Execution engine: deterministic sim (default) or threaded. */
+    exec::ExecutorKind executor = exec::ExecutorKind::Sim;
 
     /** Measured run length (the paper: 10 minutes). */
     sim::SimTime duration = sim::seconds(60);
@@ -107,7 +111,7 @@ class Testbed
     ScenarioResult run();
 
     // --- component access for integration tests ---
-    sim::Simulator &simulator() { return *sim_; }
+    exec::Executor &executor() { return *exec_; }
     hw::Machine &serverMachine() { return *serverMachine_; }
     hw::Machine &clientMachine() { return *clientMachine_; }
     net::Network &network() { return *network_; }
@@ -128,7 +132,7 @@ class Testbed
 
     TestbedConfig config_;
 
-    std::unique_ptr<sim::Simulator> sim_;
+    std::unique_ptr<exec::Executor> exec_;
     std::unique_ptr<net::Network> network_;
     net::NodeId nasNode_ = net::kInvalidNode;
     net::NodeId serverNode_ = net::kInvalidNode;

@@ -51,7 +51,7 @@ SimpleServer::startStreaming()
         fileSize_ = size.value();
         const sim::SimTime wake =
             machine_.os().wakeAfter(config_.sendPeriod);
-        machine_.simulator().scheduleAt(wake, [this]() { iteration(); });
+        machine_.executor().scheduleAt(wake, [this]() { iteration(); });
     });
     return Status::success();
 }
@@ -92,7 +92,7 @@ SimpleServer::iteration()
 
                    // The blocked process resumes at the next tick.
                    const sim::SimTime resume = os.ioWake();
-                   machine_.simulator().scheduleAt(
+                   machine_.executor().scheduleAt(
                        resume,
                        [this, chunk = std::move(data).value()]() mutable {
                            if (!running_)
@@ -127,7 +127,7 @@ SimpleServer::iteration()
 
                            const sim::SimTime wake =
                                os.wakeAfter(config_.sendPeriod);
-                           machine_.simulator().scheduleAt(
+                           machine_.executor().scheduleAt(
                                wake, [this]() { iteration(); });
                        });
                });
@@ -171,7 +171,7 @@ SendfileServer::startStreaming()
         refillReadahead();
         const sim::SimTime wake =
             machine_.os().wakeAfter(config_.sendPeriod);
-        machine_.simulator().scheduleAt(wake, [this]() { iteration(); });
+        machine_.executor().scheduleAt(wake, [this]() { iteration(); });
     });
     return Status::success();
 }
@@ -241,7 +241,7 @@ SendfileServer::iteration()
     }
 
     const sim::SimTime wake = os.wakeAfter(config_.sendPeriod);
-    machine_.simulator().scheduleAt(wake, [this]() { iteration(); });
+    machine_.executor().scheduleAt(wake, [this]() { iteration(); });
 }
 
 // --------------------------------------------------------------------
@@ -255,7 +255,7 @@ OnloadedServer::OnloadedServer(hw::Machine &machine,
       rng_(config.nasNode * 977 + 5)
 {
     // Piglet-style dedicated I/O core: same silicon as the host CPU.
-    ioCpu_ = std::make_unique<hw::Cpu>(machine_.simulator(),
+    ioCpu_ = std::make_unique<hw::Cpu>(machine_.executor(),
                                        machine_.name() + ".iocpu",
                                        machine_.cpu().clockGhz());
     nfs_ = std::make_unique<net::NfsClient>(network, nic_.nodeId(),
@@ -287,7 +287,7 @@ OnloadedServer::startStreaming()
         }
         fileSize_ = size.value();
         refillReadahead();
-        machine_.simulator().schedule(config_.sendPeriod,
+        machine_.executor().schedule(config_.sendPeriod,
                                       [this]() { iteration(); });
     });
     return Status::success();
@@ -365,7 +365,7 @@ OnloadedServer::iteration()
     const auto slop = static_cast<sim::SimTime>(
         std::abs(rng_.normal(0.0, 4000.0))); // 4 us sigma
     ioCpu_->runFor(config_.sendPeriod + slop);
-    machine_.simulator().schedule(config_.sendPeriod + slop,
+    machine_.executor().schedule(config_.sendPeriod + slop,
                                   [this]() { iteration(); });
 }
 

@@ -17,6 +17,8 @@
 #include "hw/machine.hh"
 #include "net/network.hh"
 
+#include "exec/sim_executor.hh"
+
 namespace hydra::core {
 namespace {
 
@@ -142,7 +144,7 @@ class ChannelFixture : public ::testing::Test
         ASSERT_TRUE(offcode.doStart().ok());
     }
 
-    sim::Simulator sim_;
+    exec::SimExecutor sim_;
     hw::Machine machine_;
     net::Network net_;
     net::NodeId nicNode_ = 0;

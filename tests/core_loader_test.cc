@@ -13,6 +13,8 @@
 #include "hw/machine.hh"
 #include "net/network.hh"
 
+#include "exec/sim_executor.hh"
+
 namespace hydra::core {
 namespace {
 
@@ -49,7 +51,7 @@ class LoaderFixture : public ::testing::Test
     {
     }
 
-    sim::Simulator sim_;
+    exec::SimExecutor sim_;
     hw::Machine machine_;
     net::Network net_;
     dev::ProgrammableNic nic_;
@@ -211,7 +213,7 @@ class StubProvider : public ChannelProvider
 {
   public:
     StubProvider(std::string name, sim::SimTime latency, bool capable,
-                 sim::Simulator &simulator)
+                 exec::SimExecutor &simulator)
         : name_(std::move(name)), latency_(latency), capable_(capable),
           sim_(simulator)
     {
@@ -247,12 +249,12 @@ class StubProvider : public ChannelProvider
     std::string name_;
     sim::SimTime latency_;
     bool capable_;
-    sim::Simulator &sim_;
+    exec::SimExecutor &sim_;
 };
 
 TEST(ExecutiveSelectionTest, CheapestCapableProviderWins)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     hw::Machine machine(sim, hw::MachineConfig{});
     HostSite host(machine);
 
@@ -283,7 +285,7 @@ TEST(ExecutiveSelectionTest, CheapestCapableProviderWins)
 
 TEST(ExecutiveSelectionTest, NoCapableProviderFails)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     hw::Machine machine(sim, hw::MachineConfig{});
     HostSite host(machine);
 

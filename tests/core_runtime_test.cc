@@ -13,6 +13,8 @@
 #include "dev/nic.hh"
 #include "net/network.hh"
 
+#include "exec/sim_executor.hh"
+
 namespace hydra::core {
 namespace {
 
@@ -92,7 +94,7 @@ class MemoryFixture : public ::testing::Test
     {
     }
 
-    sim::Simulator sim_;
+    exec::SimExecutor sim_;
     hw::Machine machine_;
     MemoryManager memory_;
 };
@@ -276,7 +278,7 @@ class RuntimeFixture : public ::testing::Test
                "<host-fallback/></targets></offcode>";
     }
 
-    sim::Simulator sim_;
+    exec::SimExecutor sim_;
     hw::Machine machine_;
     net::Network net_;
     net::NodeId nicNode_ = 0;

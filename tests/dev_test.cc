@@ -14,6 +14,8 @@
 #include "hw/machine.hh"
 #include "net/nfs.hh"
 
+#include "exec/sim_executor.hh"
+
 namespace hydra::dev {
 namespace {
 
@@ -55,7 +57,7 @@ class DeviceFixture : public ::testing::Test
   protected:
     DeviceFixture() : machine_(sim_, hw::MachineConfig{}) {}
 
-    sim::Simulator sim_;
+    exec::SimExecutor sim_;
     hw::Machine machine_;
 };
 
@@ -146,7 +148,7 @@ class NicFixture : public ::testing::Test
         return p;
     }
 
-    sim::Simulator sim_;
+    exec::SimExecutor sim_;
     hw::Machine machine_;
     net::Network net_;
     net::NodeId peer_ = 0, nicNode_ = 0;
@@ -235,7 +237,7 @@ class DiskFixture : public ::testing::Test
   protected:
     DiskFixture() : machine_(sim_, hw::MachineConfig{}) {}
 
-    sim::Simulator sim_;
+    exec::SimExecutor sim_;
     hw::Machine machine_;
 };
 

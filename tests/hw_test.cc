@@ -13,7 +13,7 @@
 #include "hw/cpu.hh"
 #include "hw/machine.hh"
 #include "hw/os.hh"
-#include "sim/simulator.hh"
+#include "exec/sim_executor.hh"
 
 namespace hydra::hw {
 namespace {
@@ -112,7 +112,7 @@ TEST(CacheTest, FlushDropsEverything)
 
 TEST(CpuTest, CycleAccounting)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     Cpu cpu(sim, "cpu0", 2.0); // 2 GHz -> 0.5 ns per cycle
     const sim::SimTime done = cpu.runCycles(1000);
     EXPECT_EQ(done, 500u);
@@ -121,7 +121,7 @@ TEST(CpuTest, CycleAccounting)
 
 TEST(CpuTest, WorkSerializes)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     Cpu cpu(sim, "cpu0", 1.0);
     const sim::SimTime first = cpu.runCycles(100);
     const sim::SimTime second = cpu.runCycles(100);
@@ -132,7 +132,7 @@ TEST(CpuTest, WorkSerializes)
 
 TEST(CpuTest, MeterMeasuresWindowUtilization)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     Cpu cpu(sim, "cpu0", 1.0);
     CpuMeter meter(cpu);
     meter.beginWindow(0);
@@ -151,7 +151,7 @@ TEST(CpuTest, MeterMeasuresWindowUtilization)
 
 TEST(BusTest, TransferLatencyAndStats)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     Bus bus(sim, "pci", 8.0, 100);
     bool done = false;
     sim::SimTime completed = 0;
@@ -169,7 +169,7 @@ TEST(BusTest, TransferLatencyAndStats)
 
 TEST(BusTest, TransfersSerializeUnderContention)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     Bus bus(sim, "pci", 8.0, 0);
     std::vector<sim::SimTime> completions;
     for (int i = 0; i < 3; ++i)
@@ -183,7 +183,7 @@ TEST(BusTest, TransfersSerializeUnderContention)
 
 TEST(BusTest, DmaAddsDescriptorCost)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     Bus bus(sim, "pci", 8.0, 0);
     DmaEngine dma(sim, bus, 500);
     sim::SimTime completed = 0;
@@ -204,7 +204,7 @@ class OsTest : public ::testing::Test
     {
     }
 
-    sim::Simulator sim_;
+    exec::SimExecutor sim_;
     Cpu cpu_;
     CacheModel l2_;
     OsKernel os_;
@@ -308,7 +308,7 @@ TEST_F(OsTest, BackgroundLoadProducesIdleBaseline)
 
 TEST(MachineTest, ComposesSubsystems)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     MachineConfig config;
     config.name = "testbox";
     Machine machine(sim, config);

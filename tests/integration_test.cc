@@ -90,7 +90,7 @@ TEST(TestbedTest, OffloadedLayoutMatchesFigure8)
     Testbed testbed(
         quickConfig(ServerKind::Offloaded, ClientKind::Offloaded));
     testbed.offloadedClient()->startWatching();
-    testbed.simulator().runUntil(sim::seconds(1));
+    testbed.executor().runUntil(sim::seconds(1));
     ASSERT_TRUE(testbed.offloadedClient()->deployed())
         << testbed.offloadedClient()->deploymentError();
 
@@ -150,7 +150,7 @@ TEST(TestbedTest, RecordingReachesTheSmartDisk)
         quickConfig(ServerKind::Offloaded, ClientKind::Offloaded));
     testbed.offloadedClient()->startWatching();
     testbed.server()->startStreaming();
-    testbed.simulator().runUntil(sim::seconds(10));
+    testbed.executor().runUntil(sim::seconds(10));
 
     auto *file = testbed.offloadedClient()->component<FileOffcode>(
         "tivo.File");
@@ -173,11 +173,11 @@ TEST(TestbedTest, ReplayAfterRecordingDisplaysFrames)
         quickConfig(ServerKind::Offloaded, ClientKind::Offloaded));
     testbed.offloadedClient()->startWatching();
     testbed.server()->startStreaming();
-    testbed.simulator().runUntil(sim::seconds(10));
+    testbed.executor().runUntil(sim::seconds(10));
 
     // Stop the live stream, let the pipeline drain.
     testbed.server()->stop();
-    testbed.simulator().runUntil(sim::seconds(11));
+    testbed.executor().runUntil(sim::seconds(11));
 
     auto *display = testbed.offloadedClient()->component<DisplayOffcode>(
         "tivo.Display");
@@ -185,7 +185,7 @@ TEST(TestbedTest, ReplayAfterRecordingDisplaysFrames)
     const auto framesBefore = display->framesPresented();
 
     ASSERT_TRUE(testbed.offloadedClient()->replay().ok());
-    testbed.simulator().runUntil(sim::seconds(20));
+    testbed.executor().runUntil(sim::seconds(20));
 
     auto *diskStreamer =
         testbed.offloadedClient()->component<StreamerDiskOffcode>(
@@ -196,9 +196,9 @@ TEST(TestbedTest, ReplayAfterRecordingDisplaysFrames)
 
     // Stop-replay halts the flow.
     ASSERT_TRUE(testbed.offloadedClient()->stopReplay().ok());
-    testbed.simulator().runUntil(sim::seconds(21));
+    testbed.executor().runUntil(sim::seconds(21));
     const auto afterStop = diskStreamer->chunksReplayed();
-    testbed.simulator().runUntil(sim::seconds(23));
+    testbed.executor().runUntil(sim::seconds(23));
     EXPECT_LE(diskStreamer->chunksReplayed(), afterStop + 2);
 }
 
@@ -271,7 +271,7 @@ TEST(TestbedTest, OnloadedServerTradesACoreForJitter)
     // ...but the dedicated I/O core is burned completely...
     const double ioPct =
         static_cast<double>(onloaded->ioCpu().busyTime()) /
-        static_cast<double>(testbed.simulator().now());
+        static_cast<double>(testbed.executor().now());
     EXPECT_GT(ioPct, 0.95);
     // ...and unlike the offloaded server, the bus still sees every
     // packet (crossings counted over the measured window only, which
@@ -429,7 +429,7 @@ TEST(TestbedTest, IntrospectionCoversEveryDeployedOffcode)
         quickConfig(ServerKind::Offloaded, ClientKind::Offloaded));
     testbed.offloadedClient()->startWatching();
     testbed.server()->startStreaming();
-    testbed.simulator().runUntil(sim::seconds(10));
+    testbed.executor().runUntil(sim::seconds(10));
     ASSERT_TRUE(testbed.offloadedClient()->deployed())
         << testbed.offloadedClient()->deploymentError();
 

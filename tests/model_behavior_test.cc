@@ -16,12 +16,14 @@
 #include "hw/machine.hh"
 #include "net/network.hh"
 
+#include "exec/sim_executor.hh"
+
 namespace hydra {
 namespace {
 
 TEST(OsModelTest, WakeupDistributionMatchesConfiguredNoise)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     hw::Machine machine(sim, hw::MachineConfig{});
     hw::OsKernel &os = machine.os();
 
@@ -40,7 +42,7 @@ TEST(OsModelTest, WakeupDistributionMatchesConfiguredNoise)
 
 TEST(OsModelTest, QuietConfigIsDeterministic)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     hw::MachineConfig config;
     config.os.wakeupNoiseSigma = 0;
     config.os.preemptionProbability = 0.0;
@@ -54,7 +56,7 @@ TEST(OsModelTest, DeviceTimerBeatsHostTimerPrecision)
 {
     // The crux of Table 2: device hardware timers are orders of
     // magnitude more precise than tick-quantized host sleeps.
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     hw::Machine machine(sim, hw::MachineConfig{});
     net::Network net(sim, net::NetworkConfig{});
     dev::ProgrammableNic nic(sim, machine.bus(), net, net.addNode("n"));
@@ -86,7 +88,7 @@ TEST(OsModelTest, DeviceTimerBeatsHostTimerPrecision)
 
 TEST(NetworkModelTest, ReceiverDownlinkSerializesConcurrentSenders)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     net::NetworkConfig config;
     config.linkLatency = 0;
     config.switchLatency = 0;
@@ -121,7 +123,7 @@ TEST(NetworkModelTest, ReceiverDownlinkSerializesConcurrentSenders)
 
 TEST(BusModelTest, EstimateMatchesActualCompletion)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     hw::Bus bus(sim, "pci", 8.0, 700);
     const sim::SimTime estimate = bus.estimateCompletion(4096);
     sim::SimTime actual = 0;
@@ -132,7 +134,7 @@ TEST(BusModelTest, EstimateMatchesActualCompletion)
 
 TEST(BusModelTest, ContentionDelaysLaterEstimates)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     hw::Bus bus(sim, "pci", 8.0, 0);
     bus.transfer(8192, []() {});
     // A second transfer queues behind the first.
@@ -154,7 +156,7 @@ TEST(StatsRenderTest, HistogramRenderShowsBars)
 
 TEST(ProxyTest, OneWayInvocationLeavesNoPending)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     hw::Machine machine(sim, hw::MachineConfig{});
     net::Network net(sim, net::NetworkConfig{});
     dev::ProgrammableNic nic(sim, machine.bus(), net, net.addNode("n"));
@@ -197,7 +199,7 @@ TEST(ProxyTest, OneWayInvocationLeavesNoPending)
 
 TEST(DeviceEdgeTest, FreeLocalClampsAtZero)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     hw::Machine machine(sim, hw::MachineConfig{});
     dev::DeviceConfig config;
     config.localMemoryBytes = 1024;
@@ -211,7 +213,7 @@ TEST(DeviceEdgeTest, FreeLocalClampsAtZero)
 
 TEST(NetworkEdgeTest, NodeNamesAndUnknownNode)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     net::Network net(sim, net::NetworkConfig{});
     const net::NodeId a = net.addNode("alpha");
     EXPECT_EQ(net.nodeName(a), "alpha");

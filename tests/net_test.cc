@@ -9,7 +9,7 @@
 #include "net/network.hh"
 #include "net/nfs.hh"
 #include "net/tcp_model.hh"
-#include "sim/simulator.hh"
+#include "exec/sim_executor.hh"
 
 namespace hydra::net {
 namespace {
@@ -35,7 +35,7 @@ class NetworkTest : public ::testing::Test
         return p;
     }
 
-    sim::Simulator sim_;
+    exec::SimExecutor sim_;
     Network net_;
     NodeId a_ = 0, b_ = 0;
 };
@@ -121,7 +121,7 @@ TEST_F(NetworkTest, InOrderPerSender)
 
 TEST(NetworkDropTest, LossyFabricDropsStatistically)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     NetworkConfig config;
     config.dropProbability = 0.5;
     config.seed = 3;
@@ -158,7 +158,7 @@ class NfsTest : public ::testing::Test
                                               serverNode_);
     }
 
-    sim::Simulator sim_;
+    exec::SimExecutor sim_;
     Network net_;
     NodeId serverNode_ = 0, clientNode_ = 0;
     std::unique_ptr<NfsServer> server_;

@@ -28,6 +28,8 @@
 #include "obs/span.hh"
 #include "obs/trace.hh"
 
+#include "exec/sim_executor.hh"
+
 namespace hydra::core {
 namespace {
 
@@ -123,7 +125,7 @@ class SpanFixture : public ::testing::Test
         return channel.value();
     }
 
-    sim::Simulator sim_;
+    exec::SimExecutor sim_;
     hw::Machine machine_;
     net::Network net_;
     net::NodeId nicNode_ = 0;

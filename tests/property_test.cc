@@ -22,6 +22,8 @@
 #include "net/network.hh"
 #include "odf/odf.hh"
 
+#include "exec/sim_executor.hh"
+
 namespace hydra {
 namespace {
 
@@ -194,7 +196,7 @@ class OrderSink : public core::Offcode
 
 TEST(ChannelOrderTest, ReliableRingPreservesOrderUnderBackpressure)
 {
-    sim::Simulator sim;
+    exec::SimExecutor sim;
     hw::Machine machine(sim, hw::MachineConfig{});
     net::Network net(sim, net::NetworkConfig{});
     dev::ProgrammableNic nic(sim, machine.bus(), net, net.addNode("n"));

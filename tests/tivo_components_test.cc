@@ -30,7 +30,7 @@ TEST(ComponentTest, FileOffcodeReadAndSizeMethods)
     Testbed testbed(offloadedConfig());
     testbed.offloadedClient()->startWatching();
     testbed.server()->startStreaming();
-    testbed.simulator().runUntil(sim::seconds(5));
+    testbed.executor().runUntil(sim::seconds(5));
 
     auto *file = testbed.offloadedClient()->component<FileOffcode>(
         "tivo.File");
@@ -75,7 +75,7 @@ TEST(ComponentTest, RecordedStreamMatchesWire)
     Testbed testbed(config);
     testbed.offloadedClient()->startWatching();
     testbed.server()->startStreaming();
-    testbed.simulator().runUntil(sim::seconds(5));
+    testbed.executor().runUntil(sim::seconds(5));
 
     auto *file = testbed.offloadedClient()->component<FileOffcode>(
         "tivo.File");
@@ -101,9 +101,9 @@ TEST(ComponentTest, ReplayStateMachine)
     Testbed testbed(offloadedConfig());
     testbed.offloadedClient()->startWatching();
     testbed.server()->startStreaming();
-    testbed.simulator().runUntil(sim::seconds(5));
+    testbed.executor().runUntil(sim::seconds(5));
     testbed.server()->stop();
-    testbed.simulator().runUntil(sim::seconds(6));
+    testbed.executor().runUntil(sim::seconds(6));
 
     auto *diskStreamer =
         testbed.offloadedClient()->component<StreamerDiskOffcode>(
@@ -114,22 +114,22 @@ TEST(ComponentTest, ReplayStateMachine)
     // Start replay; duplicate requests are idempotent.
     testbed.offloadedClient()->replay();
     testbed.offloadedClient()->replay();
-    testbed.simulator().runUntil(sim::seconds(8));
+    testbed.executor().runUntil(sim::seconds(8));
     EXPECT_TRUE(diskStreamer->replaying());
     const auto replayed = diskStreamer->chunksReplayed();
     EXPECT_GT(replayed, 0u);
 
     // Stop; counter freezes.
     testbed.offloadedClient()->stopReplay();
-    testbed.simulator().runUntil(sim::seconds(9));
+    testbed.executor().runUntil(sim::seconds(9));
     const auto frozen = diskStreamer->chunksReplayed();
-    testbed.simulator().runUntil(sim::seconds(11));
+    testbed.executor().runUntil(sim::seconds(11));
     EXPECT_LE(diskStreamer->chunksReplayed(), frozen + 1);
     EXPECT_FALSE(diskStreamer->replaying());
 
     // Replay can be restarted (from the beginning of the recording).
     testbed.offloadedClient()->replay();
-    testbed.simulator().runUntil(sim::seconds(13));
+    testbed.executor().runUntil(sim::seconds(13));
     EXPECT_GT(diskStreamer->chunksReplayed(), frozen);
 }
 
@@ -138,9 +138,9 @@ TEST(ComponentTest, ReplayDrainsToEndOfRecordingAndStops)
     Testbed testbed(offloadedConfig());
     testbed.offloadedClient()->startWatching();
     testbed.server()->startStreaming();
-    testbed.simulator().runUntil(sim::seconds(4));
+    testbed.executor().runUntil(sim::seconds(4));
     testbed.server()->stop();
-    testbed.simulator().runUntil(sim::seconds(5));
+    testbed.executor().runUntil(sim::seconds(5));
 
     auto *file = testbed.offloadedClient()->component<FileOffcode>(
         "tivo.File");
@@ -156,7 +156,7 @@ TEST(ComponentTest, ReplayDrainsToEndOfRecordingAndStops)
     testbed.offloadedClient()->replay();
     // ~4 s of recording at 5 ms per chunk takes ~4 s to replay; give
     // it ample time and verify it self-terminates at EOF.
-    testbed.simulator().runUntil(sim::seconds(5) +
+    testbed.executor().runUntil(sim::seconds(5) +
                                  sim::milliseconds(6) *
                                      (recordedChunks + 100));
     EXPECT_FALSE(diskStreamer->replaying());
@@ -167,7 +167,7 @@ TEST(ComponentTest, ServerFileCreditFlowKeepsBufferBounded)
 {
     Testbed testbed(offloadedConfig());
     testbed.server()->startStreaming();
-    testbed.simulator().runUntil(sim::seconds(10));
+    testbed.executor().runUntil(sim::seconds(10));
 
     core::Runtime &rt = *testbed.serverRuntime();
     auto fileHandle = rt.getOffcode("tivo.server.File");
@@ -223,17 +223,17 @@ TEST(ComponentTest, StopQuiescesThePipeline)
     Testbed testbed(offloadedConfig());
     testbed.offloadedClient()->startWatching();
     testbed.server()->startStreaming();
-    testbed.simulator().runUntil(sim::seconds(5));
+    testbed.executor().runUntil(sim::seconds(5));
 
     testbed.server()->stop();
     testbed.offloadedClient()->stop();
-    testbed.simulator().runUntil(sim::seconds(6));
+    testbed.executor().runUntil(sim::seconds(6));
 
     auto *display = testbed.offloadedClient()->component<DisplayOffcode>(
         "tivo.Display");
     ASSERT_NE(display, nullptr);
     const auto frames = display->framesPresented();
-    testbed.simulator().runUntil(sim::seconds(8));
+    testbed.executor().runUntil(sim::seconds(8));
     // Nothing flows after stop.
     EXPECT_EQ(display->framesPresented(), frames);
 }

@@ -11,6 +11,7 @@
  * Usage:
  *   hydra_sim [--server simple|sendfile|onloaded|offloaded|none]
  *             [--client receiver|user-space|offloaded|none]
+ *             [--executor sim|threaded]
  *             [--seconds N] [--seed N] [--period-ms N]
  *             [--chunk-bytes N] [--drop P] [--quiet-host]
  *             [--no-bus-multicast] [--histogram]
@@ -42,6 +43,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--server simple|sendfile|onloaded|offloaded|none]\n"
         "          [--client receiver|user-space|offloaded|none]\n"
+        "          [--executor sim|threaded]\n"
         "          [--seconds N] [--seed N] [--period-ms N]\n"
         "          [--chunk-bytes N] [--drop P] [--quiet-host]\n"
         "          [--no-bus-multicast] [--histogram]\n"
@@ -108,8 +110,8 @@ queryIntrospection(Testbed &testbed, core::Runtime *runtime)
             }
         });
     if (sent) {
-        sim::Simulator &sim = testbed.simulator();
-        sim.runUntil(sim.now() + sim::milliseconds(100));
+        exec::Executor &engine = testbed.executor();
+        engine.runUntil(engine.now() + sim::milliseconds(100));
     }
     return replied ? reply : runtime->introspectJson();
 }
@@ -158,6 +160,19 @@ main(int argc, char **argv)
         } else if (arg == "--client") {
             const char *value = next();
             if (!value || !parseClient(value, config.client))
+                return usage(argv[0]);
+        } else if (arg == "--executor" ||
+                   arg.rfind("--executor=", 0) == 0) {
+            std::string value;
+            if (arg == "--executor") {
+                const char *v = next();
+                if (!v)
+                    return usage(argv[0]);
+                value = v;
+            } else {
+                value = arg.substr(std::strlen("--executor="));
+            }
+            if (!exec::parseExecutorKind(value, config.executor))
                 return usage(argv[0]);
         } else if (arg == "--seconds") {
             const char *value = next();
@@ -246,10 +261,12 @@ main(int argc, char **argv)
 #endif
     }
 
-    std::printf("hydra_sim: server=%s client=%s duration=%.0fs seed=%llu"
+    std::printf("hydra_sim: server=%s client=%s executor=%s"
+                " duration=%.0fs seed=%llu"
                 " period=%.1fms chunk=%zuB drop=%.3f\n",
                 std::string(serverKindName(config.server)).c_str(),
                 std::string(clientKindName(config.client)).c_str(),
+                exec::executorKindName(config.executor),
                 sim::toSeconds(config.duration),
                 static_cast<unsigned long long>(config.seed),
                 sim::toMilliseconds(config.sendPeriod), config.chunkBytes,
