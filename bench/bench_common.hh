@@ -114,10 +114,11 @@ inline void
 printStatRow(const char *scenario, double paper_median,
              double paper_avg, double paper_std, const SampleSet &measured)
 {
+    const SummaryStats stats = measured.summary();
     std::printf("%-18s paper: %6.2f %6.2f %7.4f   measured: "
                 "%6.2f %6.2f %7.4f\n",
                 scenario, paper_median, paper_avg, paper_std,
-                measured.median(), measured.mean(), measured.stddev());
+                stats.p50, stats.mean, stats.stddev);
 }
 
 } // namespace hydra::bench

@@ -26,10 +26,10 @@ using namespace hydra::tivo;
 void
 printDistribution(const char *name, const SampleSet &samples)
 {
+    const SummaryStats stats = samples.summary();
     std::printf("--- %s: n=%zu, median=%.3f ms, avg=%.3f ms, "
                 "stddev=%.4f ms\n",
-                name, samples.count(), samples.median(), samples.mean(),
-                samples.stddev());
+                name, stats.count, stats.p50, stats.mean, stats.stddev);
 
     Histogram histogram(4.0, 9.0, 25);
     for (double v : samples.samples())

@@ -22,6 +22,7 @@
 #include "hw/machine.hh"
 #include "ilp/layout.hh"
 #include "net/network.hh"
+#include "obs/histogram.hh"
 #include "odf/odf.hh"
 #include "exec/sim_executor.hh"
 #include "exec/threaded_executor.hh"
@@ -138,6 +139,37 @@ BM_IlpTivoLayout(benchmark::State &state)
 }
 BENCHMARK(BM_IlpTivoLayout);
 
+// ------------------------------------------------- telemetry hot path
+
+/**
+ * Cost of one Histogram::record() — the price every instrumented
+ * delivery/dispatch site pays. The value stream cycles through a
+ * precomputed table spanning all octaves so the bucket-index math
+ * (bit_width + shift) sees realistic inputs, while the per-iteration
+ * overhead beyond record() stays at one load and a mask. Gated by
+ * scripts/check.sh --bench-smoke at HYDRA_HIST_RECORD_NS_MAX.
+ */
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    obs::Histogram h;
+    std::uint64_t values[1024];
+    std::uint64_t seed = 0x2545f4914f6cdd1dull;
+    for (std::uint64_t &v : values) {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        v = seed >> (seed % 48); // spread across the octave range
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        h.record(values[i++ & 1023]);
+    }
+    benchmark::DoNotOptimize(h.count());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
 // --------------------------------------------------- channel data path
 
 /** Discards deliveries; the channel machinery is what's measured. */
@@ -208,6 +240,7 @@ BM_ChannelThroughput(benchmark::State &state)
     const auto messageBytes = static_cast<std::size_t>(state.range(0));
     const bool dma = state.range(1) != 0;
     const bool copying = state.range(2) != 0;
+    const bool hist = state.range(3) != 0;
 
     ChannelBenchWorld world;
     SinkOffcode sink;
@@ -216,6 +249,12 @@ BM_ChannelThroughput(benchmark::State &state)
                           : world.hostSite);
 
     core::ChannelConfig config;
+    // hist:1 names the channel so every delivery records into the
+    // per-channel latency histogram; hist:0 leaves it anonymous. The
+    // pair isolates the telemetry overhead within one run, immune to
+    // machine drift between sessions (gated by bench_gate.py).
+    if (hist)
+        config.name = "bench.sink";
     config.targetDevice =
         dma ? world.deviceSite->name() : world.hostSite.name();
     config.buffering = copying ? core::ChannelConfig::Buffering::Copying
@@ -237,15 +276,23 @@ BM_ChannelThroughput(benchmark::State &state)
                             static_cast<std::int64_t>(messageBytes));
 }
 BENCHMARK(BM_ChannelThroughput)
-    ->ArgNames({"bytes", "dma", "copying"})
-    ->Args({64, 0, 0})
-    ->Args({64, 0, 1})
-    ->Args({16384, 0, 0})
-    ->Args({16384, 0, 1})
-    ->Args({64, 1, 0})
-    ->Args({64, 1, 1})
-    ->Args({16384, 1, 0})
-    ->Args({16384, 1, 1});
+    ->ArgNames({"bytes", "dma", "copying", "hist"})
+    ->Args({64, 0, 0, 0})
+    ->Args({64, 0, 0, 1})
+    ->Args({64, 0, 1, 0})
+    ->Args({64, 0, 1, 1})
+    ->Args({16384, 0, 0, 0})
+    ->Args({16384, 0, 0, 1})
+    ->Args({16384, 0, 1, 0})
+    ->Args({16384, 0, 1, 1})
+    ->Args({64, 1, 0, 0})
+    ->Args({64, 1, 0, 1})
+    ->Args({64, 1, 1, 0})
+    ->Args({64, 1, 1, 1})
+    ->Args({16384, 1, 0, 0})
+    ->Args({16384, 1, 0, 1})
+    ->Args({16384, 1, 1, 0})
+    ->Args({16384, 1, 1, 1});
 
 void
 BM_MulticastFanout(benchmark::State &state)

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Telemetry-engine perf gates (DESIGN.md section 11 overhead budget).
+
+Usage: bench_gate.py BASELINE.json CURRENT.json
+
+Two absolute gates on top of bench_compare.py's generic 2x noise gate:
+
+ 1. Histogram hot path: every BM_HistogramRecord row must run in at
+    most HYDRA_HIST_RECORD_NS_MAX ns per record (default 15). This is
+    the price each instrumented delivery/dispatch site pays, so it is
+    gated absolutely rather than relative to a baseline.
+
+ 2. Channel throughput: each BM_ChannelThroughput hist:1 row (named
+    channel, per-delivery histogram records) is paired with its hist:0
+    twin (anonymous channel, uninstrumented) from the SAME run, which
+    isolates the telemetry cost from cross-session machine drift
+    (bench_compare.py's coarser baseline gate absorbs that instead).
+    The *geometric mean* of the pair ratios must stay at most
+    HYDRA_CHANNEL_RATIO_MAX (default 1.05, i.e. <5% overhead): a
+    single 0.1 s pair on a shared 1-CPU VM has a noise floor around
+    +/-10%, well above the budget, but averaging 8 pairs cuts it by
+    ~sqrt(8). Each individual pair is additionally bounded by
+    HYDRA_CHANNEL_PAIR_MAX (default 1.25) to catch a pathological
+    regression confined to one configuration.
+
+All limits are env-overridable for slow or shared machines.
+"""
+
+import json
+import math
+import os
+import sys
+
+
+def load(path):
+    """Name -> real_time. Prefers median aggregates (repetition runs)
+    over single-iteration rows when both are present."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    iterations = {}
+    medians = {}
+    for bench in doc.get("benchmarks", []):
+        run_type = bench.get("run_type", "iteration")
+        if run_type == "iteration":
+            iterations[bench["name"]] = float(bench["real_time"])
+        elif (run_type == "aggregate" and
+              bench.get("aggregate_name") == "median"):
+            name = bench.get("run_name",
+                             bench["name"].rsplit("_median", 1)[0])
+            medians[name] = float(bench["real_time"])
+    iterations.update(medians)
+    return iterations
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    baseline = load(sys.argv[1])
+    current = load(sys.argv[2])
+    record_max = float(os.environ.get("HYDRA_HIST_RECORD_NS_MAX", "15"))
+    ratio_max = float(os.environ.get("HYDRA_CHANNEL_RATIO_MAX", "1.05"))
+
+    failed = []
+
+    record_rows = [n for n in current if n.startswith("BM_HistogramRecord")]
+    if not record_rows:
+        print("bench_gate: BM_HistogramRecord missing from current run")
+        failed.append("BM_HistogramRecord(absent)")
+    for name in sorted(record_rows):
+        ok = current[name] <= record_max
+        print(f"{name:56s} {current[name]:8.2f} ns/record "
+              f"(limit {record_max:.0f}){'' if ok else ' REGRESSION'}")
+        if not ok:
+            failed.append(name)
+
+    pair_max = float(os.environ.get("HYDRA_CHANNEL_PAIR_MAX", "1.25"))
+    ratios = []
+    for name in sorted(current):
+        if not name.startswith("BM_ChannelThroughput"):
+            continue
+        if "/hist:1" not in name:
+            continue
+        twin = name.replace("/hist:1", "/hist:0")
+        if twin not in current:
+            print(f"bench_gate: {name} has no hist:0 twin in current run")
+            failed.append(f"{name}(unpaired)")
+            continue
+        ratio = current[name] / current[twin] if current[twin] else 1.0
+        ratios.append(ratio)
+        ok = ratio <= pair_max
+        print(f"{name:56s} {ratio:7.3f}x vs hist:0 "
+              f"(pair limit {pair_max:.2f}){'' if ok else ' REGRESSION'}")
+        if not ok:
+            failed.append(name)
+    if ratios:
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        ok = geomean <= ratio_max
+        print(f"{'BM_ChannelThroughput geomean(hist:1/hist:0)':56s} "
+              f"{geomean:7.3f}x "
+              f"(limit {ratio_max:.2f}){'' if ok else ' REGRESSION'}")
+        if not ok:
+            failed.append("BM_ChannelThroughput(geomean)")
+    else:
+        print("bench_gate: no BM_ChannelThroughput hist:1 rows in "
+              "current run")
+        failed.append("BM_ChannelThroughput(absent)")
+
+    if failed:
+        print(f"\nbench gate FAILED: {', '.join(failed)}")
+        return 1
+    print("\nbench gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

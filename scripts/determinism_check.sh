@@ -23,6 +23,7 @@ run() {
             --metrics-format=json \
             --metrics-out metrics.json \
             --spans-out spans.json \
+            --flight-out flight.json --flight-interval-ms 500 \
             > stdout.txt)
 }
 
@@ -39,11 +40,16 @@ cmp "$SCRATCH/a/spans.json" "$SCRATCH/b/spans.json" || {
     diff "$SCRATCH/a/spans.json" "$SCRATCH/b/spans.json" | head >&2
     exit 1
 }
+cmp "$SCRATCH/a/flight.json" "$SCRATCH/b/flight.json" || {
+    echo "FAIL: --executor=sim flight recording differs between runs" >&2
+    diff "$SCRATCH/a/flight.json" "$SCRATCH/b/flight.json" | head >&2
+    exit 1
+}
 cmp "$SCRATCH/a/stdout.txt" "$SCRATCH/b/stdout.txt" || {
     echo "FAIL: --executor=sim scenario output differs between runs" >&2
     diff "$SCRATCH/a/stdout.txt" "$SCRATCH/b/stdout.txt" | head >&2
     exit 1
 }
 
-echo "OK: sim executor is deterministic (metrics, spans, and scenario"
-echo "    output byte-identical across runs)"
+echo "OK: sim executor is deterministic (metrics, spans, flight"
+echo "    recording, and scenario output byte-identical across runs)"

@@ -85,6 +85,32 @@ SampleSet::median() const
     return percentile(50.0);
 }
 
+const std::vector<double> &
+SampleSet::sorted() const
+{
+    ensureSorted();
+    return sorted_;
+}
+
+SummaryStats
+SampleSet::summary() const
+{
+    SummaryStats out;
+    out.count = count();
+    if (empty())
+        return out;
+    ensureSorted();
+    out.min = sorted_.front();
+    out.max = sorted_.back();
+    out.mean = mean();
+    out.stddev = stddev();
+    out.p50 = percentile(50.0);
+    out.p90 = percentile(90.0);
+    out.p99 = percentile(99.0);
+    out.p999 = percentile(99.9);
+    return out;
+}
+
 double
 SampleSet::percentile(double pct) const
 {
@@ -169,8 +195,9 @@ empiricalCdf(const SampleSet &samples)
     if (samples.empty())
         return out;
 
-    std::vector<double> sorted = samples.samples();
-    std::sort(sorted.begin(), sorted.end());
+    // Reuse the SampleSet's cached sort instead of copying and
+    // re-sorting the raw vector.
+    const std::vector<double> &sorted = samples.sorted();
 
     const auto n = static_cast<double>(sorted.size());
     std::size_t i = 0;

@@ -14,6 +14,27 @@
 
 namespace hydra {
 
+/**
+ * One digest of a distribution — the shared currency between the
+ * bench-side SampleSet (exact, sorted samples) and the obs-side
+ * HDR histogram (bucketed): both produce this shape, so tables and
+ * reports format through one implementation instead of each call
+ * site re-sorting raw vectors.
+ */
+struct SummaryStats
+{
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    /** Sample standard deviation (n-1 denominator); 0 below n=2. */
+    double stddev = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+};
+
 /** Accumulates samples and reports the paper's summary statistics. */
 class SampleSet
 {
@@ -35,7 +56,12 @@ class SampleSet
     /** Percentile via linear interpolation; pct clamps to [0, 100]. */
     double percentile(double pct) const;
 
+    /** One pass over the (cached) sorted samples. */
+    SummaryStats summary() const;
+
     const std::vector<double> &samples() const { return samples_; }
+    /** Sorted view (cached; re-sorted only after new samples). */
+    const std::vector<double> &sorted() const;
 
   private:
     /** Sorts the sample buffer if new samples arrived since last sort. */

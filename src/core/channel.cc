@@ -28,9 +28,26 @@ ChannelHandle::install(std::function<void(const Payload &)> handler)
                             });
 }
 
-Channel::Channel(ChannelConfig config) : config_(std::move(config)) {}
+Channel::Channel(ChannelConfig config) : config_(std::move(config))
+{
+    if (!config_.name.empty())
+        deliveryLatency_ = &obs::histogram("channel.delivery_latency_ns",
+                                           {{"channel", config_.name}});
+}
 
 Channel::~Channel() = default;
+
+void
+Channel::recordDelivery(const Endpoint &ep, sim::SimTime sentAt,
+                        sim::SimTime deliveredAt)
+{
+    if (!deliveryLatency_ || !ep.site)
+        return;
+    if (deliveredAt == 0)
+        deliveredAt = ep.site->machine().executor().now();
+    deliveryLatency_->record(deliveredAt >= sentAt ? deliveredAt - sentAt
+                                                   : 0);
+}
 
 void
 Channel::installHandler(std::size_t endpoint, Handler handler)
@@ -44,6 +61,7 @@ Channel::installHandler(std::size_t endpoint, Handler handler)
     while (ep.handler && !ep.queue.empty()) {
         Queued queued = std::move(ep.queue.front());
         ep.queue.pop_front();
+        recordDelivery(ep, queued.sentAt);
         obs::ContextScope scope(queued.ctx);
         ep.handler(queued.message, SIZE_MAX);
     }
@@ -59,6 +77,7 @@ Channel::poll(std::size_t endpoint)
         return Error(ErrorCode::NotFound, "no message pending");
     // Polling is a pull model: the caller owns its own causal scope,
     // so the stored context is dropped here.
+    recordDelivery(ep, ep.queue.front().sentAt);
     Payload message = std::move(ep.queue.front().message);
     ep.queue.pop_front();
     return message;
@@ -133,7 +152,8 @@ Channel::connectOffcode(Offcode &offcode)
 
 void
 Channel::deliverTo(std::size_t endpoint, const Payload &message,
-                   std::size_t from)
+                   std::size_t from, sim::SimTime sentAt,
+                   sim::SimTime deliveredAt)
 {
     if (endpoint >= endpoints_.size())
         return;
@@ -145,10 +165,13 @@ Channel::deliverTo(std::size_t endpoint, const Payload &message,
     }
     Endpoint &ep = endpoints_[endpoint];
     if (ep.handler) {
+        recordDelivery(ep, sentAt, deliveredAt);
         ep.handler(message, from);
         return;
     }
-    ep.queue.push_back(Queued{message, obs::activeContext()});
+    // No handler yet: latency resolves when the message is polled or
+    // drained by a late-installed handler.
+    ep.queue.push_back(Queued{message, obs::activeContext(), sentAt});
 }
 
 void
@@ -239,7 +262,7 @@ Channel::dispatchToOffcode(std::size_t endpoint, const Payload &message,
       case MessageKind::Return:
         // Returns flowing toward an Offcode endpoint are queued so
         // proxy-style callers on device can poll them.
-        ep.queue.push_back(Queued{message, obs::activeContext()});
+        ep.queue.push_back(Queued{message, obs::activeContext(), started});
         break;
     }
     if (kind.value() != MessageKind::Return)

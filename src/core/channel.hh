@@ -26,6 +26,10 @@
 #include "core/site.hh"
 #include "obs/span.hh"
 
+namespace hydra::obs {
+class Histogram;
+} // namespace hydra::obs
+
 namespace hydra::core {
 
 class Offcode;
@@ -55,6 +59,14 @@ struct ChannelConfig
 
     /** Target site name, as returned by Offcode GetDeviceAddr. */
     std::string targetDevice;
+
+    /**
+     * Display name for telemetry. A named channel records per-channel
+     * delivery latency into `channel.delivery_latency_ns{channel=name}`
+     * (write timestamp -> handler/poll); anonymous channels only feed
+     * the per-transport aggregate, which bounds registry growth.
+     */
+    std::string name;
 };
 
 /** Per-channel delivery statistics. */
@@ -146,6 +158,8 @@ class Channel
     {
         Payload message;
         obs::SpanContext ctx;
+        /** Virtual time the sender wrote the message. */
+        sim::SimTime sentAt = 0;
     };
 
     struct Endpoint
@@ -159,18 +173,34 @@ class Channel
     /** Register an endpoint; providers may veto cross-site layouts. */
     virtual Result<std::size_t> addEndpoint(ExecutionSite &site);
 
-    /** Final delivery into handler or queue (updates stats). */
+    /**
+     * Final delivery into handler or queue (updates stats).
+     * @p sentAt is the write timestamp; a named channel resolves it
+     * here (handler) or at poll() time into its latency histogram.
+     * @p deliveredAt is the transport's already-computed clock value
+     * (0 = unknown): passing it keeps the hot path free of a second
+     * executor clock read, which matters on the sub-microsecond
+     * zero-copy path (check.sh's <5% channel overhead gate).
+     */
     void deliverTo(std::size_t endpoint, const Payload &message,
-                   std::size_t from);
+                   std::size_t from, sim::SimTime sentAt,
+                   sim::SimTime deliveredAt = 0);
 
     /** Default dispatch for Offcode endpoints (Calls, Data, Mgmt). */
     void dispatchToOffcode(std::size_t endpoint, const Payload &message,
                            std::size_t from);
 
+    /** Record send->deliver latency for a named channel; resolves the
+     * clock itself when @p deliveredAt is 0 (queued/polled paths). */
+    void recordDelivery(const Endpoint &ep, sim::SimTime sentAt,
+                        sim::SimTime deliveredAt = 0);
+
     ChannelConfig config_;
     ChannelStats stats_;
     std::vector<Endpoint> endpoints_;
     bool closed_ = false;
+    /** Cached registry handle; nullptr for anonymous channels. */
+    obs::Histogram *deliveryLatency_ = nullptr;
 };
 
 } // namespace hydra::core

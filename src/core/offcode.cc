@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace hydra::core {
 
@@ -37,6 +38,8 @@ Offcode::doInitialize(OffcodeContext context)
         return Status(ErrorCode::OffcodeAlreadyStarted,
                       bindname_ + ": initialize out of order");
     ctx_ = context;
+    serviceTime_ =
+        &obs::histogram("offcode.service_ns", {{"offcode", bindname_}});
     Status status = initialize();
     if (!status) {
         state_ = OffcodeState::Faulted;
@@ -118,6 +121,8 @@ Offcode::noteDispatch(MessageKind kind, bool ok, sim::SimTime started,
         ++telemetry_.invokeErrors;
     if (finished > started)
         telemetry_.busyNs += finished - started;
+    if (serviceTime_)
+        serviceTime_->record(finished > started ? finished - started : 0);
     telemetry_.lastActivityAt = started;
 }
 

@@ -162,6 +162,8 @@ class Offcode
     std::map<std::string, MethodFn> methods_;
     std::vector<Guid> interfaces_;
     OffcodeTelemetry telemetry_;
+    /** `offcode.service_ns{offcode=bindname}`; set at doInitialize. */
+    obs::Histogram *serviceTime_ = nullptr;
 };
 
 } // namespace hydra::core

@@ -127,15 +127,16 @@ class LocalChannel : public Channel
                 costs_.localLatency,
                 [this, ep, from, sentAt, ctx,
                  msg = message]() {
-                    localMetrics().latencyNs.record(exec_.now() - sentAt);
+                    const sim::SimTime deliveredAt = exec_.now();
+                    localMetrics().latencyNs.record(deliveredAt - sentAt);
                     obs::ContextScope scope(ctx);
                     obs::Span span;
                     ExecutionSite *dst = endpoints_[ep].site;
                     if (HYDRA_TRACE_ACTIVE() && dst)
                         span.open(dst->machine().name(), dst->name(),
                                   "channel.send", "channel", sentAt);
-                    span.end(exec_.now());
-                    deliverTo(ep, msg, from);
+                    span.end(deliveredAt);
+                    deliverTo(ep, msg, from, sentAt, deliveredAt);
                 });
         }
         return Status::success();
@@ -345,8 +346,12 @@ class RingChannel : public Channel
             dst->run(costs_.deviceRxCycles);
         }
 
-        span.end(exec_.now());
-        deliverTo(to, message, from);
+        // The clock may have advanced past the entry read (device RX
+        // cycles, interrupt handling); stamp delivery at this instant
+        // and hand it down so the channel needn't re-read the clock.
+        const sim::SimTime deliveredAt = exec_.now();
+        span.end(deliveredAt);
+        deliverTo(to, message, from, sent_at, deliveredAt);
 
         // Descriptor recycled; drain backlog if any.
         if (dst_state.inFlight > 0)

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "obs/flight.hh"
 #include "obs/json.hh"
 #include "obs/trace.hh"
 
@@ -122,6 +123,28 @@ class MonitorPseudoOffcode : public Offcode
         });
         registerMethod("Spans", [](const Bytes &) -> Result<Bytes> {
             return spans();
+        });
+        // Flight streams the recorder's snapshot ring. The argument,
+        // when present, is a decimal snapshot count; the default tail
+        // keeps the reply inside the OOB channel's 8 KiB message cap.
+        registerMethod("Flight", [](const Bytes &args) -> Result<Bytes> {
+            std::size_t tail = 6;
+            if (!args.empty()) {
+                std::size_t parsed = 0;
+                bool numeric = true;
+                for (unsigned char c : args) {
+                    if (c < '0' || c > '9') {
+                        numeric = false;
+                        break;
+                    }
+                    parsed = parsed * 10 + (c - '0');
+                }
+                if (numeric && parsed > 0)
+                    tail = parsed;
+            }
+            const std::string json =
+                obs::FlightRecorder::instance().toJson(tail);
+            return Bytes(json.begin(), json.end());
         });
     }
 
@@ -332,6 +355,8 @@ Runtime::makeOobChannel(ExecutionSite &site)
     config.ringDepth = 16;
     config.maxMessageBytes = 8 * 1024;
     config.targetDevice = site.name();
+    // One latency series per (machine, target site) pair of OOB lanes.
+    config.name = "oob." + machine_.name() + "." + site.name();
     return executive_->createChannel(config, *hostSite_, 512);
 }
 

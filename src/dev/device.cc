@@ -27,8 +27,8 @@ Device::Device(exec::Executor &executor, hw::Bus &host_bus,
 {
     firmwareCpu_ = std::make_unique<hw::Cpu>(exec_, config_.name + ".fw",
                                              config_.firmwareGhz);
-    dma_ = std::make_unique<hw::DmaEngine>(exec_, hostBus_,
-                                           config_.dmaDescriptorCost);
+    dma_ = std::make_unique<hw::DmaEngine>(
+        exec_, hostBus_, config_.dmaDescriptorCost, config_.name);
     site_ = exec_.addSite(config_.name);
 }
 

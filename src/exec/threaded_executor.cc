@@ -188,6 +188,13 @@ ThreadedExecutor::addSite(const std::string &name)
     auto worker = std::make_unique<Worker>();
     worker->name = name;
     worker->id = static_cast<SiteId>(workers_.size() + 1);
+    // Per-site instruments are resolved once here so the worker's hot
+    // paths only chase cached pointers.
+    worker->parks = &obs::counter("exec.site_parks", {{"site", name}});
+    worker->wakes = &obs::counter("exec.site_wakes", {{"site", name}});
+    worker->ringOccupancy =
+        &obs::histogram("exec.ring_occupancy", {{"site", name}});
+    worker->ringDepth = &obs::gauge("exec.ring_depth", {{"site", name}});
     Worker *raw = worker.get();
     workers_.push_back(std::move(worker));
     siteTable_[raw->id].store(raw, std::memory_order_release);
@@ -231,6 +238,7 @@ ThreadedExecutor::wake(Worker &worker)
         std::lock_guard<std::mutex> lock(worker.parkMutex);
     }
     worker.cv.notify_one();
+    worker.wakes->increment();
 }
 
 void
@@ -283,12 +291,17 @@ std::size_t
 ThreadedExecutor::drainInbox(Worker &worker)
 {
     std::size_t executed = 0;
+    std::size_t depth = 0;
     Callback fn;
     const std::size_t producers = siteCount() + 1;
     for (SiteId p = 0; p < producers && p <= kMaxSites; ++p) {
         Inbox *inbox = worker.inboxes[p].load(std::memory_order_acquire);
         if (!inbox)
             continue;
+        // Occupancy is sampled at service time: how much was queued
+        // across this site's lanes when the worker got to them.
+        depth += inbox->ring.sizeHint() +
+                 inbox->overflowSize.load(std::memory_order_acquire);
         // Ring first (older), then this producer's spill. Popping one
         // closure at a time keeps the lock hold short; the producer
         // re-enters the ring only once overflowSize reaches zero, so
@@ -315,6 +328,8 @@ ThreadedExecutor::drainInbox(Worker &worker)
     if (executed > 0) {
         postsExecuted_.fetch_add(executed, std::memory_order_relaxed);
         postsPending_.fetch_sub(executed, std::memory_order_acq_rel);
+        worker.ringOccupancy->record(depth);
+        worker.ringDepth->set(static_cast<double>(depth));
     }
     return executed;
 }
@@ -334,6 +349,7 @@ ThreadedExecutor::workerLoop(Worker &worker)
             continue;
         }
         metrics().parks.increment();
+        worker.parks->increment();
         std::unique_lock<std::mutex> lock(worker.parkMutex);
         worker.parked.store(true, std::memory_order_release);
         // Re-check under the parked flag so a producer's wake() can't
@@ -363,6 +379,28 @@ ThreadedExecutor::postsOutstanding() const
     return postsPending_.load(std::memory_order_acquire) != 0;
 }
 
+void
+ThreadedExecutor::sampleSiteOccupancy()
+{
+    const std::size_t producers = siteCount() + 1;
+    for (std::size_t s = 1; s < producers && s <= kMaxSites; ++s) {
+        Worker *worker = siteTable_[s].load(std::memory_order_acquire);
+        if (!worker)
+            continue;
+        std::size_t depth = 0;
+        for (SiteId p = 0; p < producers && p <= kMaxSites; ++p) {
+            Inbox *inbox =
+                worker->inboxes[p].load(std::memory_order_acquire);
+            if (!inbox)
+                continue;
+            depth += inbox->ring.sizeHint() +
+                     inbox->overflowSize.load(std::memory_order_acquire);
+        }
+        worker->ringOccupancy->record(depth);
+        worker->ringDepth->set(static_cast<double>(depth));
+    }
+}
+
 bool
 ThreadedExecutor::dispatchDueTimer(Time until)
 {
@@ -377,7 +415,10 @@ ThreadedExecutor::dispatchDueTimer(Time until)
         TimerRecord record = popTimer();
         assert(record.when >= now());
         now_.store(record.when, std::memory_order_release);
-        dispatched_.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t n =
+            dispatched_.fetch_add(1, std::memory_order_relaxed);
+        if ((n & kOccupancySampleMask) == 0)
+            sampleSiteOccupancy();
         metrics().timerEvents.increment();
         record.fn();
         return true;

@@ -41,6 +41,12 @@
 #include "exec/executor.hh"
 #include "exec/spsc_queue.hh"
 
+namespace hydra::obs {
+class Counter;
+class Gauge;
+class Histogram;
+} // namespace hydra::obs
+
 namespace hydra::exec {
 
 /** Thread-per-device-site engine. */
@@ -160,6 +166,12 @@ class ThreadedExecutor : public Executor
         std::mutex parkMutex;
         std::condition_variable cv;
 
+        /** Per-site instruments (`{site=name}`), set at addSite(). */
+        obs::Counter *parks = nullptr;
+        obs::Counter *wakes = nullptr;
+        obs::Histogram *ringOccupancy = nullptr;
+        obs::Gauge *ringDepth = nullptr;
+
         ~Worker();
     };
 
@@ -176,6 +188,15 @@ class ThreadedExecutor : public Executor
     void wake(Worker &worker);
     void workerLoop(Worker &worker);
     std::size_t drainInbox(Worker &worker);
+    /** Record every site's queued depth into its occupancy
+     * instruments. Workers sample at service time; the coordinator
+     * calls this periodically so sites whose work arrives through
+     * virtual-time timers (no posts) still report their — empty —
+     * rings instead of an absent series. */
+    void sampleSiteOccupancy();
+
+    /** Timer dispatches between coordinator occupancy samples. */
+    static constexpr std::uint64_t kOccupancySampleMask = 63;
 
     Config config_;
     std::thread::id coordinator_;

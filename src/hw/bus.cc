@@ -81,21 +81,32 @@ Bus::estimateCompletion(std::uint64_t bytes) const
 }
 
 DmaEngine::DmaEngine(exec::Executor &executor, Bus &bus,
-                     sim::SimTime per_descriptor_cost)
+                     sim::SimTime per_descriptor_cost, std::string owner)
     : exec_(executor), bus_(bus), perDescriptorCost_(per_descriptor_cost)
 {
+    if (!owner.empty())
+        transferNs_ = &obs::histogram("dma.transfer_ns",
+                                      {{"device", std::move(owner)}});
 }
 
 void
 DmaEngine::start(std::uint64_t bytes, Bus::Callback done)
 {
     ++transfers_;
+    const sim::SimTime startedAt = exec_.now();
     // Descriptor fetch/setup happens on the device before the payload
     // crosses the bus.
-    exec_.schedule(perDescriptorCost_,
-                  [this, bytes, done = std::move(done)]() mutable {
-                      bus_.transfer(bytes, std::move(done));
-                  });
+    exec_.schedule(
+        perDescriptorCost_,
+        [this, bytes, startedAt, done = std::move(done)]() mutable {
+            bus_.transfer(
+                bytes,
+                [this, startedAt, done = std::move(done)]() mutable {
+                    if (transferNs_)
+                        transferNs_->record(exec_.now() - startedAt);
+                    done();
+                });
+        });
 }
 
 } // namespace hydra::hw

@@ -18,6 +18,10 @@
 #include "exec/executor.hh"
 #include "sim/time.hh"
 
+namespace hydra::obs {
+class Histogram;
+} // namespace hydra::obs
+
 namespace hydra::hw {
 
 /** Aggregate counters exposed for tests and benches. */
@@ -71,12 +75,16 @@ class Bus
  * Bus-mastering DMA engine owned by a device: moves data between
  * device memory and host memory in a single bus crossing, optionally
  * snoop-invalidating the host cache (handled by the caller).
+ *
+ * When constructed with an owner name, the engine records each
+ * transfer's start->completion time (descriptor fetch + bus crossing,
+ * including contention stalls) into `dma.transfer_ns{device=owner}`.
  */
 class DmaEngine
 {
   public:
     DmaEngine(exec::Executor &executor, Bus &bus,
-              sim::SimTime per_descriptor_cost);
+              sim::SimTime per_descriptor_cost, std::string owner = {});
 
     /** Start a DMA of @p bytes; @p done fires at completion. */
     void start(std::uint64_t bytes, Bus::Callback done);
@@ -88,6 +96,8 @@ class DmaEngine
     Bus &bus_;
     sim::SimTime perDescriptorCost_;
     std::uint64_t transfers_ = 0;
+    /** `dma.transfer_ns{device=owner}`; nullptr when anonymous. */
+    obs::Histogram *transferNs_ = nullptr;
 };
 
 } // namespace hydra::hw

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Flight recorder (DESIGN.md §11): a bounded ring of periodic metric
+ * snapshots giving the registry a time dimension.
+ *
+ * Each capture() walks the metrics registry and stores, keyed by
+ * display name: counter *deltas* since the previous capture (zero
+ * deltas are omitted — quiet metrics cost nothing per snapshot),
+ * gauge levels, and histogram summaries (count + p50/p90/p99/p999 +
+ * min/max, included only when the histogram grew). The ring holds
+ * the last `capacity` snapshots; older ones are overwritten and
+ * counted in `obs.flight.dropped_snapshots`, mirroring the
+ * `obs.trace.dropped_events` idiom.
+ *
+ * The caller owns the cadence: the TiVo testbed and hydra_sim drive
+ * capture() off Executor::schedulePeriodic, so under the SimExecutor
+ * snapshots land at exact virtual times and the exported JSON is
+ * byte-identical across runs. toJson() renders the ring as a time
+ * series; `hydra_sim --flight-out` writes it to a file, and the
+ * hydra.Monitor "Flight" OOB method streams a bounded tail of it so
+ * hydra_top can render live percentile columns and sparklines.
+ */
+
+#ifndef HYDRA_OBS_FLIGHT_HH
+#define HYDRA_OBS_FLIGHT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hh"
+
+namespace hydra::obs {
+
+struct FlightConfig
+{
+    /** Snapshots retained before the ring overwrites the oldest. */
+    std::size_t capacity = 256;
+};
+
+class FlightRecorder
+{
+  public:
+    /** Process-wide recorder, paired with the process-wide registry. */
+    static FlightRecorder &instance();
+
+    FlightRecorder() = default;
+    explicit FlightRecorder(FlightConfig config) : config_(config) {}
+
+    /** Replace the configuration and drop all recorded state. */
+    void configure(FlightConfig config);
+    /** Drop all snapshots and delta baselines. */
+    void clear();
+
+    /** Record one snapshot of the metrics registry at @p nowNs. */
+    void capture(std::uint64_t nowNs);
+
+    /** Snapshots currently held in the ring. */
+    std::size_t size() const;
+    /** Total capture() calls since the last clear(). */
+    std::uint64_t captured() const;
+    /** Snapshots overwritten because the ring was full. */
+    std::uint64_t dropped() const;
+
+    /**
+     * Render the ring as a JSON time series. @p maxSnapshots limits
+     * the output to the most recent N (0 = all) so the OOB path can
+     * stay within the channel's message-size budget.
+     */
+    std::string toJson(std::size_t maxSnapshots = 0) const;
+
+  private:
+    struct Snapshot
+    {
+        std::uint64_t at = 0;
+        std::vector<std::pair<std::string, std::uint64_t>> counterDeltas;
+        std::vector<std::pair<std::string, double>> gauges;
+        std::vector<std::pair<std::string, HistogramSummary>> histograms;
+    };
+
+    mutable std::mutex mutex_;
+    FlightConfig config_;
+    std::deque<Snapshot> ring_;
+    std::uint64_t captured_ = 0;
+    std::uint64_t droppedSnapshots_ = 0;
+    /** Last seen counter values / histogram counts, for deltas. */
+    std::map<std::string, std::uint64_t> lastCounter_;
+    std::map<std::string, std::uint64_t> lastHistogramCount_;
+};
+
+} // namespace hydra::obs
+
+#endif // HYDRA_OBS_FLIGHT_HH

@@ -1,7 +1,6 @@
 #include "obs/metrics.hh"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -11,23 +10,6 @@
 namespace hydra::obs {
 
 namespace {
-
-/** Bucket index of a sample: 0 for 0, else bit-width of the value. */
-std::size_t
-bucketOf(std::uint64_t nanos)
-{
-    return static_cast<std::size_t>(std::bit_width(nanos));
-}
-
-/** Geometric midpoint of bucket i (its representative latency). */
-double
-bucketMid(std::size_t bucket)
-{
-    if (bucket == 0)
-        return 0.0;
-    const double lo = std::ldexp(1.0, static_cast<int>(bucket) - 1);
-    return lo * std::sqrt(2.0);
-}
 
 Labels
 sortedLabels(Labels labels)
@@ -66,12 +48,14 @@ writeNumber(std::ostringstream &out, double value)
     }
 }
 
+} // namespace
+
 std::string
-labelSuffix(const Labels &labels)
+displayKey(const std::string &name, const Labels &labels)
 {
     if (labels.empty())
-        return "";
-    std::string out = "{";
+        return name;
+    std::string out = name + "{";
     for (std::size_t i = 0; i < labels.size(); ++i) {
         if (i)
             out += ',';
@@ -79,82 +63,6 @@ labelSuffix(const Labels &labels)
     }
     out += '}';
     return out;
-}
-
-} // namespace
-
-void
-LatencyHistogram::record(std::uint64_t nanos)
-{
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_.fetch_add(nanos, std::memory_order_relaxed);
-    buckets_[bucketOf(nanos)].fetch_add(1, std::memory_order_relaxed);
-
-    std::uint64_t seen = min_.load(std::memory_order_relaxed);
-    while (nanos < seen &&
-           !min_.compare_exchange_weak(seen, nanos,
-                                       std::memory_order_relaxed)) {
-    }
-    seen = max_.load(std::memory_order_relaxed);
-    while (nanos > seen &&
-           !max_.compare_exchange_weak(seen, nanos,
-                                       std::memory_order_relaxed)) {
-    }
-}
-
-std::uint64_t
-LatencyHistogram::min() const
-{
-    const std::uint64_t v = min_.load(std::memory_order_relaxed);
-    return v == UINT64_MAX ? 0 : v;
-}
-
-std::uint64_t
-LatencyHistogram::max() const
-{
-    return max_.load(std::memory_order_relaxed);
-}
-
-double
-LatencyHistogram::mean() const
-{
-    const std::uint64_t n = count();
-    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
-}
-
-double
-LatencyHistogram::percentile(double pct) const
-{
-    const std::uint64_t n = count();
-    if (n == 0)
-        return 0.0;
-    const double rank = pct / 100.0 * static_cast<double>(n);
-    std::uint64_t seen = 0;
-    for (std::size_t b = 0; b < kBuckets; ++b) {
-        seen += buckets_[b].load(std::memory_order_relaxed);
-        if (static_cast<double>(seen) >= rank)
-            return std::clamp(bucketMid(b), static_cast<double>(min()),
-                              static_cast<double>(max()));
-    }
-    return static_cast<double>(max());
-}
-
-std::uint64_t
-LatencyHistogram::bucketCount(std::size_t bucket) const
-{
-    return bucket < kBuckets ? buckets_[bucket].load(std::memory_order_relaxed)
-                             : 0;
-}
-
-void
-LatencyHistogram::reset()
-{
-    count_.store(0, std::memory_order_relaxed);
-    sum_.store(0, std::memory_order_relaxed);
-    min_.store(UINT64_MAX, std::memory_order_relaxed);
-    max_.store(0, std::memory_order_relaxed);
-    for (auto &bucket : buckets_)
-        bucket.store(0, std::memory_order_relaxed);
 }
 
 MetricsRegistry &
@@ -231,6 +139,34 @@ MetricsRegistry::findHistogram(const std::string &name,
     return nullptr;
 }
 
+RegistrySnapshot
+MetricsRegistry::snapshot() const
+{
+    RegistrySnapshot out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.counters.reserve(counters_.size());
+        for (const Entry<Counter> &entry : counters_)
+            out.counters.emplace_back(displayKey(entry.name, entry.labels),
+                                      entry.instrument->value());
+        out.gauges.reserve(gauges_.size());
+        for (const Entry<Gauge> &entry : gauges_)
+            out.gauges.emplace_back(displayKey(entry.name, entry.labels),
+                                    entry.instrument->value());
+        out.histograms.reserve(histograms_.size());
+        for (const Entry<Histogram> &entry : histograms_)
+            out.histograms.emplace_back(displayKey(entry.name, entry.labels),
+                                        entry.instrument->summary());
+    }
+    // Sorted output makes flight snapshots and reports independent of
+    // registration order.
+    auto byKey = [](const auto &a, const auto &b) { return a.first < b.first; };
+    std::sort(out.counters.begin(), out.counters.end(), byKey);
+    std::sort(out.gauges.begin(), out.gauges.end(), byKey);
+    std::sort(out.histograms.begin(), out.histograms.end(), byKey);
+    return out;
+}
+
 void
 MetricsRegistry::reset()
 {
@@ -292,16 +228,22 @@ MetricsRegistry::toJson() const
         writeNumber(out, h.percentile(90.0));
         out << ",\"p99\":";
         writeNumber(out, h.percentile(99.0));
+        out << ",\"p999\":";
+        writeNumber(out, h.percentile(99.9));
+        out << ",\"overflow\":" << h.overflowCount();
         out << ",\"buckets\":[";
         bool first = true;
-        for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
             const std::uint64_t n = h.bucketCount(b);
             if (n == 0)
                 continue;
             if (!first)
                 out << ',';
             first = false;
-            out << "{\"le\":" << (b == 0 ? 0ull : (1ull << (b - 1)) * 2 - 1)
+            out << "{\"le\":"
+                << (b >= Histogram::kOverflowBucket
+                        ? h.max()
+                        : Histogram::bucketUpperBound(b) - 1)
                 << ",\"count\":" << n << '}';
         }
         out << "]}";
@@ -326,7 +268,7 @@ MetricsRegistry::prettyTable() const
     auto collect = [](const auto &entries, auto format) {
         std::vector<Row> rows;
         for (const auto &entry : entries)
-            rows.push_back(Row{entry.name + labelSuffix(entry.labels),
+            rows.push_back(Row{displayKey(entry.name, entry.labels),
                                format(*entry.instrument)});
         std::sort(rows.begin(), rows.end(),
                   [](const Row &a, const Row &b) { return a.key < b.key; });
@@ -346,12 +288,13 @@ MetricsRegistry::prettyTable() const
             return std::string(buf);
         });
     const std::vector<Row> histogramRows =
-        collect(histograms_, [&](const LatencyHistogram &h) {
+        collect(histograms_, [&](const Histogram &h) {
             std::snprintf(buf, sizeof(buf),
                           "n=%-9llu mean=%-11.0f p50=%-11.0f "
-                          "p99=%-11.0f max=%llu",
+                          "p99=%-11.0f p999=%-11.0f max=%llu",
                           static_cast<unsigned long long>(h.count()),
                           h.mean(), h.percentile(50.0), h.percentile(99.0),
+                          h.percentile(99.9),
                           static_cast<unsigned long long>(h.max()));
             return std::string(buf);
         });

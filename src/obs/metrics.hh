@@ -6,8 +6,9 @@
  *  - Counter: monotonically increasing event count (messages sent,
  *    bus crossings, offcodes deployed).
  *  - Gauge: last-written level (event queue depth).
- *  - LatencyHistogram: log2-bucketed distribution of simulated-time
- *    durations in nanoseconds (channel send->deliver, deploy time).
+ *  - Histogram: HDR-style log-linear distribution of simulated-time
+ *    durations in nanoseconds (channel send->deliver, Offcode service
+ *    time, DMA transfers) with p50/p90/p99/p999 — see histogram.hh.
  *
  * Handles are identified by (name, labels) and live for the process
  * lifetime: registration takes a mutex, but updates are relaxed
@@ -27,6 +28,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/histogram.hh"
 
 namespace hydra::obs {
 
@@ -69,37 +72,24 @@ class Gauge
 };
 
 /**
- * Log2-bucketed latency distribution. Bucket i counts samples whose
- * value has bit-width i, i.e. the half-open range [2^(i-1), 2^i);
- * bucket 0 counts zero-valued samples. Percentiles interpolate at
- * the geometric midpoint of the containing bucket, which is accurate
- * to within a factor of sqrt(2) — plenty for order-of-magnitude
- * latency attribution.
+ * Historical name for the registry's distribution instrument; the
+ * implementation is the HDR-style log-linear Histogram (histogram.hh).
  */
-class LatencyHistogram
+using LatencyHistogram = Histogram;
+
+/** Flat display key: "name{k=v,...}" (labels already sorted). */
+std::string displayKey(const std::string &name, const Labels &labels);
+
+/**
+ * A point-in-time copy of every instrument, keyed by display name and
+ * sorted, so the flight recorder and report printers can enumerate the
+ * registry without holding its lock.
+ */
+struct RegistrySnapshot
 {
-  public:
-    static constexpr std::size_t kBuckets = 65;
-
-    void record(std::uint64_t nanos);
-
-    std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-    std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
-    std::uint64_t min() const;
-    std::uint64_t max() const;
-    double mean() const;
-    /** Approximate percentile in [0, 100]; 0 when empty. */
-    double percentile(double pct) const;
-    std::uint64_t bucketCount(std::size_t bucket) const;
-
-    void reset();
-
-  private:
-    std::atomic<std::uint64_t> count_{0};
-    std::atomic<std::uint64_t> sum_{0};
-    std::atomic<std::uint64_t> min_{UINT64_MAX};
-    std::atomic<std::uint64_t> max_{0};
-    std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSummary>> histograms;
 };
 
 /** Registry of all instruments, keyed by (name, labels). */
@@ -121,6 +111,9 @@ class MetricsRegistry
     /** Histogram lookup for tests; nullptr when absent. */
     const LatencyHistogram *findHistogram(const std::string &name,
                                           const Labels &labels = {}) const;
+
+    /** Copy of every instrument's value, sorted by display key. */
+    RegistrySnapshot snapshot() const;
 
     /** Zero every value; handles stay valid. */
     void reset();

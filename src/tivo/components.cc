@@ -95,6 +95,8 @@ makeDataChannel(core::Offcode &owner, const std::string &peer_bindname,
     config.buffering = core::ChannelConfig::Buffering::ZeroCopy;
     config.maxMessageBytes = max_message;
     config.targetDevice = peer.value().deviceAddr();
+    // Named for per-channel delivery-latency attribution.
+    config.name = owner.bindname() + "->" + peer_bindname;
 
     auto channel =
         owner.runtime().executive().createChannel(config, owner.site());
@@ -138,6 +140,7 @@ StreamerNetOffcode::start()
         config.buffering = core::ChannelConfig::Buffering::ZeroCopy;
         config.maxMessageBytes = 8 * 1024;
         config.targetDevice = decoder.value().deviceAddr();
+        config.name = "tivo.StreamerNet->fanout";
         auto channel = runtime().executive().createChannel(config, site());
         if (channel) {
             fanout_ = channel.value();

@@ -1,6 +1,7 @@
 #include "tivo/harness.hh"
 
 #include "common/logging.hh"
+#include "obs/flight.hh"
 
 namespace hydra::tivo {
 
@@ -299,8 +300,22 @@ Testbed::run()
         return true;
     });
 
+    exec::TaskId flightSampler = 0; // ids start at 1; 0 = not scheduled
+    if (config_.flightInterval > 0) {
+        flightSampler =
+            exec_->schedulePeriodic(config_.flightInterval, [this]() {
+                obs::FlightRecorder::instance().capture(exec_->now());
+                return true;
+            });
+    }
+
     exec_->runUntil(config_.warmup + config_.duration);
     exec_->cancel(sampler); // the lambda references this frame's locals
+    if (flightSampler != 0) {
+        exec_->cancel(flightSampler);
+        // Final capture so the last partial window is not lost.
+        obs::FlightRecorder::instance().capture(exec_->now());
+    }
 
     // Quiesce.
     if (server_)

@@ -45,6 +45,13 @@ struct TestbedConfig
     sim::SimTime warmup = sim::seconds(2);
     /** CPU / L2 sampling interval (the paper: 5 s). */
     sim::SimTime sampleInterval = sim::seconds(5);
+    /**
+     * Flight-recorder snapshot interval; 0 disables recording. When
+     * enabled the testbed captures one snapshot per interval during
+     * the measurement window plus a final capture at the end, all on
+     * executor time (so SimExecutor runs are deterministic).
+     */
+    sim::SimTime flightInterval = 0;
 
     std::uint64_t seed = 1;
     MpegConfig mpeg;

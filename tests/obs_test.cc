@@ -137,17 +137,24 @@ TEST_F(ObsTest, HistogramEmptyIsSafe)
     EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
 }
 
-TEST_F(ObsTest, HistogramBucketsAreLog2)
+TEST_F(ObsTest, HistogramBucketsAreLogLinear)
 {
     obs::LatencyHistogram &h = obs::histogram("test.hist.buckets");
-    h.record(0);  // bucket 0
-    h.record(1);  // bit_width 1
-    h.record(7);  // bit_width 3
-    h.record(8);  // bit_width 4
+    // Linear region: values below 32 land in their own bucket.
+    h.record(0);
+    h.record(1);
+    h.record(7);
+    h.record(31);
     EXPECT_EQ(h.bucketCount(0), 1u);
     EXPECT_EQ(h.bucketCount(1), 1u);
-    EXPECT_EQ(h.bucketCount(3), 1u);
-    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.bucketCount(7), 1u);
+    EXPECT_EQ(h.bucketCount(31), 1u);
+    // Log region: each bucket spans [lowerBound, upperBound).
+    h.record(100);
+    const std::size_t bucket = obs::Histogram::bucketOf(100);
+    EXPECT_EQ(h.bucketCount(bucket), 1u);
+    EXPECT_LE(obs::Histogram::bucketLowerBound(bucket), 100u);
+    EXPECT_GT(obs::Histogram::bucketUpperBound(bucket), 100u);
 }
 
 // ------------------------------------------------------ JSON export

@@ -18,6 +18,7 @@
  *             [--metrics] [--metrics-format table|json]
  *             [--metrics-out FILE] [--trace-out FILE]
  *             [--spans-out FILE] [--introspect-out FILE]
+ *             [--flight-out FILE] [--flight-interval-ms N]
  */
 
 #include <cstdio>
@@ -27,6 +28,7 @@
 #include <string>
 
 #include "core/runtime.hh"
+#include "obs/flight.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "tivo/harness.hh"
@@ -49,7 +51,8 @@ usage(const char *argv0)
         "          [--no-bus-multicast] [--histogram]\n"
         "          [--metrics] [--metrics-format table|json]\n"
         "          [--metrics-out FILE] [--trace-out FILE]\n"
-        "          [--spans-out FILE] [--introspect-out FILE]\n",
+        "          [--spans-out FILE] [--introspect-out FILE]\n"
+        "          [--flight-out FILE] [--flight-interval-ms N]\n",
         argv0);
     return 2;
 }
@@ -124,10 +127,46 @@ printSamples(const char *name, const SampleSet &samples,
         std::printf("  %-22s (no samples)\n", name);
         return;
     }
+    const SummaryStats stats = samples.summary();
     std::printf("  %-22s med=%8.3f  avg=%8.3f  std=%8.4f  "
                 "min=%8.3f  max=%8.3f %s\n",
-                name, samples.median(), samples.mean(), samples.stddev(),
-                samples.min(), samples.max(), unit);
+                name, stats.p50, stats.mean, stats.stddev, stats.min,
+                stats.max, unit);
+}
+
+/**
+ * Per-entity latency report: every labelled histogram the run
+ * populated (per-channel delivery latency, per-Offcode service time,
+ * per-site ring occupancy, per-device DMA time), with the tail
+ * percentiles the telemetry engine tracks.
+ */
+void
+printLatencyReport()
+{
+    const obs::RegistrySnapshot snap =
+        obs::MetricsRegistry::instance().snapshot();
+    bool any = false;
+    for (const auto &[key, summary] : snap.histograms) {
+        const bool interesting =
+            key.rfind("channel.delivery_latency_ns{", 0) == 0 ||
+            key.rfind("offcode.service_ns{", 0) == 0 ||
+            key.rfind("exec.ring_occupancy{", 0) == 0 ||
+            key.rfind("dma.transfer_ns{", 0) == 0;
+        if (!interesting || summary.count == 0)
+            continue;
+        if (!any) {
+            std::printf("\nper-entity latency "
+                        "(ns; ring occupancy in messages):\n");
+            std::printf("  %-52s %9s %9s %9s %9s %9s\n", "series", "n",
+                        "p50", "p99", "p999", "max");
+            any = true;
+        }
+        std::printf("  %-52s %9llu %9.0f %9.0f %9.0f %9llu\n",
+                    key.c_str(),
+                    static_cast<unsigned long long>(summary.count),
+                    summary.p50, summary.p99, summary.p999,
+                    static_cast<unsigned long long>(summary.max));
+    }
 }
 
 } // namespace
@@ -147,6 +186,8 @@ main(int argc, char **argv)
     std::string traceOut;
     std::string spansOut;
     std::string introspectOut;
+    std::string flightOut;
+    std::uint64_t flightIntervalMs = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -247,10 +288,25 @@ main(int argc, char **argv)
             if (!value)
                 return usage(argv[0]);
             introspectOut = value;
+        } else if (arg == "--flight-out") {
+            const char *value = next();
+            if (!value)
+                return usage(argv[0]);
+            flightOut = value;
+        } else if (arg == "--flight-interval-ms") {
+            const char *value = next();
+            if (!value)
+                return usage(argv[0]);
+            flightIntervalMs = std::strtoull(value, nullptr, 10);
         } else {
             return usage(argv[0]);
         }
     }
+
+    // Asking for flight output implies a sensible default cadence.
+    if (!flightOut.empty() && flightIntervalMs == 0)
+        flightIntervalMs = 1000;
+    config.flightInterval = sim::milliseconds(flightIntervalMs);
 
     if (!traceOut.empty() || !spansOut.empty()) {
         obs::Tracer::instance().enable();
@@ -298,6 +354,8 @@ main(int argc, char **argv)
     printSamples("client CPU", result.clientCpuPct, "%");
     printSamples("server L2 miss rate", result.serverL2MissRate, "");
     printSamples("client L2 miss rate", result.clientL2MissRate, "");
+
+    printLatencyReport();
 
     if (histogram && !result.interarrivalMs.empty()) {
         const double lo = result.interarrivalMs.min();
@@ -354,6 +412,18 @@ main(int argc, char **argv)
             return 1;
         }
         std::printf("(wrote span listing to %s)\n", spansOut.c_str());
+    }
+    if (!flightOut.empty()) {
+        std::ofstream out(flightOut);
+        if (!out) {
+            std::fprintf(stderr, "hydra_sim: cannot write %s\n",
+                         flightOut.c_str());
+            return 1;
+        }
+        out << obs::FlightRecorder::instance().toJson() << '\n';
+        std::printf("(wrote flight recording to %s — view with "
+                    "hydra_top %s)\n",
+                    flightOut.c_str(), flightOut.c_str());
     }
     if (!introspectOut.empty()) {
         std::ofstream out(introspectOut);

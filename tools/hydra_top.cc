@@ -7,6 +7,11 @@
  * either the two-runtime wrapper {"server":...,"client":...} or one
  * bare snapshot {"machine":...,"offcodes":[...]}.
  *
+ * Also reads flight recordings (`hydra_sim --flight-out FILE`, or the
+ * hydra.Monitor "Flight" OOB reply): the latest snapshot's histogram
+ * summaries render as percentile columns and every gauge series (ring
+ * depths, queue occupancy) renders as a sparkline over time.
+ *
  * Usage:
  *   hydra_top FILE
  */
@@ -85,8 +90,148 @@ collectSnapshot(const hydra::json::Value &snapshot,
 int
 usage(const char *argv0)
 {
-    std::fprintf(stderr, "usage: %s INTROSPECTION_JSON\n", argv0);
+    std::fprintf(stderr,
+                 "usage: %s INTROSPECTION_JSON | FLIGHT_JSON\n", argv0);
     return 2;
+}
+
+double
+numberField(const hydra::json::Value &object, const std::string &key)
+{
+    const hydra::json::Value *value = object.find(key);
+    return value ? value->number : 0.0;
+}
+
+/** Scale a series into 8 block-glyph levels against its own max. */
+std::string
+sparkline(const std::vector<double> &values)
+{
+    static const char *kLevels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇",
+                                    "█"};
+    double hi = 0.0;
+    for (double v : values)
+        hi = std::max(hi, v);
+    std::string out;
+    for (double v : values) {
+        int level = 0;
+        if (hi > 0.0) {
+            level = static_cast<int>(v / hi * 7.0 + 0.5);
+            level = std::min(std::max(level, 0), 7);
+        }
+        out += kLevels[level];
+    }
+    return out;
+}
+
+/**
+ * Render a flight recording: percentile columns from the newest
+ * snapshot, then per-gauge sparklines (one glyph per snapshot) so
+ * queue depths can be eyeballed over time.
+ */
+int
+renderFlight(const hydra::json::Value &doc, const char *path)
+{
+    const hydra::json::Value *snapshots = doc.find("snapshots");
+    if (!snapshots || !snapshots->isArray() ||
+        snapshots->array.empty()) {
+        std::fprintf(stderr, "hydra_top: %s holds no flight snapshots\n",
+                     path);
+        return 1;
+    }
+
+    const hydra::json::Value &last = snapshots->array.back();
+    std::printf("flight: %zu snapshots (captured=%llu dropped=%llu)  "
+                "t=%.3fms..%.3fms\n",
+                snapshots->array.size(),
+                static_cast<unsigned long long>(
+                    doc.find("captured") ? doc.find("captured")->asU64()
+                                         : 0),
+                static_cast<unsigned long long>(
+                    doc.find("dropped") ? doc.find("dropped")->asU64()
+                                        : 0),
+                numberField(snapshots->array.front(), "t") / 1e6,
+                numberField(last, "t") / 1e6);
+
+    // Snapshots are delta-encoded: a histogram appears only in
+    // snapshots where its count grew, so the freshest digest for each
+    // series is the newest snapshot that carries it (a quiet tail
+    // snapshot would otherwise blank the whole table).
+    std::vector<std::pair<std::string, const hydra::json::Value *>>
+        latest;
+    for (auto it = snapshots->array.rbegin();
+         it != snapshots->array.rend(); ++it) {
+        const hydra::json::Value *hists = it->find("histograms");
+        if (!hists || !hists->isObject())
+            continue;
+        for (const auto &[key, summary] : hists->object) {
+            if (!summary.isObject())
+                continue;
+            bool seen = false;
+            for (const auto &[known, unused] : latest)
+                if (known == key) {
+                    seen = true;
+                    break;
+                }
+            if (!seen)
+                latest.emplace_back(key, &summary);
+        }
+    }
+    if (!latest.empty()) {
+        std::sort(latest.begin(), latest.end());
+        std::size_t keyWidth = std::strlen("SERIES");
+        for (const auto &[key, summary] : latest)
+            keyWidth = std::max(keyWidth, key.size());
+        std::printf("\n%-*s %9s %9s %9s %9s %9s %9s\n",
+                    static_cast<int>(keyWidth), "SERIES", "N", "P50",
+                    "P90", "P99", "P999", "MAX");
+        for (const auto &[key, summary] : latest) {
+            std::printf(
+                "%-*s %9llu %9.0f %9.0f %9.0f %9.0f %9.0f\n",
+                static_cast<int>(keyWidth), key.c_str(),
+                static_cast<unsigned long long>(
+                    u64Field(*summary, "n")),
+                numberField(*summary, "p50"),
+                numberField(*summary, "p90"),
+                numberField(*summary, "p99"),
+                numberField(*summary, "p999"),
+                numberField(*summary, "max"));
+        }
+    }
+
+    // Gauge sparklines: gather the union of keys, then one aligned
+    // series per key (absent-in-snapshot means zero).
+    std::vector<std::string> gaugeKeys;
+    for (const hydra::json::Value &snapshot : snapshots->array) {
+        const hydra::json::Value *gauges = snapshot.find("gauges");
+        if (!gauges || !gauges->isObject())
+            continue;
+        for (const auto &[key, value] : gauges->object)
+            if (std::find(gaugeKeys.begin(), gaugeKeys.end(), key) ==
+                gaugeKeys.end())
+                gaugeKeys.push_back(key);
+    }
+    if (!gaugeKeys.empty()) {
+        std::sort(gaugeKeys.begin(), gaugeKeys.end());
+        std::size_t keyWidth = std::strlen("GAUGE");
+        for (const std::string &key : gaugeKeys)
+            keyWidth = std::max(keyWidth, key.size());
+        std::printf("\n%-*s %10s  %s\n", static_cast<int>(keyWidth),
+                    "GAUGE", "LAST", "TREND");
+        for (const std::string &key : gaugeKeys) {
+            std::vector<double> series;
+            for (const hydra::json::Value &snapshot : snapshots->array) {
+                const hydra::json::Value *gauges =
+                    snapshot.find("gauges");
+                const hydra::json::Value *value =
+                    gauges ? gauges->find(key) : nullptr;
+                series.push_back(value ? value->number : 0.0);
+            }
+            std::printf("%-*s %10.1f  %s\n",
+                        static_cast<int>(keyWidth), key.c_str(),
+                        series.back(), sparkline(series).c_str());
+        }
+    }
+    return 0;
 }
 
 } // namespace
@@ -111,6 +256,9 @@ main(int argc, char **argv)
                      doc.error().describe().c_str());
         return 1;
     }
+
+    if (doc.value().find("snapshots"))
+        return renderFlight(doc.value(), argv[1]);
 
     std::vector<Row> rows;
     if (doc.value().find("offcodes")) {
