@@ -3,7 +3,7 @@
 
 Usage: bench_gate.py BASELINE.json CURRENT.json
 
-Two absolute gates on top of bench_compare.py's generic 2x noise gate:
+Three gates on top of bench_compare.py's generic 2x noise gate:
 
  1. Histogram hot path: every BM_HistogramRecord row must run in at
     most HYDRA_HIST_RECORD_NS_MAX ns per record (default 15). This is
@@ -22,6 +22,13 @@ Two absolute gates on top of bench_compare.py's generic 2x noise gate:
     ~sqrt(8). Each individual pair is additionally bounded by
     HYDRA_CHANNEL_PAIR_MAX (default 1.25) to catch a pathological
     regression confined to one configuration.
+
+ 3. Sampling profiler: BM_ProfilerOverhead profile:1 (scopes
+    published, profiler enabled, one sample per batch) paired with
+    its profile:0 twin (same scopes, profiler disabled) from the SAME
+    run. Geomean of the pair ratios must stay at most
+    HYDRA_PROFILER_RATIO_MAX (default 1.05); each pair is bounded by
+    HYDRA_PROFILER_PAIR_MAX (default 1.25).
 
 All limits are env-overridable for slow or shared machines.
 """
@@ -74,37 +81,48 @@ def main():
         if not ok:
             failed.append(name)
 
-    pair_max = float(os.environ.get("HYDRA_CHANNEL_PAIR_MAX", "1.25"))
-    ratios = []
-    for name in sorted(current):
-        if not name.startswith("BM_ChannelThroughput"):
-            continue
-        if "/hist:1" not in name:
-            continue
-        twin = name.replace("/hist:1", "/hist:0")
-        if twin not in current:
-            print(f"bench_gate: {name} has no hist:0 twin in current run")
-            failed.append(f"{name}(unpaired)")
-            continue
-        ratio = current[name] / current[twin] if current[twin] else 1.0
-        ratios.append(ratio)
-        ok = ratio <= pair_max
-        print(f"{name:56s} {ratio:7.3f}x vs hist:0 "
-              f"(pair limit {pair_max:.2f}){'' if ok else ' REGRESSION'}")
-        if not ok:
-            failed.append(name)
-    if ratios:
-        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
-        ok = geomean <= ratio_max
-        print(f"{'BM_ChannelThroughput geomean(hist:1/hist:0)':56s} "
-              f"{geomean:7.3f}x "
-              f"(limit {ratio_max:.2f}){'' if ok else ' REGRESSION'}")
-        if not ok:
-            failed.append("BM_ChannelThroughput(geomean)")
-    else:
-        print("bench_gate: no BM_ChannelThroughput hist:1 rows in "
-              "current run")
-        failed.append("BM_ChannelThroughput(absent)")
+    def gate_pairs(bench, on, off, pair_max, geo_max):
+        """Pair each `/{on}` row with its `/{off}` twin from the same
+        run; per-pair and geomean ratio limits feed `failed`."""
+        ratios = []
+        for name in sorted(current):
+            if not name.startswith(bench) or f"/{on}" not in name:
+                continue
+            twin = name.replace(f"/{on}", f"/{off}")
+            if twin not in current:
+                print(f"bench_gate: {name} has no {off} twin in "
+                      "current run")
+                failed.append(f"{name}(unpaired)")
+                continue
+            ratio = current[name] / current[twin] if current[twin] else 1.0
+            ratios.append(ratio)
+            ok = ratio <= pair_max
+            print(f"{name:56s} {ratio:7.3f}x vs {off} "
+                  f"(pair limit {pair_max:.2f})"
+                  f"{'' if ok else ' REGRESSION'}")
+            if not ok:
+                failed.append(name)
+        if ratios:
+            geomean = math.exp(
+                sum(math.log(r) for r in ratios) / len(ratios))
+            ok = geomean <= geo_max
+            print(f"{f'{bench} geomean({on}/{off})':56s} "
+                  f"{geomean:7.3f}x "
+                  f"(limit {geo_max:.2f}){'' if ok else ' REGRESSION'}")
+            if not ok:
+                failed.append(f"{bench}(geomean)")
+        else:
+            print(f"bench_gate: no {bench} {on} rows in current run")
+            failed.append(f"{bench}(absent)")
+
+    gate_pairs(
+        "BM_ChannelThroughput", "hist:1", "hist:0",
+        float(os.environ.get("HYDRA_CHANNEL_PAIR_MAX", "1.25")),
+        ratio_max)
+    gate_pairs(
+        "BM_ProfilerOverhead", "profile:1", "profile:0",
+        float(os.environ.get("HYDRA_PROFILER_PAIR_MAX", "1.25")),
+        float(os.environ.get("HYDRA_PROFILER_RATIO_MAX", "1.05")))
 
     if failed:
         print(f"\nbench gate FAILED: {', '.join(failed)}")

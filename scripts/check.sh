@@ -77,15 +77,17 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     echo "bench JSON written to $OUT"
     python3 scripts/bench_compare.py scripts/bench_baseline.json "$OUT" 2.0
     # Telemetry-engine budget: histogram record cost stays under
-    # ~15 ns and the instrumented channel rows (hist:1) stay within
-    # 5% of their uninstrumented hist:0 twins from the same run. A 5%
-    # bound needs quieter numbers than one 0.1 s pass on a shared VM
-    # gives, so the gated benches run again with repetitions and the
-    # gate reads the medians. Limits are env-overridable
-    # (HYDRA_HIST_RECORD_NS_MAX, HYDRA_CHANNEL_RATIO_MAX).
+    # ~15 ns, the instrumented channel rows (hist:1) stay within 5%
+    # of their uninstrumented hist:0 twins from the same run, and the
+    # sampling profiler (profile:1) stays within 5% of its disabled
+    # twin. A 5% bound needs quieter numbers than one 0.1 s pass on a
+    # shared VM gives, so the gated benches run again with repetitions
+    # and the gate reads the medians. Limits are env-overridable
+    # (HYDRA_HIST_RECORD_NS_MAX, HYDRA_CHANNEL_RATIO_MAX,
+    # HYDRA_PROFILER_RATIO_MAX).
     GATE_OUT="$BUILD_DIR/bench_gate.json"
     "$BUILD_DIR/bench/perf_micro" \
-        --benchmark_filter='BM_ChannelThroughput|BM_HistogramRecord' \
+        --benchmark_filter='BM_ChannelThroughput|BM_HistogramRecord|BM_ProfilerOverhead' \
         --benchmark_min_time=0.1 \
         --benchmark_repetitions=5 \
         --benchmark_enable_random_interleaving=true \

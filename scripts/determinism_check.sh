@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Determinism regression check for the sim executor: two runs of the
 # TiVo integration scenario with the same seed must produce
-# byte-identical metrics JSON and span listings. Registered in ctest
-# as `determinism_sim_executor`; each run is a fresh process, so the
-# metrics registry and span id counter start from zero both times.
+# byte-identical metrics JSON, span listings, and profiler output.
+# Registered in ctest as `determinism_sim_executor`; each run is a
+# fresh process, so the metrics registry, span id counter, and
+# profiler sample store start from zero both times.
 #
 # Usage: determinism_check.sh <hydra_sim-binary> <scratch-dir>
 set -euo pipefail
@@ -24,6 +25,7 @@ run() {
             --metrics-out metrics.json \
             --spans-out spans.json \
             --flight-out flight.json --flight-interval-ms 500 \
+            --profile-out profile.folded --profile-interval-ms 250 \
             > stdout.txt)
 }
 
@@ -45,6 +47,11 @@ cmp "$SCRATCH/a/flight.json" "$SCRATCH/b/flight.json" || {
     diff "$SCRATCH/a/flight.json" "$SCRATCH/b/flight.json" | head >&2
     exit 1
 }
+cmp "$SCRATCH/a/profile.folded" "$SCRATCH/b/profile.folded" || {
+    echo "FAIL: --executor=sim profile output differs between runs" >&2
+    diff "$SCRATCH/a/profile.folded" "$SCRATCH/b/profile.folded" | head >&2
+    exit 1
+}
 cmp "$SCRATCH/a/stdout.txt" "$SCRATCH/b/stdout.txt" || {
     echo "FAIL: --executor=sim scenario output differs between runs" >&2
     diff "$SCRATCH/a/stdout.txt" "$SCRATCH/b/stdout.txt" | head >&2
@@ -52,4 +59,4 @@ cmp "$SCRATCH/a/stdout.txt" "$SCRATCH/b/stdout.txt" || {
 }
 
 echo "OK: sim executor is deterministic (metrics, spans, flight"
-echo "    recording, and scenario output byte-identical across runs)"
+echo "    recording, profile, and scenario output byte-identical)"

@@ -1,7 +1,9 @@
 #include "common/strings.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 
 namespace hydra {
@@ -79,6 +81,29 @@ parseDouble(std::string_view text, double &out)
     auto [ptr, ec] =
         std::from_chars(text.data(), text.data() + text.size(), out);
     return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+std::string
+sparkline(const std::vector<double> &values)
+{
+    static const char *kLevels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇",
+                                    "█"};
+    auto clamp = [](double v) {
+        return std::isfinite(v) && v > 0.0 ? v : 0.0;
+    };
+    double hi = 0.0;
+    for (double v : values)
+        hi = std::max(hi, clamp(v));
+    std::string out;
+    for (double v : values) {
+        int level = 0;
+        if (hi > 0.0) {
+            level = static_cast<int>(clamp(v) / hi * 7.0 + 0.5);
+            level = std::min(std::max(level, 0), 7);
+        }
+        out += kLevels[level];
+    }
+    return out;
 }
 
 } // namespace hydra

@@ -31,6 +31,14 @@ bool parseInt(std::string_view text, long long &out);
 /** Parse a double; returns false on trailing garbage. */
 bool parseDouble(std::string_view text, double &out);
 
+/**
+ * Render a series as 8-level block glyphs scaled against its own max.
+ * Degenerate inputs stay sane: an empty series renders as "", a
+ * single sample as one glyph, and negative or non-finite samples are
+ * clamped to zero (an all-zero series is a row of baselines).
+ */
+std::string sparkline(const std::vector<double> &values);
+
 } // namespace hydra
 
 #endif // HYDRA_COMMON_STRINGS_HH

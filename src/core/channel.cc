@@ -4,6 +4,7 @@
 #include "core/call.hh"
 #include "core/offcode.hh"
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 
 namespace hydra::core {
@@ -194,6 +195,13 @@ Channel::dispatchToOffcode(std::size_t endpoint, const Payload &message,
         ep.site ? ep.site->machine().executor().now() : 0;
     bool ok = true;
 
+    // Publish this dispatch to the sampling profiler (a no-op unless
+    // profiling is on); the same `finished` timestamp that feeds
+    // noteDispatch closes the scope, so profiling adds no clock reads.
+    obs::ActivityScope activity(ep.site ? ep.site->profilerSlot()
+                                        : nullptr,
+                                offcode->activityLabel(kind.value()));
+
     switch (kind.value()) {
       case MessageKind::Call: {
         auto call = Call::deserialize(message);
@@ -265,9 +273,12 @@ Channel::dispatchToOffcode(std::size_t endpoint, const Payload &message,
         ep.queue.push_back(Queued{message, obs::activeContext(), started});
         break;
     }
-    if (kind.value() != MessageKind::Return)
-        offcode->noteDispatch(kind.value(), ok, started,
-                              ep.site ? ep.site->run(0) : started);
+    if (kind.value() != MessageKind::Return) {
+        const sim::SimTime finished =
+            ep.site ? ep.site->run(0) : started;
+        activity.finish(finished);
+        offcode->noteDispatch(kind.value(), ok, started, finished);
+    }
     (void)from;
 }
 

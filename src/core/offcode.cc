@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/attribution.hh"
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 
 namespace hydra::core {
 
@@ -40,6 +42,13 @@ Offcode::doInitialize(OffcodeContext context)
     ctx_ = context;
     serviceTime_ =
         &obs::histogram("offcode.service_ns", {{"offcode", bindname_}});
+    cpuNs_ = &obs::counter("offcode.cpu_ns", {{"offcode", bindname_}});
+    obs::CpuAttribution::instance().registerOffcode(
+        bindname_, ctx_.site ? ctx_.site->machine().executor().now() : 0);
+    obs::Profiler &profiler = obs::Profiler::instance();
+    callLabel_ = profiler.intern(bindname_, "call");
+    dataLabel_ = profiler.intern(bindname_, "data");
+    mgmtLabel_ = profiler.intern(bindname_, "mgmt");
     Status status = initialize();
     if (!status) {
         state_ = OffcodeState::Faulted;
@@ -119,11 +128,26 @@ Offcode::noteDispatch(MessageKind kind, bool ok, sim::SimTime started,
     }
     if (!ok)
         ++telemetry_.invokeErrors;
-    if (finished > started)
+    if (finished > started) {
         telemetry_.busyNs += finished - started;
+        if (cpuNs_)
+            cpuNs_->add(finished - started);
+    }
     if (serviceTime_)
         serviceTime_->record(finished > started ? finished - started : 0);
     telemetry_.lastActivityAt = started;
+}
+
+const obs::ActivityLabel *
+Offcode::activityLabel(MessageKind kind) const
+{
+    switch (kind) {
+      case MessageKind::Call: return callLabel_;
+      case MessageKind::Data: return dataLabel_;
+      case MessageKind::Management: return mgmtLabel_;
+      case MessageKind::Return: break;
+    }
+    return nullptr;
 }
 
 void

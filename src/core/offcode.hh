@@ -26,6 +26,11 @@
 #include "core/resource.hh"
 #include "core/site.hh"
 
+namespace hydra::obs {
+class Counter;
+struct ActivityLabel;
+} // namespace hydra::obs
+
 namespace hydra::core {
 
 class Runtime;
@@ -139,6 +144,12 @@ class Offcode
     /** Channel layer: account one dispatched message. */
     void noteDispatch(MessageKind kind, bool ok, sim::SimTime started,
                       sim::SimTime finished);
+    /**
+     * Interned profiler label for one handler phase (call/data/mgmt);
+     * nullptr for Return. Cached at doInitialize so the dispatch path
+     * never touches the profiler's intern table.
+     */
+    const obs::ActivityLabel *activityLabel(MessageKind kind) const;
 
   protected:
     using MethodFn = std::function<Result<Bytes>(const Bytes &)>;
@@ -164,6 +175,12 @@ class Offcode
     OffcodeTelemetry telemetry_;
     /** `offcode.service_ns{offcode=bindname}`; set at doInitialize. */
     obs::Histogram *serviceTime_ = nullptr;
+    /** `offcode.cpu_ns{offcode=bindname}`; set at doInitialize. */
+    obs::Counter *cpuNs_ = nullptr;
+    /** Interned (bindname, phase) profiler labels. */
+    const obs::ActivityLabel *callLabel_ = nullptr;
+    const obs::ActivityLabel *dataLabel_ = nullptr;
+    const obs::ActivityLabel *mgmtLabel_ = nullptr;
 };
 
 } // namespace hydra::core

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "obs/flight.hh"
 #include "obs/json.hh"
+#include "obs/slo.hh"
 #include "obs/trace.hh"
 
 namespace hydra::core {
@@ -144,6 +145,11 @@ class MonitorPseudoOffcode : public Offcode
             }
             const std::string json =
                 obs::FlightRecorder::instance().toJson(tail);
+            return Bytes(json.begin(), json.end());
+        });
+        // Slo reports the watchdog's rule table and violation counts.
+        registerMethod("Slo", [](const Bytes &) -> Result<Bytes> {
+            const std::string json = obs::SloEngine::instance().toJson();
             return Bytes(json.begin(), json.end());
         });
     }

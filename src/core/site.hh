@@ -19,6 +19,10 @@
 #include "hw/machine.hh"
 #include "sim/time.hh"
 
+namespace hydra::obs {
+struct SiteActivitySlot;
+} // namespace hydra::obs
+
 namespace hydra::core {
 
 /** Abstract execution locus for Offcodes. */
@@ -42,6 +46,16 @@ class ExecutionSite
 
     /** The host machine this site belongs to. */
     virtual hw::Machine &machine() = 0;
+
+    /**
+     * This site's interned profiler slot (never null once a concrete
+     * site is constructed); the dispatch path publishes handler
+     * activity here.
+     */
+    obs::SiteActivitySlot *profilerSlot() const { return profilerSlot_; }
+
+  protected:
+    obs::SiteActivitySlot *profilerSlot_ = nullptr;
 };
 
 /** Offcode execution on the host CPU under the OS. */

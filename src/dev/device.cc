@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/attribution.hh"
+
 namespace hydra::dev {
 
 bool
@@ -30,6 +32,19 @@ Device::Device(exec::Executor &executor, hw::Bus &host_bus,
     dma_ = std::make_unique<hw::DmaEngine>(
         exec_, hostBus_, config_.dmaDescriptorCost, config_.name);
     site_ = exec_.addSite(config_.name);
+    // The device site is its firmware core: CPU attribution reads the
+    // same busy clock runFirmware charges.
+    obs::CpuAttribution::instance().registerSite(
+        config_.name,
+        [cpu = firmwareCpu_.get()](std::uint64_t now) {
+            return cpu->busyBefore(now);
+        },
+        /*isDevice=*/true, exec_.now());
+}
+
+Device::~Device()
+{
+    obs::CpuAttribution::instance().unregisterSite(config_.name);
 }
 
 bool

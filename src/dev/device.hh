@@ -62,7 +62,7 @@ class Device
   public:
     Device(exec::Executor &executor, hw::Bus &host_bus,
            DeviceConfig config, DeviceClassSpec klass);
-    virtual ~Device() = default;
+    virtual ~Device();
 
     Device(const Device &) = delete;
     Device &operator=(const Device &) = delete;

@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 
 namespace hydra::exec {
 
@@ -195,6 +196,7 @@ ThreadedExecutor::addSite(const std::string &name)
     worker->ringOccupancy =
         &obs::histogram("exec.ring_occupancy", {{"site", name}});
     worker->ringDepth = &obs::gauge("exec.ring_depth", {{"site", name}});
+    worker->profileSlot = obs::Profiler::instance().slotFor(name);
     Worker *raw = worker.get();
     workers_.push_back(std::move(worker));
     siteTable_[raw->id].store(raw, std::memory_order_release);
@@ -352,6 +354,7 @@ ThreadedExecutor::workerLoop(Worker &worker)
         worker.parks->increment();
         std::unique_lock<std::mutex> lock(worker.parkMutex);
         worker.parked.store(true, std::memory_order_release);
+        worker.profileSlot->parked.store(true, std::memory_order_relaxed);
         // Re-check under the parked flag so a producer's wake() can't
         // slip between our last scan and the wait. The timeout is a
         // belt-and-braces bound, not the wakeup mechanism.
@@ -366,6 +369,7 @@ ThreadedExecutor::workerLoop(Worker &worker)
         }
         if (empty && !stop_.load(std::memory_order_acquire))
             worker.cv.wait_for(lock, std::chrono::milliseconds(2));
+        worker.profileSlot->parked.store(false, std::memory_order_relaxed);
         worker.parked.store(false, std::memory_order_release);
         idle = 0;
     }

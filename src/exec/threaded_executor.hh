@@ -45,6 +45,7 @@ namespace hydra::obs {
 class Counter;
 class Gauge;
 class Histogram;
+struct SiteActivitySlot;
 } // namespace hydra::obs
 
 namespace hydra::exec {
@@ -171,6 +172,8 @@ class ThreadedExecutor : public Executor
         obs::Counter *wakes = nullptr;
         obs::Histogram *ringOccupancy = nullptr;
         obs::Gauge *ringDepth = nullptr;
+        /** Profiler slot: the park/unpark transitions publish here. */
+        obs::SiteActivitySlot *profileSlot = nullptr;
 
         ~Worker();
     };

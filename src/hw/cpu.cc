@@ -20,10 +20,11 @@ Cpu::runCycles(std::uint64_t cycles)
 sim::SimTime
 Cpu::runFor(sim::SimTime duration)
 {
-    const sim::SimTime start = std::max(exec_.now(), freeAt_);
-    freeAt_ = start + duration;
-    busyTime_ += duration;
-    return freeAt_;
+    const sim::SimTime start = std::max(exec_.now(), freeAt());
+    const sim::SimTime done = start + duration;
+    freeAt_.store(done, std::memory_order_relaxed);
+    busyTime_.fetch_add(duration, std::memory_order_relaxed);
+    return done;
 }
 
 CpuMeter::CpuMeter(const Cpu &cpu) : cpu_(cpu) {}

@@ -12,6 +12,7 @@
 #ifndef HYDRA_HW_CPU_HH
 #define HYDRA_HW_CPU_HH
 
+#include <atomic>
 #include <string>
 
 #include "exec/executor.hh"
@@ -39,10 +40,34 @@ class Cpu
     sim::SimTime runFor(sim::SimTime duration);
 
     /** Cumulative busy time since construction. */
-    sim::SimTime busyTime() const { return busyTime_; }
+    sim::SimTime
+    busyTime() const
+    {
+        return busyTime_.load(std::memory_order_relaxed);
+    }
 
     /** Time at which currently queued work completes. */
-    sim::SimTime freeAt() const { return freeAt_; }
+    sim::SimTime
+    freeAt() const
+    {
+        return freeAt_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Cumulative busy time clamped to @p now. runFor charges whole
+     * durations up front (freeAt_ may lie in the future); occupancy
+     * is contiguous up to freeAt_, so the part not yet elapsed is
+     * exactly freeAt_ - now. This is the attribution layer's read:
+     * busy-so-far never exceeds wall (virtual) time so far.
+     */
+    sim::SimTime
+    busyBefore(sim::SimTime now) const
+    {
+        const sim::SimTime busy = busyTime();
+        const sim::SimTime free = freeAt();
+        const sim::SimTime pending = free > now ? free - now : 0;
+        return busy > pending ? busy - pending : 0;
+    }
 
     /** Convert cycles to duration at this CPU's clock. */
     sim::SimTime
@@ -55,8 +80,13 @@ class Cpu
     exec::Executor &exec_;
     std::string name_;
     double clockGhz_;
-    sim::SimTime busyTime_ = 0;
-    sim::SimTime freeAt_ = 0;
+    /**
+     * Relaxed atomics: each Cpu has a single writer (its site's
+     * thread), but the coordinator reads both fields for CPU
+     * attribution while the threaded engine's workers run.
+     */
+    std::atomic<sim::SimTime> busyTime_{0};
+    std::atomic<sim::SimTime> freeAt_{0};
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "hw/machine.hh"
 
+#include "obs/attribution.hh"
+
 namespace hydra::hw {
 
 Machine::Machine(exec::Executor &executor, MachineConfig config)
@@ -12,6 +14,19 @@ Machine::Machine(exec::Executor &executor, MachineConfig config)
                                  config.busSetupLatency);
     os_ = std::make_unique<OsKernel>(exec_, *cpu_, *l2_, config.os,
                                      config.noiseSeed);
+    // The host execution site carries the same name HostSite uses, so
+    // attribution and channel spans agree on site identity.
+    obs::CpuAttribution::instance().registerSite(
+        name_ + ".host",
+        [cpu = cpu_.get()](std::uint64_t now) {
+            return cpu->busyBefore(now);
+        },
+        /*isDevice=*/false, exec_.now());
+}
+
+Machine::~Machine()
+{
+    obs::CpuAttribution::instance().unregisterSite(name_ + ".host");
 }
 
 } // namespace hydra::hw

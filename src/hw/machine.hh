@@ -38,6 +38,10 @@ class Machine
 {
   public:
     Machine(exec::Executor &executor, MachineConfig config);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
 
     exec::Executor &executor() { return exec_; }
     const std::string &name() const { return name_; }

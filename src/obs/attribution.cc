@@ -1,0 +1,123 @@
+#include "obs/attribution.hh"
+
+#include <algorithm>
+
+#include "obs/metrics.hh"
+
+namespace hydra::obs {
+
+CpuAttribution &
+CpuAttribution::instance()
+{
+    static CpuAttribution attribution;
+    return attribution;
+}
+
+void
+CpuAttribution::registerSite(const std::string &site, BusyFn busyUpTo,
+                             bool isDevice, std::uint64_t nowNs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &entry : sites_) {
+        if (entry->name != site)
+            continue;
+        // Same name, new CPU model (a fresh Testbed in the same
+        // process): re-baseline so the stale callback is dropped and
+        // deltas restart from now.
+        entry->busyUpTo = std::move(busyUpTo);
+        entry->isDevice = isDevice;
+        entry->lastSyncNs = nowNs;
+        entry->busyReported = entry->busyUpTo(nowNs);
+        return;
+    }
+    auto entry = std::make_unique<SiteEntry>();
+    entry->name = site;
+    entry->busyUpTo = std::move(busyUpTo);
+    entry->isDevice = isDevice;
+    entry->lastSyncNs = nowNs;
+    entry->busyReported = entry->busyUpTo(nowNs);
+    entry->busy = &counter("exec.site_busy_ns", {{"site", site}});
+    entry->idle = &counter("exec.site_idle_ns", {{"site", site}});
+    if (isDevice)
+        entry->utilization =
+            &gauge("device.cpu_utilization", {{"device", site}});
+    sites_.push_back(std::move(entry));
+}
+
+void
+CpuAttribution::unregisterSite(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sites_.erase(std::remove_if(sites_.begin(), sites_.end(),
+                                [&](const auto &entry) {
+                                    return entry->name == site;
+                                }),
+                 sites_.end());
+}
+
+void
+CpuAttribution::registerOffcode(const std::string &bindname,
+                                std::uint64_t nowNs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &entry : offcodes_) {
+        if (entry->bindname != bindname)
+            continue;
+        entry->lastCpuNs = entry->cpuNs->value();
+        entry->lastSyncNs = nowNs;
+        return;
+    }
+    auto entry = std::make_unique<OffcodeEntry>();
+    entry->bindname = bindname;
+    entry->cpuNs = &counter("offcode.cpu_ns", {{"offcode", bindname}});
+    entry->utilization =
+        &gauge("offcode.utilization", {{"offcode", bindname}});
+    entry->lastCpuNs = entry->cpuNs->value();
+    entry->lastSyncNs = nowNs;
+    offcodes_.push_back(std::move(entry));
+}
+
+void
+CpuAttribution::sync(std::uint64_t nowNs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &entry : sites_) {
+        if (nowNs <= entry->lastSyncNs)
+            continue;
+        const std::uint64_t elapsed = nowNs - entry->lastSyncNs;
+        const std::uint64_t rawBusy = entry->busyUpTo(nowNs);
+        std::uint64_t busyDelta = rawBusy > entry->busyReported
+                                      ? rawBusy - entry->busyReported
+                                      : 0;
+        busyDelta = std::min(busyDelta, elapsed);
+        entry->busyReported += busyDelta;
+        entry->busy->add(busyDelta);
+        entry->idle->add(elapsed - busyDelta);
+        if (entry->utilization)
+            entry->utilization->set(static_cast<double>(busyDelta) /
+                                    static_cast<double>(elapsed));
+        entry->lastSyncNs = nowNs;
+    }
+    for (auto &entry : offcodes_) {
+        if (nowNs <= entry->lastSyncNs)
+            continue;
+        const std::uint64_t elapsed = nowNs - entry->lastSyncNs;
+        const std::uint64_t cpu = entry->cpuNs->value();
+        const std::uint64_t delta =
+            cpu > entry->lastCpuNs ? cpu - entry->lastCpuNs : 0;
+        entry->utilization->set(
+            std::min(1.0, static_cast<double>(delta) /
+                              static_cast<double>(elapsed)));
+        entry->lastCpuNs = cpu;
+        entry->lastSyncNs = nowNs;
+    }
+}
+
+std::size_t
+CpuAttribution::siteCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sites_.size();
+}
+
+} // namespace hydra::obs

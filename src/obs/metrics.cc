@@ -65,6 +65,36 @@ displayKey(const std::string &name, const Labels &labels)
     return out;
 }
 
+bool
+parseDisplayKey(const std::string &key, std::string &name, Labels &labels)
+{
+    labels.clear();
+    const std::size_t brace = key.find('{');
+    if (brace == std::string::npos) {
+        if (key.empty())
+            return false;
+        name = key;
+        return true;
+    }
+    if (brace == 0 || key.back() != '}')
+        return false;
+    name = key.substr(0, brace);
+    std::size_t pos = brace + 1;
+    const std::size_t end = key.size() - 1;
+    while (pos < end) {
+        std::size_t comma = key.find(',', pos);
+        if (comma == std::string::npos || comma > end)
+            comma = end;
+        const std::string pair = key.substr(pos, comma - pos);
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0)
+            return false;
+        labels.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+        pos = comma + 1;
+    }
+    return true;
+}
+
 MetricsRegistry &
 MetricsRegistry::instance()
 {

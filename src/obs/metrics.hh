@@ -81,6 +81,15 @@ using LatencyHistogram = Histogram;
 std::string displayKey(const std::string &name, const Labels &labels);
 
 /**
+ * Inverse of displayKey: split "name{k=v,...}" back into name and
+ * labels (the SLO engine addresses instruments by display key).
+ * Returns false on malformed keys; a bare "name" parses with empty
+ * labels. Label values may contain any character except ',' and '}'.
+ */
+bool parseDisplayKey(const std::string &key, std::string &name,
+                     Labels &labels);
+
+/**
  * A point-in-time copy of every instrument, keyed by display name and
  * sorted, so the flight recorder and report printers can enumerate the
  * registry without holding its lock.

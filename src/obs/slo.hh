@@ -1,0 +1,112 @@
+/**
+ * @file
+ * SLO watchdog: declarative health rules over the metrics registry
+ * (DESIGN.md §12).
+ *
+ * Rules load from a small JSON spec ({"rules":[...]}) and are
+ * evaluated against a registry snapshot at each flight interval. The
+ * rule kind is inferred from which instrument field names the target
+ * (by display key, e.g. "channel.delivery_latency_ns{channel=X}"):
+ *
+ *   {"name":"r", "histogram":KEY, "percentile":99, "max":50000}
+ *       percentile of the named histogram must stay <= max.
+ *   {"name":"r", "counter":KEY, "max_rate_per_s":10}
+ *       the counter's growth rate (per simulated second, measured
+ *       between evaluations) must stay <= the bound. The first
+ *       evaluation primes the baseline and never fires.
+ *   {"name":"r", "gauge":KEY, "min":0.1, "max":0.9}
+ *       the gauge's level must stay inside [min, max]; either bound
+ *       may be omitted.
+ *
+ * A rule whose instrument has recorded nothing yet is skipped, so
+ * specs can be loaded before the workload starts. Violations bump
+ * `obs.slo.violations{rule=name}`, emit a trace instant event, and
+ * accumulate into the end-of-run report; `hydra_sim --slo-strict`
+ * turns a nonzero total into a nonzero exit code, and the
+ * hydra.Monitor "Slo" OOB method serves toJson() live.
+ */
+
+#ifndef HYDRA_OBS_SLO_HH
+#define HYDRA_OBS_SLO_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.hh"
+
+namespace hydra::obs {
+
+class Counter;
+
+/** One declarative health rule. */
+struct SloRule
+{
+    enum class Kind { HistogramPercentile, CounterRate, GaugeBound };
+
+    std::string name;
+    Kind kind = Kind::HistogramPercentile;
+    /** Target instrument, addressed by display key. */
+    std::string metric;
+    double percentile = 99.0;   // HistogramPercentile
+    double maxValue = 0.0;      // Histogram: ns; CounterRate: per s
+    double minValue = 0.0;      // GaugeBound floor
+    bool hasMax = false;
+    bool hasMin = false;
+
+    // --- evaluation state ---
+    std::uint64_t violations = 0;
+    double lastObserved = 0.0;
+    bool everObserved = false;
+    std::uint64_t lastCounterValue = 0; // CounterRate baseline
+    bool counterPrimed = false;
+    Counter *violationCounter = nullptr;
+};
+
+/** Process-wide rule set and evaluator. */
+class SloEngine
+{
+  public:
+    static SloEngine &instance();
+
+    /** Replace the rule set from JSON spec text. */
+    Status loadSpec(const std::string &jsonText);
+
+    /** Drop every rule and reset evaluation state. */
+    void clear();
+
+    bool hasRules() const;
+    std::size_t ruleCount() const;
+
+    /**
+     * Evaluate every rule against a fresh registry snapshot at
+     * virtual time @p nowNs. Monotonic: a non-advancing clock is a
+     * no-op (flight and sampler periodics may coincide).
+     */
+    void evaluate(std::uint64_t nowNs);
+
+    /** Sum of every rule's violation count. */
+    std::uint64_t violationsTotal() const;
+
+    /** Human-readable end-of-run table. */
+    std::string report() const;
+
+    /** JSON state for the hydra.Monitor "Slo" OOB method. */
+    std::string toJson() const;
+
+  private:
+    SloEngine() = default;
+
+    void checkViolation(SloRule &rule, bool violated, double observed,
+                        std::uint64_t nowNs);
+
+    mutable std::mutex mutex_;
+    std::vector<SloRule> rules_;
+    std::uint64_t lastEvalNs_ = 0;
+    bool everEvaluated_ = false;
+};
+
+} // namespace hydra::obs
+
+#endif // HYDRA_OBS_SLO_HH

@@ -1,7 +1,10 @@
 #include "tivo/harness.hh"
 
 #include "common/logging.hh"
+#include "obs/attribution.hh"
 #include "obs/flight.hh"
+#include "obs/profiler.hh"
+#include "obs/slo.hh"
 
 namespace hydra::tivo {
 
@@ -297,6 +300,9 @@ Testbed::run()
             clientMachine_->l2().windowStats().missRate());
         serverMachine_->l2().beginWindow();
         clientMachine_->l2().beginWindow();
+        // Keep the per-site busy/idle counters current even when no
+        // flight recorder is on.
+        obs::CpuAttribution::instance().sync(exec_->now());
         return true;
     });
 
@@ -304,18 +310,39 @@ Testbed::run()
     if (config_.flightInterval > 0) {
         flightSampler =
             exec_->schedulePeriodic(config_.flightInterval, [this]() {
+                // Order matters: attribution sync publishes fresh
+                // busy/idle deltas, the capture snapshots them, and
+                // the watchdog then judges the captured interval.
+                obs::CpuAttribution::instance().sync(exec_->now());
                 obs::FlightRecorder::instance().capture(exec_->now());
+                obs::SloEngine::instance().evaluate(exec_->now());
+                return true;
+            });
+    }
+
+    exec::TaskId profileSampler = 0;
+    if (config_.profileInterval > 0 &&
+        obs::Profiler::instance().enabled()) {
+        profileSampler =
+            exec_->schedulePeriodic(config_.profileInterval, [this]() {
+                obs::Profiler::instance().sample(exec_->now());
                 return true;
             });
     }
 
     exec_->runUntil(config_.warmup + config_.duration);
     exec_->cancel(sampler); // the lambda references this frame's locals
+    if (profileSampler != 0)
+        exec_->cancel(profileSampler);
+    // Final sync so busy+idle covers the whole run up to now().
+    obs::CpuAttribution::instance().sync(exec_->now());
     if (flightSampler != 0) {
         exec_->cancel(flightSampler);
         // Final capture so the last partial window is not lost.
         obs::FlightRecorder::instance().capture(exec_->now());
     }
+    if (obs::SloEngine::instance().hasRules())
+        obs::SloEngine::instance().evaluate(exec_->now());
 
     // Quiesce.
     if (server_)

@@ -4,6 +4,9 @@
  * serialization, statistics, strings, and the deterministic RNG.
  */
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "common/bytes.hh"
@@ -484,6 +487,38 @@ TEST(JsonTest, RejectsMalformedDocuments)
     EXPECT_FALSE(json::parse("\"unterminated").ok());
     EXPECT_FALSE(json::parse("{} trailing").ok());
     EXPECT_FALSE(json::parse("nul").ok());
+}
+
+TEST(SparklineTest, DegenerateSeriesStaySane)
+{
+    // hydra_top feeds whatever a flight recording holds — including
+    // zero- and one-snapshot recordings — straight into sparkline().
+    EXPECT_EQ(sparkline({}), "");
+    EXPECT_EQ(sparkline({5.0}), "█");
+    EXPECT_EQ(sparkline({0.0}), "▁");
+    EXPECT_EQ(sparkline({0.0, 0.0, 0.0}), "▁▁▁");
+}
+
+TEST(SparklineTest, ScalesAgainstOwnMax)
+{
+    // 3.5/7 scales to level round(3.5 + 0.5) = 4 of 7.
+    const std::string line = sparkline({0.0, 3.5, 7.0});
+    EXPECT_EQ(line, "▁▅█");
+}
+
+TEST(SparklineTest, ClampsNegativeAndNonFinite)
+{
+    // Counter deltas can never be negative, but gauge series can be;
+    // both must render at the baseline rather than index off the
+    // glyph table.
+    EXPECT_EQ(sparkline({-4.0, 2.0}), "▁█");
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(sparkline({nan, 1.0}), "▁█");
+    EXPECT_EQ(sparkline({-inf, 1.0}), "▁█");
+    // +inf clamps to zero too (non-finite), leaving the finite
+    // samples to set the scale.
+    EXPECT_EQ(sparkline({inf, 2.0}), "▁█");
 }
 
 } // namespace

@@ -14,6 +14,7 @@
 #include <set>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "common/json.hh"
 #include "core/runtime.hh"
@@ -479,6 +480,78 @@ TEST(TestbedTest, DifferentSeedsDifferentNoise)
     Testbed b(config);
     EXPECT_NE(a.run().interarrivalMs.mean(),
               b.run().interarrivalMs.mean());
+}
+
+/**
+ * CPU attribution invariant: for every execution site, the busy and
+ * idle counters a run accumulates sum to exactly the virtual time the
+ * run covered — the clamped-delta accounting may defer busy time, but
+ * it never loses or invents any. Checked on both engines; metrics are
+ * process-cumulative, so everything is measured as deltas across one
+ * Testbed whose construction re-baselines the site entries.
+ */
+void
+expectBusyPlusIdleEqualsElapsed(exec::ExecutorKind kind)
+{
+    TestbedConfig config =
+        quickConfig(ServerKind::Offloaded, ClientKind::Offloaded);
+    config.executor = kind;
+    config.duration = sim::seconds(10);
+    Testbed testbed(config);
+
+    auto &registry = obs::MetricsRegistry::instance();
+    const std::vector<std::string> sites = {
+        "server.host", "client.host",  "server-nic",
+        "client-nic",  "client-disk", "client-gpu"};
+    std::map<std::string, std::uint64_t> busyBefore, idleBefore;
+    for (const std::string &site : sites) {
+        busyBefore[site] = registry.counterValue("exec.site_busy_ns",
+                                                 {{"site", site}});
+        idleBefore[site] = registry.counterValue("exec.site_idle_ns",
+                                                 {{"site", site}});
+    }
+    const std::uint64_t decoderCpuBefore =
+        registry.counterValue("offcode.cpu_ns",
+                              {{"offcode", "tivo.Decoder"}});
+
+    const ScenarioResult result = testbed.run();
+    ASSERT_TRUE(result.deploymentOk);
+
+    // Sites register at construction (virtual time 0) and the harness
+    // syncs one final time at the end of the measured window, so the
+    // covered interval is exactly [0, now].
+    const std::uint64_t elapsed = testbed.executor().now();
+    ASSERT_GT(elapsed, 0u);
+    for (const std::string &site : sites) {
+        const std::uint64_t busy =
+            registry.counterValue("exec.site_busy_ns",
+                                  {{"site", site}}) -
+            busyBefore[site];
+        const std::uint64_t idle =
+            registry.counterValue("exec.site_idle_ns",
+                                  {{"site", site}}) -
+            idleBefore[site];
+        EXPECT_EQ(busy + idle, elapsed) << site;
+    }
+
+    // The pipeline ran, so its devices burned CPU and the per-Offcode
+    // attribution saw it.
+    EXPECT_GT(registry.counterValue("exec.site_busy_ns",
+                                    {{"site", "client-gpu"}}),
+              busyBefore["client-gpu"]);
+    EXPECT_GT(registry.counterValue("offcode.cpu_ns",
+                                    {{"offcode", "tivo.Decoder"}}),
+              decoderCpuBefore);
+}
+
+TEST(TestbedTest, CpuAttributionCoversElapsedSim)
+{
+    expectBusyPlusIdleEqualsElapsed(exec::ExecutorKind::Sim);
+}
+
+TEST(TestbedTest, CpuAttributionCoversElapsedThreaded)
+{
+    expectBusyPlusIdleEqualsElapsed(exec::ExecutorKind::Threaded);
 }
 
 } // namespace

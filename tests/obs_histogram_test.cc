@@ -270,4 +270,35 @@ TEST_F(HistogramTest, ConcurrentRecordersLoseNothing)
     EXPECT_LT(h.max(), 1'000'000u);
 }
 
+TEST_F(HistogramTest, EmptyHistogramPercentilesAreZero)
+{
+    // The SLO engine and report printers probe percentiles before a
+    // series records anything; an empty series must answer 0, not
+    // garbage from uninitialized min/max bookkeeping.
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.0), 0.0);
+    EXPECT_EQ(h.percentile(50.0), 0.0);
+    EXPECT_EQ(h.percentile(99.0), 0.0);
+    EXPECT_EQ(h.percentile(100.0), 0.0);
+    const obs::HistogramSummary summary = h.summary();
+    EXPECT_EQ(summary.count, 0u);
+    EXPECT_EQ(summary.p50, 0.0);
+    EXPECT_EQ(summary.p999, 0.0);
+}
+
+TEST_F(HistogramTest, SingleSamplePercentilesCollapseToIt)
+{
+    Histogram h;
+    h.record(777);
+    EXPECT_EQ(h.percentile(0.0), 777.0);
+    EXPECT_EQ(h.percentile(50.0), 777.0);
+    EXPECT_EQ(h.percentile(99.0), 777.0);
+    EXPECT_EQ(h.percentile(100.0), 777.0);
+    const obs::HistogramSummary summary = h.summary();
+    EXPECT_EQ(summary.count, 1u);
+    EXPECT_EQ(summary.p50, 777.0);
+    EXPECT_EQ(summary.max, 777u);
+}
+
 } // namespace

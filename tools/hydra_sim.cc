@@ -19,17 +19,22 @@
  *             [--metrics-out FILE] [--trace-out FILE]
  *             [--spans-out FILE] [--introspect-out FILE]
  *             [--flight-out FILE] [--flight-interval-ms N]
+ *             [--profile-out FILE] [--profile-interval-ms N]
+ *             [--slo FILE] [--slo-strict]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "core/runtime.hh"
 #include "obs/flight.hh"
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
+#include "obs/slo.hh"
 #include "obs/trace.hh"
 #include "tivo/harness.hh"
 
@@ -52,9 +57,33 @@ usage(const char *argv0)
         "          [--metrics] [--metrics-format table|json]\n"
         "          [--metrics-out FILE] [--trace-out FILE]\n"
         "          [--spans-out FILE] [--introspect-out FILE]\n"
-        "          [--flight-out FILE] [--flight-interval-ms N]\n",
+        "          [--flight-out FILE] [--flight-interval-ms N]\n"
+        "          [--profile-out FILE] [--profile-interval-ms N]\n"
+        "          [--slo FILE] [--slo-strict]\n",
         argv0);
     return 2;
+}
+
+/**
+ * Strict parser for interval flags: a positive base-10 millisecond
+ * count, nothing else. "-5", "0", "1.5", "10x", and "" all fail —
+ * std::strtoull would silently accept or wrap most of those.
+ */
+bool
+parseIntervalMs(const char *value, std::uint64_t &out)
+{
+    if (!value || *value == '\0')
+        return false;
+    std::uint64_t parsed = 0;
+    for (const char *p = value; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+        parsed = parsed * 10 + static_cast<std::uint64_t>(*p - '0');
+    }
+    if (parsed == 0)
+        return false;
+    out = parsed;
+    return true;
 }
 
 bool
@@ -169,6 +198,59 @@ printLatencyReport()
     }
 }
 
+/**
+ * CPU attribution report: who burned which CPU. Per-site busy/idle
+ * virtual time (with the utilization they imply) and per-Offcode CPU
+ * time, straight from the exec.site_*_ns / offcode.cpu_ns counters
+ * the executors maintain.
+ */
+void
+printCpuReport()
+{
+    const obs::RegistrySnapshot snap =
+        obs::MetricsRegistry::instance().snapshot();
+
+    bool any = false;
+    for (const auto &[key, busy] : snap.counters) {
+        const std::string prefix = "exec.site_busy_ns{site=";
+        if (key.rfind(prefix, 0) != 0 || key.back() != '}')
+            continue;
+        const std::string site = key.substr(
+            prefix.size(), key.size() - prefix.size() - 1);
+        const std::uint64_t idle =
+            obs::MetricsRegistry::instance().counterValue(
+                "exec.site_idle_ns", {{"site", site}});
+        const std::uint64_t elapsed = busy + idle;
+        if (!any) {
+            std::printf("\ncpu attribution (virtual ns):\n");
+            std::printf("  %-24s %14s %14s %8s\n", "site", "busy",
+                        "idle", "util");
+            any = true;
+        }
+        std::printf("  %-24s %14llu %14llu %7.1f%%\n", site.c_str(),
+                    static_cast<unsigned long long>(busy),
+                    static_cast<unsigned long long>(idle),
+                    elapsed ? 100.0 * static_cast<double>(busy) /
+                                  static_cast<double>(elapsed)
+                            : 0.0);
+    }
+
+    bool anyOffcode = false;
+    for (const auto &[key, cpu] : snap.counters) {
+        const std::string prefix = "offcode.cpu_ns{offcode=";
+        if (key.rfind(prefix, 0) != 0 || key.back() != '}' || cpu == 0)
+            continue;
+        const std::string name = key.substr(
+            prefix.size(), key.size() - prefix.size() - 1);
+        if (!anyOffcode) {
+            std::printf("  %-24s %14s\n", "offcode", "cpu");
+            anyOffcode = true;
+        }
+        std::printf("  %-24s %14llu\n", name.c_str(),
+                    static_cast<unsigned long long>(cpu));
+    }
+}
+
 } // namespace
 
 int
@@ -188,6 +270,10 @@ main(int argc, char **argv)
     std::string introspectOut;
     std::string flightOut;
     std::uint64_t flightIntervalMs = 0;
+    std::string profileOut;
+    std::uint64_t profileIntervalMs = 0;
+    std::string sloPath;
+    bool sloStrict = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -295,18 +381,70 @@ main(int argc, char **argv)
             flightOut = value;
         } else if (arg == "--flight-interval-ms") {
             const char *value = next();
+            if (!value || !parseIntervalMs(value, flightIntervalMs)) {
+                std::fprintf(stderr,
+                             "%s: --flight-interval-ms wants a positive "
+                             "integer, got '%s'\n",
+                             argv[0], value ? value : "");
+                return usage(argv[0]);
+            }
+        } else if (arg == "--profile-out") {
+            const char *value = next();
             if (!value)
                 return usage(argv[0]);
-            flightIntervalMs = std::strtoull(value, nullptr, 10);
+            profileOut = value;
+        } else if (arg == "--profile-interval-ms") {
+            const char *value = next();
+            if (!value || !parseIntervalMs(value, profileIntervalMs)) {
+                std::fprintf(stderr,
+                             "%s: --profile-interval-ms wants a positive "
+                             "integer, got '%s'\n",
+                             argv[0], value ? value : "");
+                return usage(argv[0]);
+            }
+        } else if (arg == "--slo") {
+            const char *value = next();
+            if (!value)
+                return usage(argv[0]);
+            sloPath = value;
+        } else if (arg == "--slo-strict") {
+            sloStrict = true;
         } else {
             return usage(argv[0]);
         }
     }
 
-    // Asking for flight output implies a sensible default cadence.
-    if (!flightOut.empty() && flightIntervalMs == 0)
+    // Asking for flight output implies a sensible default cadence;
+    // SLO rules are evaluated on the flight cadence, so --slo does too.
+    if ((!flightOut.empty() || !sloPath.empty()) && flightIntervalMs == 0)
         flightIntervalMs = 1000;
     config.flightInterval = sim::milliseconds(flightIntervalMs);
+
+    // Asking for profile output implies a default sampling cadence.
+    if (!profileOut.empty() && profileIntervalMs == 0)
+        profileIntervalMs = 100;
+    config.profileInterval = sim::milliseconds(profileIntervalMs);
+    if (!profileOut.empty())
+        obs::Profiler::instance().enable(
+            sim::milliseconds(profileIntervalMs));
+
+    if (!sloPath.empty()) {
+        std::ifstream spec(sloPath);
+        if (!spec) {
+            std::fprintf(stderr, "hydra_sim: cannot read SLO spec %s\n",
+                         sloPath.c_str());
+            return 2;
+        }
+        std::string text((std::istreambuf_iterator<char>(spec)),
+                         std::istreambuf_iterator<char>());
+        Status loaded = obs::SloEngine::instance().loadSpec(text);
+        if (!loaded) {
+            std::fprintf(stderr, "hydra_sim: bad SLO spec %s: %s\n",
+                         sloPath.c_str(),
+                         loaded.error().describe().c_str());
+            return 2;
+        }
+    }
 
     if (!traceOut.empty() || !spansOut.empty()) {
         obs::Tracer::instance().enable();
@@ -356,6 +494,11 @@ main(int argc, char **argv)
     printSamples("client L2 miss rate", result.clientL2MissRate, "");
 
     printLatencyReport();
+    printCpuReport();
+
+    if (obs::SloEngine::instance().hasRules())
+        std::printf("\nSLO report:\n%s",
+                    obs::SloEngine::instance().report().c_str());
 
     if (histogram && !result.interarrivalMs.empty()) {
         const double lo = result.interarrivalMs.min();
@@ -425,6 +568,20 @@ main(int argc, char **argv)
                     "hydra_top %s)\n",
                     flightOut.c_str(), flightOut.c_str());
     }
+    if (!profileOut.empty()) {
+        std::ofstream out(profileOut);
+        if (!out) {
+            std::fprintf(stderr, "hydra_sim: cannot write %s\n",
+                         profileOut.c_str());
+            return 1;
+        }
+        out << obs::Profiler::instance().foldedStacks();
+        std::printf("(wrote %llu profile samples to %s — folded-stack "
+                    "format, flamegraph-ready)\n",
+                    static_cast<unsigned long long>(
+                        obs::Profiler::instance().samplesTaken()),
+                    profileOut.c_str());
+    }
     if (!introspectOut.empty()) {
         std::ofstream out(introspectOut);
         if (!out) {
@@ -441,5 +598,16 @@ main(int argc, char **argv)
                     "hydra_top %s)\n",
                     introspectOut.c_str(), introspectOut.c_str());
     }
-    return result.deploymentOk ? 0 : 1;
+    if (!result.deploymentOk)
+        return 1;
+    if (sloStrict &&
+        obs::SloEngine::instance().violationsTotal() > 0) {
+        std::fprintf(stderr,
+                     "hydra_sim: %llu SLO violation(s) with "
+                     "--slo-strict\n",
+                     static_cast<unsigned long long>(
+                         obs::SloEngine::instance().violationsTotal()));
+        return 3;
+    }
+    return 0;
 }

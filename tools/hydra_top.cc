@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "common/strings.hh"
 
 namespace {
 
@@ -102,25 +103,15 @@ numberField(const hydra::json::Value &object, const std::string &key)
     return value ? value->number : 0.0;
 }
 
-/** Scale a series into 8 block-glyph levels against its own max. */
-std::string
-sparkline(const std::vector<double> &values)
+using hydra::sparkline;
+
+/** Utilization gauges get their own percent panel, not the generic
+ * GAUGE table. */
+bool
+isUtilizationKey(const std::string &key)
 {
-    static const char *kLevels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇",
-                                    "█"};
-    double hi = 0.0;
-    for (double v : values)
-        hi = std::max(hi, v);
-    std::string out;
-    for (double v : values) {
-        int level = 0;
-        if (hi > 0.0) {
-            level = static_cast<int>(v / hi * 7.0 + 0.5);
-            level = std::min(std::max(level, 0), 7);
-        }
-        out += kLevels[level];
-    }
-    return out;
+    return key.rfind("device.cpu_utilization{", 0) == 0 ||
+           key.rfind("offcode.utilization{", 0) == 0;
 }
 
 /**
@@ -199,16 +190,46 @@ renderFlight(const hydra::json::Value &doc, const char *path)
     }
 
     // Gauge sparklines: gather the union of keys, then one aligned
-    // series per key (absent-in-snapshot means zero).
+    // series per key (absent-in-snapshot means zero). Utilization
+    // gauges render in their own percent panel.
     std::vector<std::string> gaugeKeys;
+    std::vector<std::string> utilKeys;
     for (const hydra::json::Value &snapshot : snapshots->array) {
         const hydra::json::Value *gauges = snapshot.find("gauges");
         if (!gauges || !gauges->isObject())
             continue;
-        for (const auto &[key, value] : gauges->object)
-            if (std::find(gaugeKeys.begin(), gaugeKeys.end(), key) ==
-                gaugeKeys.end())
-                gaugeKeys.push_back(key);
+        for (const auto &[key, value] : gauges->object) {
+            std::vector<std::string> &bucket =
+                isUtilizationKey(key) ? utilKeys : gaugeKeys;
+            if (std::find(bucket.begin(), bucket.end(), key) ==
+                bucket.end())
+                bucket.push_back(key);
+        }
+    }
+    auto gaugeSeries = [&](const std::string &key) {
+        std::vector<double> series;
+        for (const hydra::json::Value &snapshot : snapshots->array) {
+            const hydra::json::Value *gauges = snapshot.find("gauges");
+            const hydra::json::Value *value =
+                gauges ? gauges->find(key) : nullptr;
+            series.push_back(value ? value->number : 0.0);
+        }
+        return series;
+    };
+    if (!utilKeys.empty()) {
+        std::sort(utilKeys.begin(), utilKeys.end());
+        std::size_t keyWidth = std::strlen("UTILIZATION");
+        for (const std::string &key : utilKeys)
+            keyWidth = std::max(keyWidth, key.size());
+        std::printf("\n%-*s %9s  %s\n", static_cast<int>(keyWidth),
+                    "UTILIZATION", "LAST", "TREND");
+        for (const std::string &key : utilKeys) {
+            const std::vector<double> series = gaugeSeries(key);
+            std::printf("%-*s %8.1f%%  %s\n",
+                        static_cast<int>(keyWidth), key.c_str(),
+                        series.back() * 100.0,
+                        sparkline(series).c_str());
+        }
     }
     if (!gaugeKeys.empty()) {
         std::sort(gaugeKeys.begin(), gaugeKeys.end());
@@ -218,17 +239,49 @@ renderFlight(const hydra::json::Value &doc, const char *path)
         std::printf("\n%-*s %10s  %s\n", static_cast<int>(keyWidth),
                     "GAUGE", "LAST", "TREND");
         for (const std::string &key : gaugeKeys) {
-            std::vector<double> series;
-            for (const hydra::json::Value &snapshot : snapshots->array) {
-                const hydra::json::Value *gauges =
-                    snapshot.find("gauges");
-                const hydra::json::Value *value =
-                    gauges ? gauges->find(key) : nullptr;
-                series.push_back(value ? value->number : 0.0);
-            }
+            const std::vector<double> series = gaugeSeries(key);
             std::printf("%-*s %10.1f  %s\n",
                         static_cast<int>(keyWidth), key.c_str(),
                         series.back(), sparkline(series).c_str());
+        }
+    }
+
+    // ALERTS: SLO violation counters are delta-encoded per snapshot,
+    // so the trend shows when each rule fired and TOTAL sums the run.
+    std::vector<std::string> alertKeys;
+    for (const hydra::json::Value &snapshot : snapshots->array) {
+        const hydra::json::Value *counters = snapshot.find("counters");
+        if (!counters || !counters->isObject())
+            continue;
+        for (const auto &[key, value] : counters->object)
+            if (key.rfind("obs.slo.violations{", 0) == 0 &&
+                std::find(alertKeys.begin(), alertKeys.end(), key) ==
+                    alertKeys.end())
+                alertKeys.push_back(key);
+    }
+    if (!alertKeys.empty()) {
+        std::sort(alertKeys.begin(), alertKeys.end());
+        std::size_t keyWidth = std::strlen("ALERT");
+        for (const std::string &key : alertKeys)
+            keyWidth = std::max(keyWidth, key.size());
+        std::printf("\n%-*s %9s  %s\n", static_cast<int>(keyWidth),
+                    "ALERT", "TOTAL", "TREND");
+        for (const std::string &key : alertKeys) {
+            std::vector<double> deltas;
+            double total = 0.0;
+            for (const hydra::json::Value &snapshot :
+                 snapshots->array) {
+                const hydra::json::Value *counters =
+                    snapshot.find("counters");
+                const hydra::json::Value *value =
+                    counters ? counters->find(key) : nullptr;
+                const double delta = value ? value->number : 0.0;
+                deltas.push_back(delta);
+                total += delta;
+            }
+            std::printf("%-*s %9.0f  %s\n",
+                        static_cast<int>(keyWidth), key.c_str(), total,
+                        sparkline(deltas).c_str());
         }
     }
     return 0;
