@@ -30,6 +30,22 @@ Three gates on top of bench_compare.py's generic 2x noise gate:
     HYDRA_PROFILER_RATIO_MAX (default 1.05); each pair is bounded by
     HYDRA_PROFILER_PAIR_MAX (default 1.25).
 
+ 4. Batched pipeline: each BM_BatchedPipeline sites:4 batch:64 row is
+    paired with its batch:1 twin from the SAME run. Batching is a
+    throughput feature, so batched must never be the slower side:
+    geomean and per-pair time ratios must stay at most
+    HYDRA_BATCH_RATIO_MAX / HYDRA_BATCH_PAIR_MAX (both default 1.0 --
+    the tentpole target is ~0.2x, so unity still leaves the full
+    noise floor as headroom). Rows at other site counts (e.g. the
+    2-site scaling row) are informational and not gated.
+
+ 5. Low-load latency: BM_ChannelLowLoad exports the deterministic
+    virtual-time delivery p99 as the `p99_ns` benchmark counter; the
+    batched:1 / batched:0 counter ratio must stay at most
+    HYDRA_LOWLOAD_P99_MAX (default 1.05). This is the adaptivity
+    invariant: batching must not buy throughput with added latency
+    when the pipe is idle.
+
 All limits are env-overridable for slow or shared machines.
 """
 
@@ -39,32 +55,48 @@ import os
 import sys
 
 
+KNOWN_COUNTERS = ("p99_ns",)
+
+
 def load(path):
-    """Name -> real_time. Prefers median aggregates (repetition runs)
-    over single-iteration rows when both are present."""
+    """(name -> real_time, name -> {counter -> value}). Prefers
+    median aggregates (repetition runs) over single-iteration rows
+    when both are present."""
     with open(path) as fh:
         doc = json.load(fh)
     iterations = {}
     medians = {}
+    counters = {}
+    counter_medians = {}
     for bench in doc.get("benchmarks", []):
         run_type = bench.get("run_type", "iteration")
         if run_type == "iteration":
-            iterations[bench["name"]] = float(bench["real_time"])
+            name = bench["name"]
+            iterations[name] = float(bench["real_time"])
+            row = {c: float(bench[c]) for c in KNOWN_COUNTERS
+                   if c in bench}
+            if row:
+                counters[name] = row
         elif (run_type == "aggregate" and
               bench.get("aggregate_name") == "median"):
             name = bench.get("run_name",
                              bench["name"].rsplit("_median", 1)[0])
             medians[name] = float(bench["real_time"])
+            row = {c: float(bench[c]) for c in KNOWN_COUNTERS
+                   if c in bench}
+            if row:
+                counter_medians[name] = row
     iterations.update(medians)
-    return iterations
+    counters.update(counter_medians)
+    return iterations, counters
 
 
 def main():
     if len(sys.argv) != 3:
         sys.stderr.write(__doc__)
         return 2
-    baseline = load(sys.argv[1])
-    current = load(sys.argv[2])
+    baseline, _ = load(sys.argv[1])
+    current, current_counters = load(sys.argv[2])
     record_max = float(os.environ.get("HYDRA_HIST_RECORD_NS_MAX", "15"))
     ratio_max = float(os.environ.get("HYDRA_CHANNEL_RATIO_MAX", "1.05"))
 
@@ -81,12 +113,16 @@ def main():
         if not ok:
             failed.append(name)
 
-    def gate_pairs(bench, on, off, pair_max, geo_max):
+    def gate_pairs(bench, on, off, pair_max, geo_max, require=None):
         """Pair each `/{on}` row with its `/{off}` twin from the same
-        run; per-pair and geomean ratio limits feed `failed`."""
+        run; per-pair and geomean ratio limits feed `failed`. When
+        `require` is set, only rows containing that substring are
+        gated (the rest are informational)."""
         ratios = []
         for name in sorted(current):
             if not name.startswith(bench) or f"/{on}" not in name:
+                continue
+            if require is not None and require not in name:
                 continue
             twin = name.replace(f"/{on}", f"/{off}")
             if twin not in current:
@@ -123,6 +159,34 @@ def main():
         "BM_ProfilerOverhead", "profile:1", "profile:0",
         float(os.environ.get("HYDRA_PROFILER_PAIR_MAX", "1.25")),
         float(os.environ.get("HYDRA_PROFILER_RATIO_MAX", "1.05")))
+    gate_pairs(
+        "BM_BatchedPipeline", "batch:64", "batch:1",
+        float(os.environ.get("HYDRA_BATCH_PAIR_MAX", "1.0")),
+        float(os.environ.get("HYDRA_BATCH_RATIO_MAX", "1.0")),
+        require="sites:4")
+
+    # Gate 5: batching must not add delivery latency at low load.
+    # The p99 comes from the sim engine's virtual clock, so the ratio
+    # is deterministic (no noise floor to budget for).
+    p99_max = float(os.environ.get("HYDRA_LOWLOAD_P99_MAX", "1.05"))
+    on = "BM_ChannelLowLoad/batched:1"
+    off = "BM_ChannelLowLoad/batched:0"
+    if (on in current_counters and off in current_counters and
+            "p99_ns" in current_counters[on] and
+            "p99_ns" in current_counters[off]):
+        denom = current_counters[off]["p99_ns"]
+        ratio = (current_counters[on]["p99_ns"] / denom if denom
+                 else 1.0)
+        ok = ratio <= p99_max
+        print(f"{'BM_ChannelLowLoad p99_ns(batched/unbatched)':56s} "
+              f"{ratio:7.3f}x (limit {p99_max:.2f})"
+              f"{'' if ok else ' REGRESSION'}")
+        if not ok:
+            failed.append("BM_ChannelLowLoad(p99)")
+    else:
+        print("bench_gate: BM_ChannelLowLoad p99_ns counters missing "
+              "from current run")
+        failed.append("BM_ChannelLowLoad(absent)")
 
     if failed:
         print(f"\nbench gate FAILED: {', '.join(failed)}")

@@ -71,7 +71,7 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     # Note: the bundled google-benchmark wants a bare double here (no
     # trailing time unit).
     "$BUILD_DIR/bench/perf_micro" \
-        --benchmark_filter='BM_HistogramRecord|BM_ChannelThroughput|BM_MulticastFanout|BM_PipelineParallel.*threaded:0' \
+        --benchmark_filter='BM_HistogramRecord|BM_ChannelThroughput|BM_ChannelBatchThroughput|BM_ChannelLowLoad|BM_MulticastFanout|BM_PipelineParallel.*threaded:0|BM_BatchedPipeline.*threaded:0' \
         --benchmark_min_time=0.1 \
         --benchmark_format=json > "$OUT"
     echo "bench JSON written to $OUT"
@@ -84,10 +84,14 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     # shared VM gives, so the gated benches run again with repetitions
     # and the gate reads the medians. Limits are env-overridable
     # (HYDRA_HIST_RECORD_NS_MAX, HYDRA_CHANNEL_RATIO_MAX,
-    # HYDRA_PROFILER_RATIO_MAX).
+    # HYDRA_PROFILER_RATIO_MAX). The batching gates pair
+    # BM_BatchedPipeline batch:64 rows against their batch:1 twins
+    # (batched must not be slower at sites=4) and hold the
+    # BM_ChannelLowLoad virtual-time delivery p99 within 5% of the
+    # unbatched twin (HYDRA_BATCH_RATIO_MAX, HYDRA_LOWLOAD_P99_MAX).
     GATE_OUT="$BUILD_DIR/bench_gate.json"
     "$BUILD_DIR/bench/perf_micro" \
-        --benchmark_filter='BM_ChannelThroughput|BM_HistogramRecord|BM_ProfilerOverhead' \
+        --benchmark_filter='BM_ChannelThroughput|BM_HistogramRecord|BM_ProfilerOverhead|BM_BatchedPipeline|BM_ChannelLowLoad' \
         --benchmark_min_time=0.1 \
         --benchmark_repetitions=5 \
         --benchmark_enable_random_interleaving=true \

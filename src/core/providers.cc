@@ -142,6 +142,76 @@ class LocalChannel : public Channel
         return Status::success();
     }
 
+    Status
+    writeBatchFrom(std::size_t from, std::span<Payload> messages) override
+    {
+        if (messages.empty())
+            return Status::success();
+        if (closed_)
+            return Status(ErrorCode::ChannelClosed, "channel closed");
+        if (from >= endpoints_.size())
+            return Status(ErrorCode::OutOfRange, "bad endpoint");
+        if (endpoints_.size() < 2)
+            return Status(ErrorCode::ChannelNotConnected,
+                          "no peer endpoint");
+        // Writes are all-or-stop-at-first-failure: send the valid
+        // prefix, then report the offender (matches the base loop).
+        std::size_t valid = 0;
+        std::size_t bytes = 0;
+        while (valid < messages.size() &&
+               messages[valid].size() <= config_.maxMessageBytes)
+            bytes += messages[valid++].size();
+
+        if (valid > 0) {
+            stats_.messagesSent += valid;
+            stats_.bytesSent += bytes;
+            localMetrics().sent.add(valid);
+            localMetrics().bytes.add(bytes);
+
+            // Enqueue compute per message (identical charge to the
+            // unbatched path: run() accrues site busy time without
+            // advancing the clock, so a batch write costs the same
+            // cycles and stamps the same sentAt as N single writes).
+            if (endpoints_[from].site)
+                endpoints_[from].site->run(250 * valid);
+
+            const sim::SimTime sentAt = exec_.now();
+            const obs::SpanContext ctx = obs::activeContext();
+            auto batch = std::make_shared<std::vector<Payload>>();
+            batch->reserve(valid);
+            for (std::size_t i = 0; i < valid; ++i)
+                batch->push_back(std::move(messages[i]));
+            for (std::size_t ep = 0; ep < endpoints_.size(); ++ep) {
+                if (ep == from)
+                    continue;
+                // ONE scheduled event (and one clock resolve on
+                // arrival) delivers the whole batch to this
+                // destination; every destination shares the same
+                // refcounted buffers.
+                exec_.schedule(
+                    costs_.localLatency,
+                    [this, ep, from, sentAt, ctx, batch]() {
+                        const sim::SimTime deliveredAt = exec_.now();
+                        for (std::size_t i = 0; i < batch->size(); ++i)
+                            localMetrics().latencyNs.record(deliveredAt -
+                                                            sentAt);
+                        obs::ContextScope scope(ctx);
+                        obs::Span span;
+                        ExecutionSite *dst = endpoints_[ep].site;
+                        if (HYDRA_TRACE_ACTIVE() && dst)
+                            span.open(dst->machine().name(), dst->name(),
+                                      "channel.send", "channel", sentAt);
+                        span.end(deliveredAt);
+                        deliverBatchTo(ep, *batch, from, sentAt,
+                                       deliveredAt);
+                    });
+            }
+        }
+        if (valid < messages.size())
+            return Status(ErrorCode::MessageTooLarge, "message too large");
+        return Status::success();
+    }
+
   private:
     exec::Executor &exec_;
     RingCosts costs_;
@@ -233,18 +303,88 @@ class RingChannel : public Channel
             const bool charge =
                 !busMulticast_ || !sharedCrossingCharged ||
                 endpoints_[ep].site->isHost();
-            transport(from, ep, message, charge, sentAt, ctx);
+            transport(from, ep, {&message, 1}, charge, sentAt, ctx);
             if (!endpoints_[ep].site->isHost())
                 sharedCrossingCharged = true;
         }
         return Status::success();
     }
 
+    Status
+    writeBatchFrom(std::size_t from, std::span<Payload> messages) override
+    {
+        if (messages.empty())
+            return Status::success();
+        if (closed_)
+            return Status(ErrorCode::ChannelClosed, "channel closed");
+        if (from >= endpoints_.size())
+            return Status(ErrorCode::OutOfRange, "bad endpoint");
+        if (endpoints_.size() < 2)
+            return Status(ErrorCode::ChannelNotConnected,
+                          "no peer endpoint");
+        std::size_t valid = 0;
+        std::size_t bytes = 0;
+        while (valid < messages.size() &&
+               messages[valid].size() <= config_.maxMessageBytes)
+            bytes += messages[valid++].size();
+
+        if (valid > 0) {
+            stats_.messagesSent += valid;
+            stats_.bytesSent += bytes;
+            ringMetrics().sent.add(valid);
+            ringMetrics().bytes.add(bytes);
+            const sim::SimTime sentAt = exec_.now();
+
+            // Sender-side descriptor preparation: the CPU still
+            // builds one descriptor per message (the batch saves
+            // doorbells and bus turnarounds, not descriptor writes).
+            ExecutionSite *src = endpoints_[from].site;
+            if (src->isHost()) {
+                hw::Machine &machine = src->machine();
+                machine.cpu().runCycles(costs_.hostDescriptorCycles *
+                                        valid);
+                if (config_.buffering ==
+                    ChannelConfig::Buffering::Copying) {
+                    copyMetrics().copying.add(valid);
+                    EpState &st = state_[from];
+                    for (std::size_t i = 0; i < valid; ++i) {
+                        const hw::Addr slot =
+                            st.ringBuffer +
+                            st.slot * config_.maxMessageBytes;
+                        st.slot = (st.slot + 1) % config_.ringDepth;
+                        machine.os().copyBytes(st.userBuffer, slot,
+                                               messages[i].size());
+                    }
+                }
+            } else {
+                src->run(costs_.deviceDescriptorCycles * valid);
+            }
+
+            const obs::SpanContext ctx = obs::activeContext();
+            bool sharedCrossingCharged = false;
+            for (std::size_t ep = 0; ep < endpoints_.size(); ++ep) {
+                if (ep == from)
+                    continue;
+                const bool charge =
+                    !busMulticast_ || !sharedCrossingCharged ||
+                    endpoints_[ep].site->isHost();
+                transport(from, ep, messages.first(valid), charge,
+                          sentAt, ctx);
+                if (!endpoints_[ep].site->isHost())
+                    sharedCrossingCharged = true;
+            }
+        }
+        if (valid < messages.size())
+            return Status(ErrorCode::MessageTooLarge, "message too large");
+        return Status::success();
+    }
+
   private:
+    /** A sender's (possibly partial) batch awaiting descriptors. */
     struct BacklogEntry
     {
         std::size_t from = 0;
-        Payload message; ///< shares the sender's buffer
+        std::vector<Payload> messages; ///< share the sender's buffers
         sim::SimTime sentAt = 0;
         obs::SpanContext ctx;
     };
@@ -258,40 +398,63 @@ class RingChannel : public Channel
         std::size_t slot = 0;
     };
 
-    /** Move one message from endpoint @p from to @p to. */
+    /**
+     * Move one sender's batch from endpoint @p from to @p to. The
+     * prefix that fits the destination's free descriptors travels as
+     * ONE descriptor chain (one DMA program, one bus transaction, one
+     * completion interrupt); the remainder backpressures as a single
+     * backlog entry (reliable) or drops (unreliable).
+     */
     void
-    transport(std::size_t from, std::size_t to, const Payload &message,
-              bool charge_bus, sim::SimTime sent_at,
-              const obs::SpanContext &ctx)
+    transport(std::size_t from, std::size_t to,
+              std::span<const Payload> messages, bool charge_bus,
+              sim::SimTime sent_at, const obs::SpanContext &ctx)
     {
         EpState &dst_state = state_[to];
-        if (dst_state.inFlight >= config_.ringDepth) {
+        const std::size_t avail =
+            config_.ringDepth > dst_state.inFlight
+                ? config_.ringDepth - dst_state.inFlight
+                : 0;
+        const std::size_t fit = std::min(avail, messages.size());
+        if (fit < messages.size()) {
+            const std::size_t excess = messages.size() - fit;
             if (config_.reliable) {
-                // Backpressure: queue until a descriptor frees.
-                dst_state.backlog.push_back(
-                    BacklogEntry{from, message, sent_at, ctx});
+                BacklogEntry entry;
+                entry.from = from;
+                entry.messages.assign(messages.begin() + fit,
+                                      messages.end());
+                entry.sentAt = sent_at;
+                entry.ctx = ctx;
+                dst_state.backlog.push_back(std::move(entry));
             } else {
-                ++stats_.messagesDropped;
-                ringMetrics().dropped.increment();
+                stats_.messagesDropped += excess;
+                ringMetrics().dropped.add(excess);
             }
-            return;
         }
-        ++dst_state.inFlight;
-        startDma(from, to, message, charge_bus, sent_at, ctx);
+        if (fit == 0)
+            return;
+        dst_state.inFlight += fit;
+        startDma(from, to,
+                 std::vector<Payload>(messages.begin(),
+                                      messages.begin() + fit),
+                 charge_bus, sent_at, ctx);
     }
 
     void
-    startDma(std::size_t from, std::size_t to, const Payload &message,
-             bool charge_bus, sim::SimTime sent_at,
-             const obs::SpanContext &ctx)
+    startDma(std::size_t from, std::size_t to,
+             std::vector<Payload> messages, bool charge_bus,
+             sim::SimTime sent_at, const obs::SpanContext &ctx)
     {
         ExecutionSite *src = endpoints_[from].site;
         ExecutionSite *dst = endpoints_[to].site;
-        const std::size_t bytes = message.size();
+        std::size_t bytes = 0;
+        for (const Payload &message : messages)
+            bytes += message.size();
 
-        // The completion closure holds a reference, not a copy.
-        auto finish = [this, from, to, sent_at, ctx, msg = message]() {
-            completeDelivery(from, to, msg, sent_at, ctx);
+        // The completion closure holds references, not copies.
+        auto finish = [this, from, to, sent_at, ctx,
+                       msgs = std::move(messages)]() {
+            completeDelivery(from, to, msgs, sent_at, ctx);
         };
 
         // Pick the bus-mastering engine: the device side of the pair.
@@ -309,19 +472,21 @@ class RingChannel : public Channel
             exec_.schedule(sim::microseconds(1), std::move(finish));
             return;
         }
+        // One bus transaction moves the whole descriptor chain.
         ++stats_.busCrossings;
         engineOwner->dma().start(bytes, std::move(finish));
     }
 
     void
     completeDelivery(std::size_t from, std::size_t to,
-                     const Payload &message, sim::SimTime sent_at,
-                     const obs::SpanContext &ctx)
+                     const std::vector<Payload> &messages,
+                     sim::SimTime sent_at, const obs::SpanContext &ctx)
     {
         ExecutionSite *dst = endpoints_[to].site;
         EpState &dst_state = state_[to];
 
-        ringMetrics().latencyNs.record(exec_.now() - sent_at);
+        for (std::size_t i = 0; i < messages.size(); ++i)
+            ringMetrics().latencyNs.record(exec_.now() - sent_at);
         obs::ContextScope scope(ctx);
         obs::Span span;
         if (HYDRA_TRACE_ACTIVE() && dst)
@@ -330,20 +495,25 @@ class RingChannel : public Channel
 
         if (dst->isHost()) {
             hw::Machine &machine = dst->machine();
-            const hw::Addr slot =
-                dst_state.ringBuffer +
-                dst_state.slot * config_.maxMessageBytes;
-            dst_state.slot = (dst_state.slot + 1) % config_.ringDepth;
-            machine.os().dmaDelivered(slot, message.size());
-            machine.os().handleInterrupt();
-            if (config_.buffering == ChannelConfig::Buffering::Copying) {
-                // Copy out of the ring into the user buffer.
-                copyMetrics().copying.increment();
-                machine.os().copyBytes(slot, dst_state.userBuffer,
-                                       message.size());
+            for (const Payload &message : messages) {
+                const hw::Addr slot =
+                    dst_state.ringBuffer +
+                    dst_state.slot * config_.maxMessageBytes;
+                dst_state.slot = (dst_state.slot + 1) % config_.ringDepth;
+                machine.os().dmaDelivered(slot, message.size());
+                if (config_.buffering ==
+                    ChannelConfig::Buffering::Copying) {
+                    // Copy out of the ring into the user buffer.
+                    copyMetrics().copying.increment();
+                    machine.os().copyBytes(slot, dst_state.userBuffer,
+                                           message.size());
+                }
             }
+            // Interrupt coalescing falls out of the descriptor chain:
+            // one completion interrupt covers the whole batch.
+            machine.os().handleInterrupt();
         } else {
-            dst->run(costs_.deviceRxCycles);
+            dst->run(costs_.deviceRxCycles * messages.size());
         }
 
         // The clock may have advanced past the entry read (device RX
@@ -351,17 +521,36 @@ class RingChannel : public Channel
         // and hand it down so the channel needn't re-read the clock.
         const sim::SimTime deliveredAt = exec_.now();
         span.end(deliveredAt);
-        deliverTo(to, message, from, sent_at, deliveredAt);
+        deliverBatchTo(to, messages, from, sent_at, deliveredAt);
 
-        // Descriptor recycled; drain backlog if any.
-        if (dst_state.inFlight > 0)
-            --dst_state.inFlight;
-        if (!dst_state.backlog.empty()) {
-            BacklogEntry entry = std::move(dst_state.backlog.front());
-            dst_state.backlog.pop_front();
-            ++dst_state.inFlight;
-            startDma(entry.from, to, entry.message, true, entry.sentAt,
-                     entry.ctx);
+        // Descriptors recycled; refill them from the backlog,
+        // batch-aware: each drained entry keeps its own batch shape
+        // (and DMA chain) up to the descriptors actually free.
+        dst_state.inFlight -= std::min(dst_state.inFlight,
+                                       messages.size());
+        while (!dst_state.backlog.empty() &&
+               dst_state.inFlight < config_.ringDepth) {
+            BacklogEntry &entry = dst_state.backlog.front();
+            const std::size_t avail =
+                config_.ringDepth - dst_state.inFlight;
+            if (entry.messages.size() <= avail) {
+                BacklogEntry whole = std::move(entry);
+                dst_state.backlog.pop_front();
+                dst_state.inFlight += whole.messages.size();
+                startDma(whole.from, to, std::move(whole.messages), true,
+                         whole.sentAt, whole.ctx);
+            } else {
+                // Split: launch the prefix that fits, keep the rest
+                // queued at the front (order preserved).
+                std::vector<Payload> prefix(
+                    entry.messages.begin(),
+                    entry.messages.begin() + avail);
+                entry.messages.erase(entry.messages.begin(),
+                                     entry.messages.begin() + avail);
+                dst_state.inFlight += prefix.size();
+                startDma(entry.from, to, std::move(prefix), true,
+                         entry.sentAt, entry.ctx);
+            }
         }
     }
 

@@ -49,6 +49,8 @@ ThreadedExecutor::ThreadedExecutor() : ThreadedExecutor(Config{}) {}
 ThreadedExecutor::ThreadedExecutor(Config config)
     : config_(config), coordinator_(std::this_thread::get_id())
 {
+    if (config_.batchMax == 0)
+        config_.batchMax = 1; // a zero quantum could never drain
     metrics();
 }
 
@@ -193,9 +195,13 @@ ThreadedExecutor::addSite(const std::string &name)
     // paths only chase cached pointers.
     worker->parks = &obs::counter("exec.site_parks", {{"site", name}});
     worker->wakes = &obs::counter("exec.site_wakes", {{"site", name}});
+    worker->doorbellsCoalesced =
+        &obs::counter("exec.doorbells_coalesced", {{"site", name}});
     worker->ringOccupancy =
         &obs::histogram("exec.ring_occupancy", {{"site", name}});
+    worker->batchSize = &obs::histogram("exec.batch_size", {{"site", name}});
     worker->ringDepth = &obs::gauge("exec.ring_depth", {{"site", name}});
+    worker->drainBuffer.resize(config_.batchMax);
     worker->profileSlot = obs::Profiler::instance().slotFor(name);
     Worker *raw = worker.get();
     workers_.push_back(std::move(worker));
@@ -234,6 +240,17 @@ ThreadedExecutor::wake(Worker &worker)
 {
     if (!worker.parked.load(std::memory_order_acquire))
         return;
+    // Doorbell coalescing: N producers ringing one parked site cost
+    // one notify. Only the false→true winner pays the mutex; later
+    // ringers piggyback on the notify already in flight (the latch is
+    // consumed by the worker at unpark, so "in flight" holds until
+    // the sleeper it targets is awake and rescanning). Items are
+    // pushed before wake() is called, so the post-wake drain sees
+    // every coalesced producer's work.
+    if (worker.doorbell.exchange(true, std::memory_order_acq_rel)) {
+        worker.doorbellsCoalesced->increment();
+        return;
+    }
     {
         // Taking the mutex orders this notify after the worker's
         // park decision, closing the lost-wakeup window.
@@ -289,12 +306,56 @@ ThreadedExecutor::post(SiteId site, Callback fn)
     wake(*worker);
 }
 
+void
+ThreadedExecutor::postBatch(SiteId site, std::span<Callback> fns)
+{
+    if (fns.empty())
+        return;
+    Worker *worker = site <= kMaxSites
+                         ? siteTable_[site].load(std::memory_order_acquire)
+                         : nullptr;
+    if (!worker) {
+        // Main-loop target: fall back to per-item zero-delay events
+        // (order is what matters there, not handoff cost).
+        for (Callback &fn : fns)
+            post(site, std::move(fn));
+        return;
+    }
+    metrics().posts.add(fns.size());
+    postsPending_.fetch_add(fns.size(), std::memory_order_acq_rel);
+
+    const SiteId producer = tl_currentSite;
+    const bool ownsRing = producer != kMainSite || onCoordinator();
+    Inbox &inbox = inboxFor(*worker, producer);
+    std::size_t pushed = 0;
+    if (ownsRing &&
+        inbox.overflowSize.load(std::memory_order_acquire) == 0) {
+        // One tail publish for however much of the span fits.
+        pushed = inbox.ring.pushBatch(fns);
+    }
+    if (pushed < fns.size()) {
+        // Remainder (ring full, or a foreign producer): spill under
+        // ONE lock hold. The overflowSize gate then keeps this
+        // producer spilling until the worker catches up, preserving
+        // per-(producer, site) FIFO exactly as in post().
+        const std::size_t spilled = fns.size() - pushed;
+        metrics().overflow.add(spilled);
+        std::lock_guard<std::mutex> lock(inbox.mutex);
+        for (std::size_t i = pushed; i < fns.size(); ++i)
+            inbox.overflow.push_back(std::move(fns[i]));
+        inbox.overflowSize.fetch_add(spilled, std::memory_order_release);
+    }
+    // One park/unpark decision — and at most one notify — for the
+    // whole batch.
+    wake(*worker);
+}
+
 std::size_t
 ThreadedExecutor::drainInbox(Worker &worker)
 {
     std::size_t executed = 0;
     std::size_t depth = 0;
-    Callback fn;
+    Callback *batch = worker.drainBuffer.data();
     const std::size_t producers = siteCount() + 1;
     for (SiteId p = 0; p < producers && p <= kMaxSites; ++p) {
         Inbox *inbox = worker.inboxes[p].load(std::memory_order_acquire);
@@ -302,29 +363,56 @@ ThreadedExecutor::drainInbox(Worker &worker)
             continue;
         // Occupancy is sampled at service time: how much was queued
         // across this site's lanes when the worker got to them.
-        depth += inbox->ring.sizeHint() +
-                 inbox->overflowSize.load(std::memory_order_acquire);
-        // Ring first (older), then this producer's spill. Popping one
-        // closure at a time keeps the lock hold short; the producer
-        // re-enters the ring only once overflowSize reaches zero, so
-        // order is preserved across the handback.
-        while (inbox->ring.pop(fn)) {
-            fn();
-            fn = nullptr;
-            ++executed;
-        }
+        const std::size_t queued =
+            inbox->ring.sizeHint() +
+            inbox->overflowSize.load(std::memory_order_acquire);
+        depth += queued;
+        // Adapt the drain quantum to the occupancy this visit
+        // observes: double it while the lane is running ahead of it
+        // (backlog — amortize the index publishes), halve it once the
+        // lane runs far emptier (so a quiet site returns to
+        // one-item-eager service). The quantum only bounds how much
+        // one popBatch may take; it never waits for a batch to form,
+        // which is what keeps low-load latency at the unbatched
+        // floor.
+        if (queued > worker.quantum)
+            worker.quantum = std::min(worker.quantum * 2, config_.batchMax);
+        else if (worker.quantum > 1 && queued * 4 < worker.quantum)
+            worker.quantum /= 2;
+        // Ring first (older), then this producer's spill; per-producer
+        // order is preserved across the handback because the producer
+        // re-enters the ring only once overflowSize reaches zero.
         for (;;) {
+            const std::size_t n =
+                inbox->ring.popBatch(batch, worker.quantum);
+            if (n == 0)
+                break;
+            worker.batchSize->record(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                batch[i]();
+                batch[i] = nullptr;
+            }
+            executed += n;
+        }
+        // Swap the whole spill out under one lock hold (shorter than
+        // the old pop-per-lock loop). overflowSize drops before these
+        // closures run, which re-opens the ring to the producer — per
+        // producer FIFO still holds because anything it pushes now is
+        // popped on a later visit, after this older spill executes.
+        if (inbox->overflowSize.load(std::memory_order_acquire) > 0) {
+            std::deque<Callback> spill;
             {
                 std::lock_guard<std::mutex> lock(inbox->mutex);
-                if (inbox->overflow.empty())
-                    break;
-                fn = std::move(inbox->overflow.front());
-                inbox->overflow.pop_front();
-                inbox->overflowSize.fetch_sub(1, std::memory_order_release);
+                spill.swap(inbox->overflow);
+                inbox->overflowSize.store(0, std::memory_order_release);
             }
-            fn();
-            fn = nullptr;
-            ++executed;
+            if (!spill.empty())
+                worker.batchSize->record(spill.size());
+            for (Callback &fn : spill) {
+                fn();
+                fn = nullptr;
+                ++executed;
+            }
         }
     }
     if (executed > 0) {
@@ -371,6 +459,12 @@ ThreadedExecutor::workerLoop(Worker &worker)
             worker.cv.wait_for(lock, std::chrono::milliseconds(2));
         worker.profileSlot->parked.store(false, std::memory_order_relaxed);
         worker.parked.store(false, std::memory_order_release);
+        // Consume the doorbell only after clearing `parked`: a
+        // producer observing the stale parked flag now either rings a
+        // fresh latch (spurious but harmless notify) or piggybacks on
+        // one whose unpark hasn't completed — never on a notify this
+        // cycle already spent.
+        worker.doorbell.store(false, std::memory_order_release);
         idle = 0;
     }
     // Complete handed-off work so drain() callers never lose posts.

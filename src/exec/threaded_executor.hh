@@ -60,6 +60,14 @@ class ThreadedExecutor : public Executor
         std::size_t ringCapacity = 256;
         /** Idle scan+yield passes before a worker parks on its cv. */
         int spinBeforePark = 64;
+        /**
+         * Ceiling on the adaptive drain quantum: the most closures a
+         * worker consumes from one lane per popBatch. The quantum
+         * starts at 1 (eager, latency-first) and only grows toward
+         * this cap while observed occupancy exceeds it — batching is
+         * earned by backlog, never bought with a delay.
+         */
+        std::size_t batchMax = 64;
     };
 
     /** Producers: kMainSite + up to this many sites. */
@@ -87,6 +95,7 @@ class ThreadedExecutor : public Executor
     std::size_t siteCount() const override;
 
     void post(SiteId site, Callback fn) override;
+    void postBatch(SiteId site, std::span<Callback> fns) override;
 
     void runUntil(Time until) override;
     void runToCompletion() override;
@@ -166,11 +175,27 @@ class ThreadedExecutor : public Executor
         std::atomic<bool> parked{false};
         std::mutex parkMutex;
         std::condition_variable cv;
+        /**
+         * Doorbell-coalescing latch. The first producer to ring a
+         * parked site (false→true transition) pays the mutex+notify;
+         * every later producer sees true, counts a coalesced
+         * doorbell, and returns. The worker consumes the latch at
+         * unpark (after clearing `parked`, under the park mutex), so
+         * one latch cycle maps to exactly one park episode.
+         */
+        std::atomic<bool> doorbell{false};
+
+        /** Adaptive drain quantum (worker-private; see drainInbox). */
+        std::size_t quantum = 1;
+        /** Scratch batch buffer, sized to batchMax (worker-private). */
+        std::vector<Callback> drainBuffer;
 
         /** Per-site instruments (`{site=name}`), set at addSite(). */
         obs::Counter *parks = nullptr;
         obs::Counter *wakes = nullptr;
+        obs::Counter *doorbellsCoalesced = nullptr;
         obs::Histogram *ringOccupancy = nullptr;
+        obs::Histogram *batchSize = nullptr;
         obs::Gauge *ringDepth = nullptr;
         /** Profiler slot: the park/unpark transitions publish here. */
         obs::SiteActivitySlot *profileSlot = nullptr;

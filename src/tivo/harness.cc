@@ -35,7 +35,7 @@ clientKindName(ClientKind kind)
 
 Testbed::Testbed(TestbedConfig config) : config_(config)
 {
-    exec_ = exec::makeExecutor(config_.executor);
+    exec_ = exec::makeExecutor(config_.executor, config_.batchMax);
     buildFabric();
     buildServer();
     buildClient();

@@ -11,7 +11,7 @@
  * Usage:
  *   hydra_sim [--server simple|sendfile|onloaded|offloaded|none]
  *             [--client receiver|user-space|offloaded|none]
- *             [--executor sim|threaded]
+ *             [--executor sim|threaded] [--batch-max N]
  *             [--seconds N] [--seed N] [--period-ms N]
  *             [--chunk-bytes N] [--drop P] [--quiet-host]
  *             [--no-bus-multicast] [--histogram]
@@ -50,7 +50,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--server simple|sendfile|onloaded|offloaded|none]\n"
         "          [--client receiver|user-space|offloaded|none]\n"
-        "          [--executor sim|threaded]\n"
+        "          [--executor sim|threaded] [--batch-max N]\n"
         "          [--seconds N] [--seed N] [--period-ms N]\n"
         "          [--chunk-bytes N] [--drop P] [--quiet-host]\n"
         "          [--no-bus-multicast] [--histogram]\n"
@@ -301,6 +301,14 @@ main(int argc, char **argv)
             }
             if (!exec::parseExecutorKind(value, config.executor))
                 return usage(argv[0]);
+        } else if (arg == "--batch-max") {
+            const char *value = next();
+            std::uint64_t parsed = 0;
+            // Reuses the strict positive-integer parser: a zero or
+            // malformed quantum is a usage error, not "use default".
+            if (!value || !parseIntervalMs(value, parsed))
+                return usage(argv[0]);
+            config.batchMax = static_cast<std::size_t>(parsed);
         } else if (arg == "--seconds") {
             const char *value = next();
             if (!value)
