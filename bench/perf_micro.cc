@@ -15,6 +15,8 @@
 
 #include "core/call.hh"
 #include "core/executive.hh"
+#include "fleet/fleet.hh"
+#include "fleet/loadgen.hh"
 #include "core/offcode.hh"
 #include "core/providers.hh"
 #include "dev/nic.hh"
@@ -386,7 +388,8 @@ BM_ChannelLowLoad(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
     state.counters["p99_ns"] = benchmark::Counter(
         obs::histogram("channel.delivery_latency_ns",
-                       {{"channel", config.name}})
+                       {{"channel", config.name},
+                        {"host", world.machine.name()}})
             .percentile(99.0));
 }
 BENCHMARK(BM_ChannelLowLoad)
@@ -681,6 +684,46 @@ BENCHMARK(BM_ProfilerOverhead)
     ->Arg(0)
     ->Arg(1)
     ->UseRealTime();
+
+/**
+ * Fleet smoke: a saturating open-loop run on 1 vs 4 hosts. real_time
+ * guards the wall-clock cost of simulating a fleet (bench_compare's
+ * 2x gate); the `vmsgs_per_sec` counter carries the virtual-time
+ * goodput, whose hosts:4 / hosts:1 ratio bench_gate.py holds to the
+ * >= 2x scaling bar. The sim engine makes the counter deterministic.
+ */
+void
+BM_FleetOpenLoop(benchmark::State &state)
+{
+    const auto hosts = static_cast<std::size_t>(state.range(0));
+    double goodput = 0.0;
+    for (auto _ : state) {
+        exec::SimExecutor sim;
+        fleet::FleetConfig config;
+        config.hosts = hosts;
+        fleet::Fleet fleet(sim, config);
+
+        fleet::LoadgenConfig load;
+        load.streams = 500;
+        load.messageBytes = 256;
+        load.offeredMsgsPerSec = 5e6; // saturating for one host
+        load.duration = sim::milliseconds(10);
+        const fleet::LoadgenReport report =
+            fleet::runOpenLoop(fleet, load);
+        if (report.delivered == 0 || report.writeFailures != 0) {
+            state.SkipWithError("fleet run did not deliver cleanly");
+            break;
+        }
+        goodput = report.deliveredPerVirtualSec;
+    }
+    state.counters["vmsgs_per_sec"] = benchmark::Counter(goodput);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FleetOpenLoop)
+    ->ArgNames({"hosts"})
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

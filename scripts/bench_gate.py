@@ -46,6 +46,13 @@ Three gates on top of bench_compare.py's generic 2x noise gate:
     invariant: batching must not buy throughput with added latency
     when the pipe is idle.
 
+ 6. Fleet scaling: BM_FleetOpenLoop exports virtual-time goodput of a
+    saturating open loop as the `vmsgs_per_sec` counter; the hosts:4
+    / hosts:1 ratio must stay at least HYDRA_FLEET_SCALE_MIN (default
+    2.0). Like gate 5 this is a virtual-clock property — adding hosts
+    must keep buying capacity, or the fleet refactor's premise (shard
+    the executive, spread the load) has regressed.
+
 All limits are env-overridable for slow or shared machines.
 """
 
@@ -55,7 +62,7 @@ import os
 import sys
 
 
-KNOWN_COUNTERS = ("p99_ns",)
+KNOWN_COUNTERS = ("p99_ns", "vmsgs_per_sec")
 
 
 def load(path):
@@ -187,6 +194,29 @@ def main():
         print("bench_gate: BM_ChannelLowLoad p99_ns counters missing "
               "from current run")
         failed.append("BM_ChannelLowLoad(absent)")
+
+    # Gate 6: more hosts must keep meaning more capacity. The goodput
+    # counters come from the sim engine's virtual clock, so the ratio
+    # is deterministic.
+    scale_min = float(os.environ.get("HYDRA_FLEET_SCALE_MIN", "2.0"))
+    wide = "BM_FleetOpenLoop/hosts:4"
+    narrow = "BM_FleetOpenLoop/hosts:1"
+    if (wide in current_counters and narrow in current_counters and
+            "vmsgs_per_sec" in current_counters[wide] and
+            "vmsgs_per_sec" in current_counters[narrow]):
+        denom = current_counters[narrow]["vmsgs_per_sec"]
+        ratio = (current_counters[wide]["vmsgs_per_sec"] / denom
+                 if denom else 0.0)
+        ok = ratio >= scale_min
+        print(f"{'BM_FleetOpenLoop vmsgs_per_sec(4 hosts/1 host)':56s} "
+              f"{ratio:7.3f}x (min {scale_min:.2f})"
+              f"{'' if ok else ' REGRESSION'}")
+        if not ok:
+            failed.append("BM_FleetOpenLoop(scaling)")
+    else:
+        print("bench_gate: BM_FleetOpenLoop vmsgs_per_sec counters "
+              "missing from current run")
+        failed.append("BM_FleetOpenLoop(absent)")
 
     if failed:
         print(f"\nbench gate FAILED: {', '.join(failed)}")

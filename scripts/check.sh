@@ -67,11 +67,16 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     # against the committed baseline. Generous 2x threshold -- this
     # catches "the fast path regressed to deep copies", not
     # machine-to-machine noise.
+    # Fleet end-to-end smoke first: the scale ladder (10k/100k
+    # streams, threaded executor) plus the 1-vs-4-host scaling bar.
+    # The binary exits nonzero if a run fails to deliver cleanly or
+    # the 4-host goodput drops below 2x of one host.
+    "$BUILD_DIR/bench/fleet_scale"
     OUT="$BUILD_DIR/bench_smoke.json"
     # Note: the bundled google-benchmark wants a bare double here (no
     # trailing time unit).
     "$BUILD_DIR/bench/perf_micro" \
-        --benchmark_filter='BM_HistogramRecord|BM_ChannelThroughput|BM_ChannelBatchThroughput|BM_ChannelLowLoad|BM_MulticastFanout|BM_PipelineParallel.*threaded:0|BM_BatchedPipeline.*threaded:0' \
+        --benchmark_filter='BM_HistogramRecord|BM_ChannelThroughput|BM_ChannelBatchThroughput|BM_ChannelLowLoad|BM_MulticastFanout|BM_FleetOpenLoop|BM_PipelineParallel.*threaded:0|BM_BatchedPipeline.*threaded:0' \
         --benchmark_min_time=0.1 \
         --benchmark_format=json > "$OUT"
     echo "bench JSON written to $OUT"
@@ -89,9 +94,11 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     # (batched must not be slower at sites=4) and hold the
     # BM_ChannelLowLoad virtual-time delivery p99 within 5% of the
     # unbatched twin (HYDRA_BATCH_RATIO_MAX, HYDRA_LOWLOAD_P99_MAX).
+    # The fleet gate holds the BM_FleetOpenLoop 4-host/1-host
+    # virtual-time goodput ratio at >= 2x (HYDRA_FLEET_SCALE_MIN).
     GATE_OUT="$BUILD_DIR/bench_gate.json"
     "$BUILD_DIR/bench/perf_micro" \
-        --benchmark_filter='BM_ChannelThroughput|BM_HistogramRecord|BM_ProfilerOverhead|BM_BatchedPipeline|BM_ChannelLowLoad' \
+        --benchmark_filter='BM_ChannelThroughput|BM_HistogramRecord|BM_ProfilerOverhead|BM_BatchedPipeline|BM_ChannelLowLoad|BM_FleetOpenLoop' \
         --benchmark_min_time=0.1 \
         --benchmark_repetitions=5 \
         --benchmark_enable_random_interleaving=true \

@@ -6,11 +6,18 @@
 # fresh process, so the metrics registry, span id counter, and
 # profiler sample store start from zero both times.
 #
-# Usage: determinism_check.sh <hydra_sim-binary> <scratch-dir>
+# With a third argument (the hydra_fleet binary), a 4-host fleet
+# scale run on the sim executor is checked the same way: two fresh
+# processes, byte-identical report JSON and metrics dump. Registered
+# in ctest as `determinism_fleet`.
+#
+# Usage: determinism_check.sh <hydra_sim-binary> <scratch-dir> \
+#                             [hydra_fleet-binary]
 set -euo pipefail
 
 BIN="$1"
 SCRATCH="$2"
+FLEET_BIN="${3:-}"
 mkdir -p "$SCRATCH"
 
 # Each run gets its own subdirectory but identical file names, so the
@@ -60,3 +67,38 @@ cmp "$SCRATCH/a/stdout.txt" "$SCRATCH/b/stdout.txt" || {
 
 echo "OK: sim executor is deterministic (metrics, spans, flight"
 echo "    recording, profile, and scenario output byte-identical)"
+
+# Fleet section: a 4-host open-loop scale run (placement ring, remote
+# wire channels, churn) must be just as reproducible under the sim
+# engine. The JSON report carries only virtual-time quantities, so it
+# is comparable byte for byte; wall-clock lives in the table output
+# only.
+if [ -n "$FLEET_BIN" ]; then
+    run_fleet() {
+        local dir="$SCRATCH/fleet-$1"
+        mkdir -p "$dir"
+        (cd "$dir" &&
+         "$FLEET_BIN" --hosts 4 --streams 500 --rate 200000 \
+                      --duration-ms 20 --churn 1 --seed 42 \
+                      --executor sim --json \
+                      --metrics-out metrics.json \
+                      > report.json)
+    }
+    run_fleet a
+    run_fleet b
+    cmp "$SCRATCH/fleet-a/report.json" "$SCRATCH/fleet-b/report.json" || {
+        echo "FAIL: 4-host fleet report differs between runs" >&2
+        diff "$SCRATCH/fleet-a/report.json" \
+             "$SCRATCH/fleet-b/report.json" | head >&2
+        exit 1
+    }
+    cmp "$SCRATCH/fleet-a/metrics.json" \
+        "$SCRATCH/fleet-b/metrics.json" || {
+        echo "FAIL: 4-host fleet metrics JSON differs between runs" >&2
+        diff "$SCRATCH/fleet-a/metrics.json" \
+             "$SCRATCH/fleet-b/metrics.json" | head >&2
+        exit 1
+    }
+    echo "OK: 4-host fleet scale run is deterministic (report and"
+    echo "    metrics byte-identical)"
+fi

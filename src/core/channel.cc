@@ -29,12 +29,7 @@ ChannelHandle::install(std::function<void(const Payload &)> handler)
                             });
 }
 
-Channel::Channel(ChannelConfig config) : config_(std::move(config))
-{
-    if (!config_.name.empty())
-        deliveryLatency_ = &obs::histogram("channel.delivery_latency_ns",
-                                           {{"channel", config_.name}});
-}
+Channel::Channel(ChannelConfig config) : config_(std::move(config)) {}
 
 Channel::~Channel() = default;
 
@@ -134,6 +129,13 @@ Channel::addEndpoint(ExecutionSite &site)
         endpoints_.size() >= 2)
         return Error(ErrorCode::Unsupported,
                      "unicast channel already has two endpoints");
+    // The first endpoint is the creator's: bind the latency series
+    // here (not in the constructor) so it carries the creator's host.
+    if (endpoints_.empty() && !config_.name.empty())
+        deliveryLatency_ =
+            &obs::histogram("channel.delivery_latency_ns",
+                            {{"channel", config_.name},
+                             {"host", site.machine().name()}});
     Endpoint ep;
     ep.site = &site;
     endpoints_.push_back(std::move(ep));

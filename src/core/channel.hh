@@ -14,6 +14,7 @@
 #ifndef HYDRA_CORE_CHANNEL_HH
 #define HYDRA_CORE_CHANNEL_HH
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -35,6 +36,15 @@ namespace hydra::core {
 
 class Offcode;
 class Channel;
+
+/**
+ * Process-wide channel identity, assigned by the executive shard that
+ * owns the channel. Ids are unique across shards (one shared
+ * allocator), so fleet routing tables key on the id alone without a
+ * (host, id) pair. 0 is never assigned.
+ */
+using ChannelId = std::uint64_t;
+inline constexpr ChannelId kInvalidChannel = 0;
 
 /** Channel configuration (paper Fig. 3). */
 struct ChannelConfig
@@ -108,6 +118,12 @@ class Channel
     const ChannelStats &stats() const { return stats_; }
     std::size_t numEndpoints() const { return endpoints_.size(); }
 
+    /** Executive-assigned id; kInvalidChannel until owned by a shard. */
+    ChannelId id() const { return id_; }
+
+    /** Called once by the owning executive shard at registration. */
+    void bindId(ChannelId id) { id_ = id; }
+
     /** Creator-side write (endpoint 0), as in the paper's examples. */
     Status write(Payload message)
     {
@@ -179,6 +195,18 @@ class Channel
     /** Create the creator endpoint (index 0); called by providers. */
     Status connectCreator(ExecutionSite &site);
 
+    /**
+     * Attach a bare endpoint at @p site — no Offcode, no default
+     * dispatch; the caller installs a handler or polls. Fleet load
+     * generators and tests use this to stand up high-fan-out stream
+     * endpoints without deploying Offcodes. Returns the endpoint
+     * index.
+     */
+    Result<std::size_t> connectSite(ExecutionSite &site)
+    {
+        return addEndpoint(site);
+    }
+
     /** Close the channel; subsequent writes fail ChannelClosed. */
     void close();
     bool closed() const { return closed_; }
@@ -247,8 +275,15 @@ class Channel
     ChannelConfig config_;
     ChannelStats stats_;
     std::vector<Endpoint> endpoints_;
-    bool closed_ = false;
-    /** Cached registry handle; nullptr for anonymous channels. */
+    /** Atomic: a fleet driver thread may close (via the executive's
+     * destroy path) while the coordinator is mid-delivery. */
+    std::atomic<bool> closed_{false};
+    ChannelId id_ = kInvalidChannel;
+    /**
+     * Cached registry handle; nullptr for anonymous channels. Bound
+     * lazily at the first endpoint so the series carries the creator's
+     * host= label (the machine the creator endpoint executes on).
+     */
     obs::Histogram *deliveryLatency_ = nullptr;
 };
 

@@ -1,15 +1,23 @@
 #include "core/executive.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 
 namespace hydra::core {
 
+namespace {
+
+/** Process-wide id allocator: ids stay unique across shards, so a
+ * fleet-level routing table can key on ChannelId alone. Id 0 is
+ * reserved as kInvalidChannel. */
+std::atomic<ChannelId> nextChannelId{1};
+
+} // namespace
+
 ChannelExecutive::ChannelExecutive(
-    std::function<ExecutionSite *(const std::string &)> site_lookup)
-    : siteLookup_(std::move(site_lookup))
+    std::function<ExecutionSite *(const std::string &)> site_lookup,
+    std::string shard)
+    : siteLookup_(std::move(site_lookup)), shard_(std::move(shard))
 {
 }
 
@@ -17,6 +25,13 @@ void
 ChannelExecutive::registerProvider(std::unique_ptr<ChannelProvider> provider)
 {
     providers_.push_back(std::move(provider));
+}
+
+void
+ChannelExecutive::setRemoteSiteLookup(
+    std::function<ExecutionSite *(const std::string &)> lookup)
+{
+    remoteLookup_ = std::move(lookup);
 }
 
 Result<Channel *>
@@ -30,6 +45,8 @@ ChannelExecutive::createChannel(const ChannelConfig &config,
     ExecutionSite *target = nullptr;
     if (!config.targetDevice.empty()) {
         target = siteLookup_(config.targetDevice);
+        if (!target && remoteLookup_)
+            target = remoteLookup_(config.targetDevice);
         if (!target)
             return Error(ErrorCode::NotFound,
                          "unknown target device: " + config.targetDevice);
@@ -55,31 +72,71 @@ ChannelExecutive::createChannel(const ChannelConfig &config,
                      "no provider can serve this channel configuration");
     }
 
+    auto channel = best->create(config, creator);
+    // A provider may hand back a channel whose creator endpoint never
+    // connected (a vetoed addEndpoint, for example). Owning it would
+    // leave an unusable channel inflating activeChannels() forever.
+    if (!channel || channel->numEndpoints() == 0) {
+        obs::counter("channel.create_failed").increment();
+        return Error(ErrorCode::Internal,
+                     "provider '" + best->name() +
+                         "' produced no creator endpoint");
+    }
+
     obs::counter("channel.created", {{"provider", best->name()}})
         .increment();
 
-    LOG_DEBUG << "executive: provider '" << best->name()
+    LOG_DEBUG << "executive[" << shard_ << "]: provider '" << best->name()
               << "' selected for channel to '" << config.targetDevice
               << "'";
 
-    auto channel = best->create(config, creator);
+    const ChannelId id =
+        nextChannelId.fetch_add(1, std::memory_order_relaxed);
+    channel->bindId(id);
     Channel *raw = channel.get();
-    channels_.push_back(std::move(channel));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        channels_.emplace(id, std::move(channel));
+    }
+    active_.fetch_add(1, std::memory_order_relaxed);
     return raw;
 }
 
 Status
 ChannelExecutive::destroyChannel(Channel *channel)
 {
-    auto it = std::find_if(
-        channels_.begin(), channels_.end(),
-        [channel](const auto &owned) { return owned.get() == channel; });
-    if (it == channels_.end())
-        return Status(ErrorCode::NotFound, "channel not owned by executive");
-    (*it)->close();
-    channels_.erase(it);
+    if (!channel)
+        return Status(ErrorCode::InvalidArgument, "null channel");
+    return destroyChannelById(channel->id());
+}
+
+Status
+ChannelExecutive::destroyChannelById(ChannelId id)
+{
+    std::unique_ptr<Channel> owned;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = channels_.find(id);
+        if (it == channels_.end())
+            return Status(ErrorCode::NotFound,
+                          "channel not owned by executive");
+        owned = std::move(it->second);
+        channels_.erase(it);
+    }
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    // Close (and free) outside the lock: close() may touch sites and
+    // metrics, none of which need the registry serialized.
+    owned->close();
     obs::counter("channel.destroyed").increment();
     return Status::success();
+}
+
+Channel *
+ChannelExecutive::findChannel(ChannelId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = channels_.find(id);
+    return it == channels_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string>

@@ -3,14 +3,27 @@
  * The Channel Executive (paper Section 4): owns channel providers,
  * selects the best provider for a requested channel using their
  * advertised cost metrics, and owns the resulting channels.
+ *
+ * Fleet model (DESIGN.md §14): one executive instance is one *shard*
+ * — every host runs its own, owning exactly the channels created on
+ * that host. Shards are independently locked, so channel churn on one
+ * host never contends with another host's, and the registry is
+ * indexed by ChannelId, so destroyChannel is O(1) instead of a raw-
+ * pointer scan of every live channel. Cross-host targets resolve
+ * through an optional secondary site lookup (installed by
+ * fleet::Fleet) and are served by a provider that frames messages
+ * over NIC/network packets.
  */
 
 #ifndef HYDRA_CORE_EXECUTIVE_HH
 #define HYDRA_CORE_EXECUTIVE_HH
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/providers.hh"
@@ -21,31 +34,71 @@ namespace hydra::core {
 class ChannelExecutive
 {
   public:
-    /** @param site_lookup Resolves a targetDevice name to a site. */
+    /**
+     * @param site_lookup Resolves a targetDevice name to a site.
+     * @param shard Host this shard serves (metric label; "host" for
+     * standalone runtimes).
+     */
     explicit ChannelExecutive(
-        std::function<ExecutionSite *(const std::string &)> site_lookup);
+        std::function<ExecutionSite *(const std::string &)> site_lookup,
+        std::string shard = "host");
 
     void registerProvider(std::unique_ptr<ChannelProvider> provider);
+
+    /**
+     * Secondary site lookup consulted when the local one misses —
+     * the fleet installs cross-host resolution here ("hostN" or any
+     * other host's device name). Set during fleet bring-up, before
+     * channels are created.
+     */
+    void setRemoteSiteLookup(
+        std::function<ExecutionSite *(const std::string &)> lookup);
 
     /**
      * Create a channel with its creator endpoint at @p creator.
      * Provider selection uses config.targetDevice (may be empty for
      * channels attached later) and a typical message size hint.
+     * Thread-safe: shards accept concurrent creates (the fleet's
+     * per-host drivers churn streams in parallel).
      */
     Result<Channel *> createChannel(const ChannelConfig &config,
                                     ExecutionSite &creator,
                                     std::size_t typical_bytes = 1024);
 
-    /** Destroy a channel created by this executive. */
+    /** Destroy a channel created by this shard. O(1): the registry
+     * is keyed by the channel's id, not scanned by pointer. */
     Status destroyChannel(Channel *channel);
 
+    /** Destroy by id (what a routing table stores). */
+    Status destroyChannelById(ChannelId id);
+
+    /** Look up an owned channel by id; nullptr when not this shard's. */
+    Channel *findChannel(ChannelId id) const;
+
     std::vector<std::string> providerNames() const;
-    std::size_t activeChannels() const { return channels_.size(); }
+
+    /**
+     * Channels currently alive in this shard. Exact: failed creates
+     * (no capable provider, or a provider whose creator endpoint
+     * never connected) are not counted, and destroys decrement.
+     */
+    std::size_t activeChannels() const
+    {
+        return active_.load(std::memory_order_relaxed);
+    }
+
+    const std::string &shardName() const { return shard_; }
 
   private:
     std::function<ExecutionSite *(const std::string &)> siteLookup_;
+    std::function<ExecutionSite *(const std::string &)> remoteLookup_;
     std::vector<std::unique_ptr<ChannelProvider>> providers_;
-    std::vector<std::unique_ptr<Channel>> channels_;
+
+    /** Guards channels_; providers are registered at bring-up only. */
+    mutable std::mutex mutex_;
+    std::unordered_map<ChannelId, std::unique_ptr<Channel>> channels_;
+    std::atomic<std::size_t> active_{0};
+    std::string shard_;
 };
 
 } // namespace hydra::core

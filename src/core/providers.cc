@@ -614,9 +614,12 @@ DmaRingChannelProvider::canServe(const ChannelConfig &config,
                                  ExecutionSite *target) const
 {
     (void)config;
-    (void)creator;
-    (void)target;
-    return true; // the ring transport spans any site pair
+    if (!target)
+        return true; // connectionless until attached
+    // The ring transport spans any site pair on ONE machine: the
+    // descriptor rings and DMA engine live on the creator's bus.
+    // Cross-machine pairs belong to the fleet's remote provider.
+    return &creator.machine() == &target->machine();
 }
 
 ChannelCost

@@ -223,7 +223,8 @@ Runtime::Runtime(hw::Machine &machine, RuntimeConfig config)
     memory_ = std::make_unique<MemoryManager>(machine_.os(),
                                               config_.pinLimitBytes);
     executive_ = std::make_unique<ChannelExecutive>(
-        [this](const std::string &name) { return siteByName(name); });
+        [this](const std::string &name) { return siteByName(name); },
+        machine_.name());
     executive_->registerProvider(
         std::make_unique<LocalChannelProvider>(machine_.executor()));
     executive_->registerProvider(std::make_unique<DmaRingChannelProvider>(

@@ -31,7 +31,7 @@ Device::Device(exec::Executor &executor, hw::Bus &host_bus,
                                              config_.firmwareGhz);
     dma_ = std::make_unique<hw::DmaEngine>(
         exec_, hostBus_, config_.dmaDescriptorCost, config_.name);
-    site_ = exec_.addSite(config_.name);
+    site_ = exec_.addSite(config_.name, hostName());
     // The device site is its firmware core: CPU attribution reads the
     // same busy clock runFirmware charges.
     obs::CpuAttribution::instance().registerSite(
@@ -39,7 +39,7 @@ Device::Device(exec::Executor &executor, hw::Bus &host_bus,
         [cpu = firmwareCpu_.get()](std::uint64_t now) {
             return cpu->busyBefore(now);
         },
-        /*isDevice=*/true, exec_.now());
+        /*isDevice=*/true, exec_.now(), /*host=*/hostName());
 }
 
 Device::~Device()

@@ -71,6 +71,18 @@ class Device
     const DeviceClassSpec &deviceClass() const { return class_; }
     const DeviceConfig &config() const { return config_; }
 
+    /**
+     * Name of the host machine this device is plugged into, derived
+     * from the host bus ("server.bus" -> "server"). Labels the
+     * device's telemetry series with host= in fleet runs.
+     */
+    std::string hostName() const
+    {
+        const std::string &bus = hostBus_.name();
+        const auto dot = bus.rfind(".bus");
+        return dot == std::string::npos ? bus : bus.substr(0, dot);
+    }
+
     hw::Cpu &firmwareCpu() { return *firmwareCpu_; }
     hw::DmaEngine &dma() { return *dma_; }
     exec::Executor &executor() { return exec_; }

@@ -40,6 +40,7 @@ ProgrammableNic::ProgrammableNic(exec::Executor &executor,
 
 ProgrammableNic::~ProgrammableNic()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const auto &[port, binding] : bindings_)
         net_.unbind(node_, port);
 }
@@ -60,6 +61,7 @@ ProgrammableNic::bindHostPort(net::Port port, hw::OsKernel &os,
     });
     if (!bound)
         return bound;
+    std::lock_guard<std::mutex> lock(mutex_);
     bindings_[port] = std::move(binding);
     return Status::success();
 }
@@ -76,6 +78,7 @@ ProgrammableNic::bindDevicePort(net::Port port, net::PacketHandler handler)
     });
     if (!bound)
         return bound;
+    std::lock_guard<std::mutex> lock(mutex_);
     bindings_[port] = std::move(binding);
     return Status::success();
 }
@@ -84,16 +87,23 @@ void
 ProgrammableNic::unbindPort(net::Port port)
 {
     net_.unbind(node_, port);
+    std::lock_guard<std::mutex> lock(mutex_);
     bindings_.erase(port);
 }
 
 void
 ProgrammableNic::onReceive(const net::Packet &packet)
 {
-    auto it = bindings_.find(packet.dstPort);
-    if (it == bindings_.end())
-        return;
-    PortBinding &binding = it->second;
+    // Copy the binding out so the handler runs without the port lock
+    // (handlers may bind/unbind ports or send).
+    PortBinding binding;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = bindings_.find(packet.dstPort);
+        if (it == bindings_.end())
+            return;
+        binding = it->second;
+    }
 
     // Firmware classification runs on the NIC core either way.
     runFirmware(costs_.rxFirmwareCycles);
@@ -109,7 +119,7 @@ ProgrammableNic::onReceive(const net::Packet &packet)
     const std::size_t bytes = packet.payload.size();
     hw::OsKernel *os = binding.os;
     const hw::Addr buffer = binding.hostBuffer;
-    auto handler = binding.handler; // copy: binding may be unbound later
+    auto handler = binding.handler;
     dma().start(bytes, [this, os, buffer, bytes, handler,
                         pkt = packet]() mutable {
         // DMA completion runs from the scheduler; restore the

@@ -14,8 +14,10 @@
 #ifndef HYDRA_DEV_NIC_HH
 #define HYDRA_DEV_NIC_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "dev/device.hh"
@@ -100,10 +102,17 @@ class ProgrammableNic : public Device
     net::Network &net_;
     net::NodeId node_;
     NicCosts costs_;
+    /**
+     * Port table lock: a fleet binds one port per remote channel
+     * endpoint while the threaded executor is delivering to others, so
+     * bind/unbind/receive-lookup must serialize. onReceive copies the
+     * binding out and runs the handler unlocked.
+     */
+    mutable std::mutex mutex_;
     std::map<net::Port, PortBinding> bindings_;
-    std::uint64_t toHost_ = 0;
-    std::uint64_t toDevice_ = 0;
-    std::uint64_t sent_ = 0;
+    std::atomic<std::uint64_t> toHost_{0};
+    std::atomic<std::uint64_t> toDevice_{0};
+    std::atomic<std::uint64_t> sent_{0};
 };
 
 } // namespace hydra::dev

@@ -25,11 +25,15 @@
 #ifndef HYDRA_EXEC_EXECUTOR_HH
 #define HYDRA_EXEC_EXECUTOR_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "sim/time.hh"
 
@@ -88,6 +92,44 @@ class Executor
      */
     virtual SiteId addSite(const std::string &name) = 0;
 
+    /**
+     * Register a site that belongs to a named host machine. A fleet
+     * shares ONE executor across N hosts, so the engine itself must
+     * know which host each site serves — per-host CPU reports, the
+     * placement map, and hydra_top's grouping all read this mapping
+     * rather than re-deriving it from site-name conventions.
+     */
+    SiteId
+    addSite(const std::string &name, const std::string &host)
+    {
+        const SiteId id = addSite(name);
+        std::lock_guard<std::mutex> lock(siteHostMutex_);
+        siteHosts_[id] = host;
+        return id;
+    }
+
+    /** Host a site was registered under; "" for host-less sites. */
+    std::string
+    siteHost(SiteId site) const
+    {
+        std::lock_guard<std::mutex> lock(siteHostMutex_);
+        auto it = siteHosts_.find(site);
+        return it == siteHosts_.end() ? std::string() : it->second;
+    }
+
+    /** Sites registered under @p host, in registration order. */
+    std::vector<SiteId>
+    sitesOfHost(const std::string &host) const
+    {
+        std::lock_guard<std::mutex> lock(siteHostMutex_);
+        std::vector<SiteId> sites;
+        for (const auto &[id, owner] : siteHosts_)
+            if (owner == host)
+                sites.push_back(id);
+        std::sort(sites.begin(), sites.end());
+        return sites;
+    }
+
     /** Sites registered so far (kMainSite excluded). */
     virtual std::size_t siteCount() const = 0;
 
@@ -138,6 +180,11 @@ class Executor
 
     /** Timer events currently pending. */
     virtual std::size_t pendingEvents() const = 0;
+
+  private:
+    /** Site -> owning host, filled by the two-argument addSite(). */
+    mutable std::mutex siteHostMutex_;
+    std::unordered_map<SiteId, std::string> siteHosts_;
 };
 
 /** Which engine to construct (CLI: --executor=sim|threaded). */

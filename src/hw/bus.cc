@@ -38,22 +38,32 @@ Bus::Bus(exec::Executor &executor, std::string name, double bandwidth_gbps,
 void
 Bus::transfer(std::uint64_t bytes, Callback done)
 {
-    const sim::SimTime start = std::max(exec_.now(), freeAt_);
+    const sim::SimTime nowTime = exec_.now();
     const sim::SimTime payload = sim::transferTime(bytes, bandwidthGbps_);
     const sim::SimTime duration = setupLatency_ + payload;
-    const sim::SimTime stalled = start - exec_.now();
-    freeAt_ = start + duration;
+    sim::SimTime start = 0;
+    sim::SimTime stalled = 0;
+    sim::SimTime fireAt = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        start = std::max(nowTime, freeAt_);
+        stalled = start - nowTime;
+        freeAt_ = start + duration;
+        fireAt = freeAt_;
 
-    ++stats_.transactions;
-    stats_.bytesMoved += bytes;
-    stats_.busyTime += duration;
+        ++stats_.transactions;
+        stats_.bytesMoved += bytes;
+        stats_.busyTime += duration;
+        if (stalled > 0) {
+            ++stats_.contentionStalls;
+            stats_.stallTime += stalled;
+        }
+    }
 
     BusMetrics &metrics = busMetrics();
     metrics.crossings.increment();
     metrics.bytes.add(bytes);
     if (stalled > 0) {
-        ++stats_.contentionStalls;
-        stats_.stallTime += stalled;
         metrics.stalls.increment();
         metrics.stallNs.record(stalled);
     }
@@ -70,14 +80,22 @@ Bus::transfer(std::uint64_t bytes, Callback done)
                         start, duration);
     }
 
-    exec_.scheduleAt(freeAt_, std::move(done));
+    exec_.scheduleAt(fireAt, std::move(done));
 }
 
 sim::SimTime
 Bus::estimateCompletion(std::uint64_t bytes) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     const sim::SimTime start = std::max(exec_.now(), freeAt_);
     return start + setupLatency_ + sim::transferTime(bytes, bandwidthGbps_);
+}
+
+BusStats
+Bus::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
 }
 
 DmaEngine::DmaEngine(exec::Executor &executor, Bus &bus,

@@ -11,8 +11,10 @@
 #ifndef HYDRA_HW_BUS_HH
 #define HYDRA_HW_BUS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 
 #include "exec/executor.hh"
@@ -58,7 +60,8 @@ class Bus
     /** Completion time of a transfer queued now (without queuing it). */
     sim::SimTime estimateCompletion(std::uint64_t bytes) const;
 
-    const BusStats &stats() const { return stats_; }
+    /** Snapshot of the counters (safe while transfers run). */
+    BusStats stats() const;
     const std::string &name() const { return name_; }
     double bandwidthGbps() const { return bandwidthGbps_; }
 
@@ -67,6 +70,15 @@ class Bus
     std::string name_;
     double bandwidthGbps_;
     sim::SimTime setupLatency_;
+    /**
+     * A real bus is an arbiter: in a fleet, a host's driver thread
+     * (remote channel sends) and the coordinator (DMA completions,
+     * intra-host rings) both queue transfers concurrently, so the
+     * free-time bookkeeping serializes under a lock. The critical
+     * section is a few integer updates; the completion callback is
+     * scheduled outside it.
+     */
+    mutable std::mutex mutex_;
     sim::SimTime freeAt_ = 0;
     BusStats stats_;
 };
@@ -89,13 +101,18 @@ class DmaEngine
     /** Start a DMA of @p bytes; @p done fires at completion. */
     void start(std::uint64_t bytes, Bus::Callback done);
 
-    std::uint64_t transfersStarted() const { return transfers_; }
+    std::uint64_t
+    transfersStarted() const
+    {
+        return transfers_.load(std::memory_order_relaxed);
+    }
 
   private:
     exec::Executor &exec_;
     Bus &bus_;
     sim::SimTime perDescriptorCost_;
-    std::uint64_t transfers_ = 0;
+    /** Atomic: fleet driver threads start DMAs concurrently. */
+    std::atomic<std::uint64_t> transfers_{0};
     /** `dma.transfer_ns{device=owner}`; nullptr when anonymous. */
     obs::Histogram *transferNs_ = nullptr;
 };

@@ -21,7 +21,7 @@ Machine::Machine(exec::Executor &executor, MachineConfig config)
         [cpu = cpu_.get()](std::uint64_t now) {
             return cpu->busyBefore(now);
         },
-        /*isDevice=*/false, exec_.now());
+        /*isDevice=*/false, exec_.now(), /*host=*/name_);
 }
 
 Machine::~Machine()

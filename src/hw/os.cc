@@ -17,12 +17,10 @@ OsKernel::OsKernel(exec::Executor &executor, Cpu &cpu, CacheModel &l2,
 Addr
 OsKernel::allocRegion(std::size_t bytes)
 {
-    const Addr base = nextAddr_;
     // Keep regions line-aligned and non-adjacent so cache interactions
     // between unrelated buffers stay intentional.
     const std::size_t rounded = (bytes + 4095) / 4096 * 4096 + 4096;
-    nextAddr_ += rounded;
-    return base;
+    return nextAddr_.fetch_add(rounded, std::memory_order_relaxed);
 }
 
 sim::SimTime

@@ -14,6 +14,7 @@
 #ifndef HYDRA_HW_OS_HH
 #define HYDRA_HW_OS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -144,7 +145,9 @@ class OsKernel
     CacheModel &l2_;
     OsConfig config_;
     hydra::Rng rng_;
-    Addr nextAddr_ = 0x1000'0000;
+    /** Atomic bump pointer: fleet drivers allocate stream buffers
+     * concurrently with the coordinator's kernel paths. */
+    std::atomic<Addr> nextAddr_{0x1000'0000};
     Addr hotSet_ = 0;
     Addr backgroundStream_ = 0;
     std::size_t streamOffset_ = 0;

@@ -40,6 +40,7 @@ Network::Network(exec::Executor &executor, NetworkConfig config)
 NodeId
 Network::addNode(std::string name)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     nodes_.push_back(Node{std::move(name), 0, 0, {}});
     return static_cast<NodeId>(nodes_.size() - 1);
 }
@@ -47,6 +48,7 @@ Network::addNode(std::string name)
 Status
 Network::bind(NodeId node, Port port, PacketHandler handler)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (node >= nodes_.size())
         return Status(ErrorCode::NotFound, "no such node");
     auto &handlers = nodes_[node].handlers;
@@ -59,53 +61,78 @@ Network::bind(NodeId node, Port port, PacketHandler handler)
 void
 Network::unbind(NodeId node, Port port)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (node < nodes_.size())
         nodes_[node].handlers.erase(port);
 }
 
-const std::string &
+std::string
 Network::nodeName(NodeId node) const
 {
-    static const std::string unknown = "<unknown>";
-    return node < nodes_.size() ? nodes_[node].name : unknown;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return node < nodes_.size() ? nodes_[node].name : "<unknown>";
+}
+
+std::size_t
+Network::nodeCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return nodes_.size();
+}
+
+NetworkStats
+Network::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
 }
 
 Status
 Network::send(Packet packet)
 {
-    if (packet.src >= nodes_.size() || packet.dst >= nodes_.size())
-        return Status(ErrorCode::NetworkUnreachable, "bad address");
-    if (packet.payload.size() > config_.maxPayload)
-        return Status(ErrorCode::MessageTooLarge, "payload too large");
-
-    ++stats_.packetsSent;
-    netMetrics().sent.increment();
     packet.sentAt = exec_.now();
     if (!packet.traceCtx.valid())
         packet.traceCtx = obs::activeContext();
 
-    if (config_.dropProbability > 0.0 &&
-        (config_.lossPort == 0 || packet.dstPort == config_.lossPort) &&
-        rng_.chance(config_.dropProbability)) {
-        ++stats_.packetsDropped;
-        netMetrics().dropped.increment();
-        return Status::success(); // datagram semantics: loss is silent
+    sim::SimTime delivered = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (packet.src >= nodes_.size() || packet.dst >= nodes_.size())
+            return Status(ErrorCode::NetworkUnreachable, "bad address");
+        if (packet.payload.size() > config_.maxPayload)
+            return Status(ErrorCode::MessageTooLarge,
+                          "payload too large");
+
+        ++stats_.packetsSent;
+        netMetrics().sent.increment();
+
+        if (config_.dropProbability > 0.0 &&
+            (config_.lossPort == 0 ||
+             packet.dstPort == config_.lossPort) &&
+            rng_.chance(config_.dropProbability)) {
+            ++stats_.packetsDropped;
+            netMetrics().dropped.increment();
+            return Status::success(); // datagram loss is silent
+        }
+
+        // Serialize on the sender's uplink.
+        Node &src = nodes_[packet.src];
+        const sim::SimTime wire =
+            sim::transferTime(packet.wireBytes(), config_.linkGbps);
+        const sim::SimTime tx_start =
+            std::max(packet.sentAt, src.txFreeAt);
+        src.txFreeAt = tx_start + wire;
+
+        // Propagate, switch, then serialize on the receiver's
+        // downlink.
+        Node &dst = nodes_[packet.dst];
+        const sim::SimTime arrive_at_switch =
+            src.txFreeAt + config_.linkLatency + config_.switchLatency;
+        const sim::SimTime rx_start =
+            std::max(arrive_at_switch, dst.rxFreeAt);
+        dst.rxFreeAt = rx_start + wire;
+        delivered = dst.rxFreeAt + config_.linkLatency;
     }
-
-    // Serialize on the sender's uplink.
-    Node &src = nodes_[packet.src];
-    const sim::SimTime wire =
-        sim::transferTime(packet.wireBytes(), config_.linkGbps);
-    const sim::SimTime tx_start = std::max(exec_.now(), src.txFreeAt);
-    src.txFreeAt = tx_start + wire;
-
-    // Propagate, switch, then serialize on the receiver's downlink.
-    Node &dst = nodes_[packet.dst];
-    const sim::SimTime arrive_at_switch =
-        src.txFreeAt + config_.linkLatency + config_.switchLatency;
-    const sim::SimTime rx_start = std::max(arrive_at_switch, dst.rxFreeAt);
-    dst.rxFreeAt = rx_start + wire;
-    const sim::SimTime delivered = dst.rxFreeAt + config_.linkLatency;
 
     exec_.scheduleAt(delivered, [this, pkt = std::move(packet)]() mutable {
         deliver(std::move(pkt));
@@ -116,17 +143,24 @@ Network::send(Packet packet)
 void
 Network::deliver(Packet packet)
 {
-    Node &dst = nodes_[packet.dst];
-    auto it = dst.handlers.find(packet.dstPort);
-    if (it == dst.handlers.end()) {
-        ++stats_.packetsDropped;
-        netMetrics().dropped.increment();
-        LOG_DEBUG << "packet to " << dst.name << ":" << packet.dstPort
-                  << " dropped (no listener)";
-        return;
+    PacketHandler handler;
+    {
+        // Copy the handler out so the receive path (which may re-enter
+        // send()) runs without the fabric lock.
+        std::lock_guard<std::mutex> lock(mutex_);
+        Node &dst = nodes_[packet.dst];
+        auto it = dst.handlers.find(packet.dstPort);
+        if (it == dst.handlers.end()) {
+            ++stats_.packetsDropped;
+            netMetrics().dropped.increment();
+            LOG_DEBUG << "packet to " << dst.name << ":"
+                      << packet.dstPort << " dropped (no listener)";
+            return;
+        }
+        handler = it->second;
+        ++stats_.packetsDelivered;
+        stats_.bytesDelivered += packet.payload.size();
     }
-    ++stats_.packetsDelivered;
-    stats_.bytesDelivered += packet.payload.size();
     NetMetrics &metrics = netMetrics();
     metrics.delivered.increment();
     metrics.bytes.add(packet.payload.size());
@@ -136,10 +170,10 @@ Network::deliver(Packet packet)
     obs::ContextScope scope(packet.traceCtx);
     obs::Span span;
     if (HYDRA_TRACE_ACTIVE())
-        span.open("network", dst.name, "net.xfer", "net",
+        span.open("network", nodeName(packet.dst), "net.xfer", "net",
                   packet.sentAt);
     span.end(exec_.now());
-    it->second(packet);
+    handler(packet);
 }
 
 } // namespace hydra::net

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -64,9 +65,10 @@ class Network
      */
     Status send(Packet packet);
 
-    const NetworkStats &stats() const { return stats_; }
-    const std::string &nodeName(NodeId node) const;
-    std::size_t nodeCount() const { return nodes_.size(); }
+    /** Snapshot of the delivery counters (safe while senders run). */
+    NetworkStats stats() const;
+    std::string nodeName(NodeId node) const;
+    std::size_t nodeCount() const;
 
   private:
     struct Node
@@ -81,6 +83,16 @@ class Network
 
     exec::Executor &exec_;
     NetworkConfig config_;
+    /**
+     * One fabric is shared by every host of a fleet, so link-state
+     * updates (txFreeAt/rxFreeAt), stats, and the loss RNG are reached
+     * from multiple threaded-executor workers concurrently. One lock
+     * covers them all: the critical sections are a handful of integer
+     * updates, far cheaper than the modeled wire times they compute.
+     * Handlers are invoked WITHOUT the lock held (deliver copies the
+     * handler out), so receive paths may re-enter send().
+     */
+    mutable std::mutex mutex_;
     std::vector<Node> nodes_;
     NetworkStats stats_;
     hydra::Rng rng_;

@@ -15,7 +15,8 @@ CpuAttribution::instance()
 
 void
 CpuAttribution::registerSite(const std::string &site, BusyFn busyUpTo,
-                             bool isDevice, std::uint64_t nowNs)
+                             bool isDevice, std::uint64_t nowNs,
+                             const std::string &host)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto &entry : sites_) {
@@ -36,11 +37,16 @@ CpuAttribution::registerSite(const std::string &site, BusyFn busyUpTo,
     entry->isDevice = isDevice;
     entry->lastSyncNs = nowNs;
     entry->busyReported = entry->busyUpTo(nowNs);
-    entry->busy = &counter("exec.site_busy_ns", {{"site", site}});
-    entry->idle = &counter("exec.site_idle_ns", {{"site", site}});
+    Labels siteLabels{{"site", site}};
+    Labels deviceLabels{{"device", site}};
+    if (!host.empty()) {
+        siteLabels.push_back({"host", host});
+        deviceLabels.push_back({"host", host});
+    }
+    entry->busy = &counter("exec.site_busy_ns", siteLabels);
+    entry->idle = &counter("exec.site_idle_ns", siteLabels);
     if (isDevice)
-        entry->utilization =
-            &gauge("device.cpu_utilization", {{"device", site}});
+        entry->utilization = &gauge("device.cpu_utilization", deviceLabels);
     sites_.push_back(std::move(entry));
 }
 

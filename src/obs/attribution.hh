@@ -60,9 +60,12 @@ class CpuAttribution
      * `device.cpu_utilization{device=site}` gauge. Idempotent per
      * name: a second registration resets the accounting baseline to
      * @p nowNs, which lets tests and benches reuse site names.
+     * @p host tags the site's series with `host=` so a fleet run can
+     * group them per machine; empty omits the label (bare test sites).
      */
     void registerSite(const std::string &site, BusyFn busyUpTo,
-                      bool isDevice, std::uint64_t nowNs);
+                      bool isDevice, std::uint64_t nowNs,
+                      const std::string &host = "");
 
     /** Drop a site (its CPU model is being destroyed). */
     void unregisterSite(const std::string &site);

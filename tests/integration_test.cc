@@ -503,12 +503,19 @@ expectBusyPlusIdleEqualsElapsed(exec::ExecutorKind kind)
     const std::vector<std::string> sites = {
         "server.host", "client.host",  "server-nic",
         "client-nic",  "client-disk", "client-gpu"};
+    // Testbed site names encode their machine ("server.host",
+    // "client-gpu"), which is exactly the host= label attribution adds.
+    const auto hostOf = [](const std::string &site) {
+        return site.substr(0, site.find_first_of(".-"));
+    };
     std::map<std::string, std::uint64_t> busyBefore, idleBefore;
     for (const std::string &site : sites) {
-        busyBefore[site] = registry.counterValue("exec.site_busy_ns",
-                                                 {{"site", site}});
-        idleBefore[site] = registry.counterValue("exec.site_idle_ns",
-                                                 {{"site", site}});
+        busyBefore[site] = registry.counterValue(
+            "exec.site_busy_ns",
+            {{"site", site}, {"host", hostOf(site)}});
+        idleBefore[site] = registry.counterValue(
+            "exec.site_idle_ns",
+            {{"site", site}, {"host", hostOf(site)}});
     }
     const std::uint64_t decoderCpuBefore =
         registry.counterValue("offcode.cpu_ns",
@@ -524,20 +531,23 @@ expectBusyPlusIdleEqualsElapsed(exec::ExecutorKind kind)
     ASSERT_GT(elapsed, 0u);
     for (const std::string &site : sites) {
         const std::uint64_t busy =
-            registry.counterValue("exec.site_busy_ns",
-                                  {{"site", site}}) -
+            registry.counterValue(
+                "exec.site_busy_ns",
+                {{"site", site}, {"host", hostOf(site)}}) -
             busyBefore[site];
         const std::uint64_t idle =
-            registry.counterValue("exec.site_idle_ns",
-                                  {{"site", site}}) -
+            registry.counterValue(
+                "exec.site_idle_ns",
+                {{"site", site}, {"host", hostOf(site)}}) -
             idleBefore[site];
         EXPECT_EQ(busy + idle, elapsed) << site;
     }
 
     // The pipeline ran, so its devices burned CPU and the per-Offcode
     // attribution saw it.
-    EXPECT_GT(registry.counterValue("exec.site_busy_ns",
-                                    {{"site", "client-gpu"}}),
+    EXPECT_GT(registry.counterValue(
+                  "exec.site_busy_ns",
+                  {{"site", "client-gpu"}, {"host", "client"}}),
               busyBefore["client-gpu"]);
     EXPECT_GT(registry.counterValue("offcode.cpu_ns",
                                     {{"offcode", "tivo.Decoder"}}),

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * hydra_fleet — command-line driver for multi-host scale runs
+ * (DESIGN.md §14).
+ *
+ * Builds an N-host fleet on one shared fabric, drives it with the
+ * open-loop load generator, and prints the measurement set a capacity
+ * study needs: offered vs delivered, end-to-end delivery latency
+ * percentiles (p50/p99/p999), payload-copy accounting, and per-host
+ * CPU (host CPU + NIC firmware busy time over the window).
+ *
+ * Usage:
+ *   hydra_fleet [--hosts N] [--streams N] [--rate MSGS_PER_SEC]
+ *               [--bytes N] [--duration-ms N] [--tick-us N]
+ *               [--executor sim|threaded] [--churn N]
+ *               [--remote-only] [--drivers] [--seed N]
+ *               [--background-load] [--json]
+ *               [--metrics] [--metrics-out FILE]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "exec/executor.hh"
+#include "fleet/fleet.hh"
+#include "fleet/loadgen.hh"
+#include "obs/metrics.hh"
+
+using namespace hydra;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--hosts N] [--streams N] [--rate MSGS_PER_SEC]\n"
+        "          [--bytes N] [--duration-ms N] [--tick-us N]\n"
+        "          [--executor sim|threaded] [--churn N]\n"
+        "          [--remote-only] [--drivers] [--seed N]\n"
+        "          [--background-load] [--json]\n"
+        "          [--metrics] [--metrics-out FILE]\n",
+        argv0);
+    return 2;
+}
+
+bool
+parseU64(const char *value, std::uint64_t &out)
+{
+    if (!value || *value == '\0')
+        return false;
+    std::uint64_t parsed = 0;
+    for (const char *p = value; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+        parsed = parsed * 10 + static_cast<std::uint64_t>(*p - '0');
+    }
+    out = parsed;
+    return true;
+}
+
+void
+printTable(const fleet::LoadgenReport &report)
+{
+    std::printf("fleet: %zu hosts, %zu streams (%zu remote, %zu local)\n",
+                report.hosts, report.streams, report.remoteStreams,
+                report.localStreams);
+    std::printf(
+        "load:  offered %llu, delivered %llu (%.1f%%), churned %llu, "
+        "write failures %llu\n",
+        static_cast<unsigned long long>(report.offered),
+        static_cast<unsigned long long>(report.delivered),
+        report.offered
+            ? 100.0 * static_cast<double>(report.delivered) /
+                  static_cast<double>(report.offered)
+            : 0.0,
+        static_cast<unsigned long long>(report.churned),
+        static_cast<unsigned long long>(report.writeFailures));
+    std::printf(
+        "rate:  %.0f msgs/virtual-sec over %.1f ms window "
+        "(simulated in %.1f ms wall)\n",
+        report.deliveredPerVirtualSec,
+        static_cast<double>(report.elapsed) / 1e6, report.wallMs);
+    std::printf("copies: wire %llu (one per cross-host message), "
+                "zero-copy-path copies %llu (0 = no hidden copies)\n",
+                static_cast<unsigned long long>(report.wireCopies),
+                static_cast<unsigned long long>(report.zeroCopies));
+    std::printf("latency (write -> handler, us): p50 %.1f  p99 %.1f  "
+                "p999 %.1f  max %.1f  [n=%llu]\n",
+                report.latency.p50 / 1e3, report.latency.p99 / 1e3,
+                report.latency.p999 / 1e3,
+                static_cast<double>(report.latency.max) / 1e3,
+                static_cast<unsigned long long>(report.latency.count));
+    std::printf("%-8s %10s %12s %12s %8s\n", "host", "streams",
+                "delivered", "busy-ms", "cpu%");
+    const double window = static_cast<double>(report.elapsed);
+    for (const auto &slice : report.perHost) {
+        std::printf("%-8s %10zu %12llu %12.2f %7.1f%%\n",
+                    slice.host.c_str(), slice.streamsHomed,
+                    static_cast<unsigned long long>(slice.delivered),
+                    static_cast<double>(slice.busyNs) / 1e6,
+                    window > 0.0 ? 100.0 *
+                                       static_cast<double>(slice.busyNs) /
+                                       window
+                                 : 0.0);
+    }
+}
+
+void
+printJson(const fleet::LoadgenReport &report)
+{
+    std::printf("{\n");
+    std::printf("  \"hosts\": %zu,\n", report.hosts);
+    std::printf("  \"streams\": %zu,\n", report.streams);
+    std::printf("  \"remote_streams\": %zu,\n", report.remoteStreams);
+    std::printf("  \"offered\": %llu,\n",
+                static_cast<unsigned long long>(report.offered));
+    std::printf("  \"delivered\": %llu,\n",
+                static_cast<unsigned long long>(report.delivered));
+    std::printf("  \"churned\": %llu,\n",
+                static_cast<unsigned long long>(report.churned));
+    std::printf("  \"write_failures\": %llu,\n",
+                static_cast<unsigned long long>(report.writeFailures));
+    std::printf("  \"wire_copies\": %llu,\n",
+                static_cast<unsigned long long>(report.wireCopies));
+    std::printf("  \"delivered_per_virtual_sec\": %.1f,\n",
+                report.deliveredPerVirtualSec);
+    std::printf("  \"latency_ns\": {\"p50\": %.1f, \"p99\": %.1f, "
+                "\"p999\": %.1f, \"max\": %llu, \"count\": %llu},\n",
+                report.latency.p50, report.latency.p99,
+                report.latency.p999,
+                static_cast<unsigned long long>(report.latency.max),
+                static_cast<unsigned long long>(report.latency.count));
+    std::printf("  \"per_host\": [");
+    for (std::size_t i = 0; i < report.perHost.size(); ++i) {
+        const auto &slice = report.perHost[i];
+        std::printf("%s\n    {\"host\": \"%s\", \"streams\": %zu, "
+                    "\"delivered\": %llu, \"busy_ns\": %llu}",
+                    i ? "," : "", slice.host.c_str(),
+                    slice.streamsHomed,
+                    static_cast<unsigned long long>(slice.delivered),
+                    static_cast<unsigned long long>(slice.busyNs));
+    }
+    std::printf("\n  ]\n}\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fleet::FleetConfig fleetConfig;
+    fleet::LoadgenConfig load;
+    exec::ExecutorKind kind = exec::ExecutorKind::Sim;
+    bool json = false;
+    bool printMetrics = false;
+    std::string metricsOut;
+    std::uint64_t durationMs = 100;
+    std::uint64_t tickUs = 100;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *value = i + 1 < argc ? argv[i + 1] : nullptr;
+        std::uint64_t parsed = 0;
+        if (arg == "--hosts" && parseU64(value, parsed) && parsed > 0) {
+            fleetConfig.hosts = parsed;
+            ++i;
+        } else if (arg == "--streams" && parseU64(value, parsed) &&
+                   parsed > 0) {
+            load.streams = parsed;
+            ++i;
+        } else if (arg == "--rate" && parseU64(value, parsed)) {
+            load.offeredMsgsPerSec = static_cast<double>(parsed);
+            ++i;
+        } else if (arg == "--bytes" && parseU64(value, parsed) &&
+                   parsed >= 8) {
+            load.messageBytes = parsed;
+            ++i;
+        } else if (arg == "--duration-ms" && parseU64(value, parsed) &&
+                   parsed > 0) {
+            durationMs = parsed;
+            ++i;
+        } else if (arg == "--tick-us" && parseU64(value, parsed) &&
+                   parsed > 0) {
+            tickUs = parsed;
+            ++i;
+        } else if (arg == "--churn" && parseU64(value, parsed)) {
+            load.churnPerTick = parsed;
+            ++i;
+        } else if (arg == "--seed" && parseU64(value, parsed)) {
+            fleetConfig.seed = parsed;
+            ++i;
+        } else if (arg == "--executor" && value) {
+            if (!exec::parseExecutorKind(value, kind))
+                return usage(argv[0]);
+            ++i;
+        } else if (arg == "--remote-only") {
+            load.remoteOnly = true;
+        } else if (arg == "--drivers") {
+            load.useDrivers = true;
+        } else if (arg == "--background-load") {
+            fleetConfig.backgroundLoad = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--metrics") {
+            printMetrics = true;
+        } else if (arg == "--metrics-out" && value) {
+            metricsOut = value;
+            ++i;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    load.duration = sim::milliseconds(durationMs);
+    load.tick = sim::microseconds(tickUs);
+
+    auto executor = exec::makeExecutor(kind);
+    fleet::Fleet fleet(*executor, fleetConfig);
+    const fleet::LoadgenReport report = fleet::runOpenLoop(fleet, load);
+
+    if (json)
+        printJson(report);
+    else
+        printTable(report);
+
+    if (printMetrics)
+        std::printf("\n%s\n",
+                    obs::MetricsRegistry::instance().toJson().c_str());
+    if (!metricsOut.empty()) {
+        std::ofstream out(metricsOut);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", metricsOut.c_str());
+            return 1;
+        }
+        out << obs::MetricsRegistry::instance().toJson() << "\n";
+        if (!json)
+            std::printf("(wrote metrics to %s)\n", metricsOut.c_str());
+    }
+
+    // A run that delivered nothing (or saw channel-layer failures) is
+    // a broken testbed, not a measurement.
+    if (report.delivered == 0 || report.writeFailures != 0) {
+        std::fprintf(stderr, "hydra_fleet: run did not deliver cleanly\n");
+        return 1;
+    }
+    return 0;
+}

@@ -212,22 +212,35 @@ printCpuReport()
 
     bool any = false;
     for (const auto &[key, busy] : snap.counters) {
-        const std::string prefix = "exec.site_busy_ns{site=";
-        if (key.rfind(prefix, 0) != 0 || key.back() != '}')
+        // Site series carry site= and (on fleet/testbed machines) a
+        // host= label; parse rather than prefix-match so both forms
+        // report.
+        std::string name;
+        obs::Labels labels;
+        if (!obs::parseDisplayKey(key, name, labels) ||
+            name != "exec.site_busy_ns")
             continue;
-        const std::string site = key.substr(
-            prefix.size(), key.size() - prefix.size() - 1);
+        std::string site, host;
+        for (const auto &[k, v] : labels) {
+            if (k == "site")
+                site = v;
+            else if (k == "host")
+                host = v;
+        }
+        if (site.empty())
+            continue;
         const std::uint64_t idle =
             obs::MetricsRegistry::instance().counterValue(
-                "exec.site_idle_ns", {{"site", site}});
+                "exec.site_idle_ns", labels);
         const std::uint64_t elapsed = busy + idle;
         if (!any) {
             std::printf("\ncpu attribution (virtual ns):\n");
-            std::printf("  %-24s %14s %14s %8s\n", "site", "busy",
-                        "idle", "util");
+            std::printf("  %-12s %-24s %14s %14s %8s\n", "host", "site",
+                        "busy", "idle", "util");
             any = true;
         }
-        std::printf("  %-24s %14llu %14llu %7.1f%%\n", site.c_str(),
+        std::printf("  %-12s %-24s %14llu %14llu %7.1f%%\n",
+                    host.empty() ? "-" : host.c_str(), site.c_str(),
                     static_cast<unsigned long long>(busy),
                     static_cast<unsigned long long>(idle),
                     elapsed ? 100.0 * static_cast<double>(busy) /

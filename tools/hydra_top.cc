@@ -114,6 +114,107 @@ isUtilizationKey(const std::string &key)
            key.rfind("offcode.utilization{", 0) == 0;
 }
 
+/** Value of one label inside a display key "name{k=v,...}"; empty when
+ * the label is absent. */
+std::string
+labelOf(const std::string &key, const std::string &label)
+{
+    const std::string needle = label + "=";
+    std::size_t pos = key.find("{" + needle);
+    if (pos == std::string::npos)
+        pos = key.find("," + needle);
+    if (pos == std::string::npos)
+        return "";
+    pos += 1 + needle.size();
+    const std::size_t end = key.find_first_of(",}", pos);
+    return key.substr(pos, end == std::string::npos ? end : end - pos);
+}
+
+/**
+ * PER-HOST panel: fleet runs label site/device series with host=;
+ * group them so N-host runs read as N rows — total site-busy time,
+ * device count, mean device utilization, and a busy-delta trend.
+ */
+void
+renderHostPanel(const hydra::json::Value &snapshots)
+{
+    // Host -> per-snapshot summed cumulative busy ns.
+    std::vector<std::pair<std::string, std::vector<double>>> busyByHost;
+    auto seriesFor =
+        [&](const std::string &host) -> std::vector<double> & {
+        for (auto &[known, series] : busyByHost)
+            if (known == host)
+                return series;
+        busyByHost.emplace_back(host, std::vector<double>());
+        return busyByHost.back().second;
+    };
+    std::size_t index = 0;
+    for (const hydra::json::Value &snapshot : snapshots.array) {
+        const hydra::json::Value *counters = snapshot.find("counters");
+        if (counters && counters->isObject()) {
+            for (const auto &[key, value] : counters->object) {
+                if (key.rfind("exec.site_busy_ns{", 0) != 0)
+                    continue;
+                const std::string host = labelOf(key, "host");
+                if (host.empty())
+                    continue;
+                std::vector<double> &series = seriesFor(host);
+                series.resize(snapshots.array.size(), 0.0);
+                series[index] += value.number;
+            }
+        }
+        ++index;
+    }
+    if (busyByHost.empty())
+        return;
+
+    // Device stats come from the newest snapshot that carries gauges.
+    auto deviceStats = [&](const std::string &host) {
+        std::pair<std::size_t, double> stats{0, 0.0};
+        for (auto it = snapshots.array.rbegin();
+             it != snapshots.array.rend(); ++it) {
+            const hydra::json::Value *gauges = it->find("gauges");
+            if (!gauges || !gauges->isObject())
+                continue;
+            for (const auto &[key, value] : gauges->object) {
+                if (key.rfind("device.cpu_utilization{", 0) == 0 &&
+                    labelOf(key, "host") == host) {
+                    ++stats.first;
+                    stats.second += value.number;
+                }
+            }
+            if (stats.first)
+                break;
+        }
+        if (stats.first)
+            stats.second /= static_cast<double>(stats.first);
+        return stats;
+    };
+
+    std::sort(busyByHost.begin(), busyByHost.end());
+    std::size_t keyWidth = std::strlen("HOST");
+    for (const auto &[host, series] : busyByHost)
+        keyWidth = std::max(keyWidth, host.size());
+    std::printf("\n%-*s %12s %5s %9s  %s\n",
+                static_cast<int>(keyWidth), "HOST", "BUSY(ms)", "DEVS",
+                "DEV-UTIL", "TREND");
+    for (const auto &[host, series] : busyByHost) {
+        // Counters are cumulative; the trend is the per-interval delta.
+        std::vector<double> deltas;
+        double previous = 0.0;
+        for (double cumulative : series) {
+            deltas.push_back(cumulative > previous ? cumulative - previous
+                                                   : 0.0);
+            previous = cumulative;
+        }
+        const auto [devices, meanUtil] = deviceStats(host);
+        std::printf("%-*s %12.3f %5zu %8.1f%%  %s\n",
+                    static_cast<int>(keyWidth), host.c_str(),
+                    series.back() / 1e6, devices, meanUtil * 100.0,
+                    sparkline(deltas).c_str());
+    }
+}
+
 /**
  * Render a flight recording: percentile columns from the newest
  * snapshot, then per-gauge sparklines (one glyph per snapshot) so
@@ -319,6 +420,8 @@ renderFlight(const hydra::json::Value &doc, const char *path)
                         series.back(), sparkline(series).c_str());
         }
     }
+
+    renderHostPanel(*snapshots);
 
     // ALERTS: SLO violation counters are delta-encoded per snapshot,
     // so the trend shows when each rule fired and TOTAL sums the run.
