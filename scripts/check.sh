@@ -115,6 +115,10 @@ if [ "$TSAN" -eq 1 ]; then
     # protocol, the payload pool, atomic span ids) plus one full TiVo
     # scenario on the threaded engine.
     ctest -L threaded --output-on-failure
+    # The chaos label adds the fault-injection paths under TSan: the
+    # engine's seeded draws from network and worker threads, plus the
+    # NIC-reset recovery protocol on the threaded engine.
+    ctest -L chaos --output-on-failure
     exit 0
 fi
 if [ "$SANITIZE" -eq 1 ]; then
@@ -122,4 +126,7 @@ if [ "$SANITIZE" -eq 1 ]; then
     # ring-buffer code — run it first for a fast sanitizer signal.
     ctest -L obs --output-on-failure
 fi
+# Fault-injection + recovery paths first: a broken restart protocol
+# should fail loudly before the full matrix runs.
+ctest -L chaos --output-on-failure
 ctest --output-on-failure -j "$(nproc)"

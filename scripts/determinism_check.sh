@@ -68,6 +68,46 @@ cmp "$SCRATCH/a/stdout.txt" "$SCRATCH/b/stdout.txt" || {
 echo "OK: sim executor is deterministic (metrics, spans, flight"
 echo "    recording, profile, and scenario output byte-identical)"
 
+# Chaos section: the seeded fault injector must not cost determinism.
+# Two fresh-process runs with the same chaos seed — packet drop /
+# duplicate / corrupt draws, slowed posts, and a mid-stream NIC reset
+# with its restart-with-state-handoff recovery — must still be
+# byte-identical.
+run_chaos() {
+    local dir="$SCRATCH/chaos-$1"
+    mkdir -p "$dir"
+    (cd "$dir" &&
+     "$BIN" --server offloaded --client offloaded --executor sim \
+            --seconds 8 --seed 42 \
+            --chaos '7:drop=0.01,dup=0.01,corrupt=0.005,slow=0.02,reset@3000=client-nic/5' \
+            --metrics-format=json \
+            --metrics-out metrics.json \
+            > stdout.txt)
+}
+
+run_chaos a
+run_chaos b
+
+cmp "$SCRATCH/chaos-a/metrics.json" "$SCRATCH/chaos-b/metrics.json" || {
+    echo "FAIL: seeded-chaos metrics JSON differs between runs" >&2
+    diff "$SCRATCH/chaos-a/metrics.json" \
+         "$SCRATCH/chaos-b/metrics.json" | head >&2
+    exit 1
+}
+cmp "$SCRATCH/chaos-a/stdout.txt" "$SCRATCH/chaos-b/stdout.txt" || {
+    echo "FAIL: seeded-chaos scenario output differs between runs" >&2
+    diff "$SCRATCH/chaos-a/stdout.txt" \
+         "$SCRATCH/chaos-b/stdout.txt" | head >&2
+    exit 1
+}
+grep -q "faults injected" "$SCRATCH/chaos-a/stdout.txt" || {
+    echo "FAIL: chaos run reported no injected faults" >&2
+    exit 1
+}
+
+echo "OK: seeded chaos injection replays byte-for-byte (faults,"
+echo "    recovery, metrics, and scenario output identical)"
+
 # Fleet section: a 4-host open-loop scale run (placement ring, remote
 # wire channels, churn) must be just as reproducible under the sim
 # engine. The JSON report carries only virtual-time quantities, so it

@@ -154,6 +154,40 @@ Channel::connectCreator(ExecutionSite &site)
     return Status::success();
 }
 
+std::size_t
+Channel::detachOffcode(const Offcode &offcode)
+{
+    std::size_t detached = 0;
+    for (Endpoint &ep : endpoints_) {
+        if (ep.offcode != &offcode)
+            continue;
+        ep.handler = nullptr;
+        ++detached;
+    }
+    return detached;
+}
+
+std::size_t
+Channel::rebindOffcode(const Offcode &from, Offcode &to)
+{
+    std::size_t rebound = 0;
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+        if (endpoints_[i].offcode != &from)
+            continue;
+        endpoints_[i].offcode = &to;
+        to.onChannelConnected(ChannelHandle{this, i});
+        // Reinstalling the default dispatch drains the outage backlog
+        // into the successor, oldest first — the in-flight replay leg
+        // of restart-with-state-handoff.
+        installHandler(i, [this, i](const Payload &message,
+                                    std::size_t sender) {
+            dispatchToOffcode(i, message, sender);
+        });
+        ++rebound;
+    }
+    return rebound;
+}
+
 Status
 Channel::connectOffcode(Offcode &offcode)
 {
@@ -252,6 +286,39 @@ Channel::dispatchToOffcode(std::size_t endpoint, const Payload &message,
 
     const sim::SimTime started =
         ep.site ? ep.site->machine().executor().now() : 0;
+
+    if (kind.value() != MessageKind::Return) {
+        // Firmware OS quotas. Memory: a message that cannot fit the
+        // Offcode's budget is rejected outright (and counted) — the
+        // paper's "device memory is precious" made enforceable.
+        const OffcodeQuota &quota = offcode->quota();
+        if (quota.memoryBytes > 0 && message.size() > quota.memoryBytes) {
+            obs::counter("offcode.quota_rejections",
+                         {{"offcode", offcode->bindname()},
+                          {"resource", "memory"}})
+                .increment();
+            LOG_DEBUG << offcode->bindname()
+                      << ": message rejected by memory quota ("
+                      << message.size() << " > " << quota.memoryBytes
+                      << " bytes)";
+            return;
+        }
+        // CPU: past the budget slice the dispatch is preempted —
+        // re-offered at the next slice boundary, FIFO order preserved
+        // (equal-timestamp events dispatch in insertion order).
+        sim::SimTime deferUntil = 0;
+        if (ep.site && !offcode->admitDispatch(started, &deferUntil)) {
+            obs::counter("offcode.preemptions",
+                         {{"offcode", offcode->bindname()}})
+                .increment();
+            ep.site->machine().executor().scheduleAt(
+                deferUntil,
+                [this, endpoint, msg = message, from]() {
+                    dispatchToOffcode(endpoint, msg, from);
+                });
+            return;
+        }
+    }
     bool ok = true;
 
     // Publish this dispatch to the sampling profiler (a no-op unless

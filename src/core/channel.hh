@@ -207,6 +207,26 @@ class Channel
         return addEndpoint(site);
     }
 
+    /**
+     * Quiesce every endpoint attached to @p offcode: the dispatch
+     * handler comes off, so inbound messages queue instead of
+     * reaching the (dying) instance. The endpoint keeps its Offcode
+     * association so a later rebindOffcode() can find it. Returns the
+     * number of endpoints detached.
+     */
+    std::size_t detachOffcode(const Offcode &offcode);
+
+    /**
+     * Hand every endpoint attached to @p from over to @p to: the
+     * endpoint's Offcode pointer swaps, @p to is notified
+     * (onChannelConnected), and the default dispatch handler is
+     * reinstalled — which drains the backlog that queued during the
+     * outage into the new instance, in order. This is the channel
+     * re-bind step of restart-with-state-handoff. Returns the number
+     * of endpoints rebound.
+     */
+    std::size_t rebindOffcode(const Offcode &from, Offcode &to);
+
     /** Close the channel; subsequent writes fail ChannelClosed. */
     void close();
     bool closed() const { return closed_; }

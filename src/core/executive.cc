@@ -139,6 +139,48 @@ ChannelExecutive::findChannel(ChannelId id) const
     return it == channels_.end() ? nullptr : it->second.get();
 }
 
+std::size_t
+ChannelExecutive::detachOffcode(const Offcode &offcode)
+{
+    std::vector<Channel *> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        snapshot.reserve(channels_.size());
+        for (auto &[id, channel] : channels_)
+            snapshot.push_back(channel.get());
+    }
+    std::size_t detached = 0;
+    for (Channel *channel : snapshot)
+        detached += channel->detachOffcode(offcode);
+    return detached;
+}
+
+std::size_t
+ChannelExecutive::rebindOffcode(const Offcode &from, Offcode &to)
+{
+    std::vector<Channel *> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        snapshot.reserve(channels_.size());
+        for (auto &[id, channel] : channels_)
+            snapshot.push_back(channel.get());
+    }
+    std::size_t rebound = 0;
+    for (Channel *channel : snapshot)
+        rebound += channel->rebindOffcode(from, to);
+    return rebound;
+}
+
+std::size_t
+ChannelExecutive::queuedFor(const Offcode &offcode) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t queued = 0;
+    for (const auto &[id, channel] : channels_)
+        queued += channel->queuedFor(offcode);
+    return queued;
+}
+
 std::vector<std::string>
 ChannelExecutive::providerNames() const
 {

@@ -75,6 +75,21 @@ class ChannelExecutive
     /** Look up an owned channel by id; nullptr when not this shard's. */
     Channel *findChannel(ChannelId id) const;
 
+    /**
+     * Restart support (firmware OS hardening). detachOffcode
+     * quiesces every channel endpoint attached to @p offcode (inbound
+     * messages queue); rebindOffcode hands them to a successor
+     * instance and replays the queued backlog; queuedFor reports the
+     * backlog held for a (possibly wedged) Offcode across all owned
+     * channels. All three snapshot the channel set under the shard
+     * lock and then operate unlocked — handler drains may re-enter
+     * the executive (an Offcode's onChannelConnected may create
+     * channels), and the shard mutex is not recursive.
+     */
+    std::size_t detachOffcode(const Offcode &offcode);
+    std::size_t rebindOffcode(const Offcode &from, Offcode &to);
+    std::size_t queuedFor(const Offcode &offcode) const;
+
     std::vector<std::string> providerNames() const;
 
     /**

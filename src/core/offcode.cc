@@ -132,10 +132,43 @@ Offcode::noteDispatch(MessageKind kind, bool ok, sim::SimTime started,
         telemetry_.busyNs += finished - started;
         if (cpuNs_)
             cpuNs_->add(finished - started);
+        // Charge the budget slice this dispatch started in.
+        if (quota_.cpuBudgetNs > 0) {
+            const sim::SimTime period = quota_.slicePeriodNs > 0
+                                            ? quota_.slicePeriodNs
+                                            : sim::milliseconds(1);
+            if (started >= sliceStart_ + period) {
+                sliceStart_ = started - (started - sliceStart_) % period;
+                sliceUsedNs_ = 0;
+            }
+            sliceUsedNs_ += finished - started;
+        }
     }
     if (serviceTime_)
         serviceTime_->record(finished > started ? finished - started : 0);
     telemetry_.lastActivityAt = started;
+}
+
+bool
+Offcode::admitDispatch(sim::SimTime now, sim::SimTime *deferUntil)
+{
+    if (quota_.cpuBudgetNs == 0)
+        return true;
+    const sim::SimTime period =
+        quota_.slicePeriodNs > 0 ? quota_.slicePeriodNs
+                                 : sim::milliseconds(1);
+    if (now >= sliceStart_ + period) {
+        // Roll the slice window forward to the one containing `now`;
+        // a fresh slice always has budget, so preemption can never
+        // starve an Offcode forever.
+        sliceStart_ = now - (now - sliceStart_) % period;
+        sliceUsedNs_ = 0;
+    }
+    if (sliceUsedNs_ < quota_.cpuBudgetNs)
+        return true;
+    if (deferUntil)
+        *deferUntil = sliceStart_ + period;
+    return false;
 }
 
 const obs::ActivityLabel *

@@ -59,6 +59,23 @@ enum class OffcodeState {
 const char *offcodeStateName(OffcodeState state);
 
 /**
+ * Per-Offcode resource quotas, enforced by the firmware OS. Zero
+ * means unlimited. The CPU quota is a budget slice: an Offcode may
+ * consume at most cpuBudgetNs of its site's CPU per slicePeriodNs of
+ * virtual time; dispatches past the budget are preempted — deferred
+ * to the next slice boundary, never dropped — so several Offcodes
+ * sharing one firmware core each get a bounded share. The memory
+ * quota bounds both the deployed image (checked at deploy) and any
+ * single inbound message (checked at dispatch).
+ */
+struct OffcodeQuota
+{
+    std::size_t memoryBytes = 0;
+    sim::SimTime cpuBudgetNs = 0;
+    sim::SimTime slicePeriodNs = sim::milliseconds(1);
+};
+
+/**
  * Per-Offcode dispatch accounting, maintained by the channel layer
  * and served over the OOB channel by the hydra.Monitor service.
  */
@@ -134,6 +151,28 @@ class Offcode
     /** Management traffic arrived (OOB or any connected channel). */
     virtual void onManagement(const Payload &payload, ChannelHandle from);
 
+    // --- restart-with-state-handoff (paper: live offloading idiom) ---
+    /**
+     * Serialize the state a successor instance needs to carry on
+     * mid-stream (sequence counters, open cursors). The default is
+     * stateless; stateful Offcodes override both sides. Called by the
+     * runtime right before the instance is torn down for a restart.
+     */
+    virtual Bytes snapshotState() const { return {}; }
+    /** Adopt a predecessor's snapshot (called before doStart). */
+    virtual void restoreState(const Bytes &snapshot) { (void)snapshot; }
+
+    // --- quotas (firmware OS discipline) ---
+    void setQuota(OffcodeQuota quota) { quota_ = quota; }
+    const OffcodeQuota &quota() const { return quota_; }
+    /**
+     * Budget-slice admission: true when this dispatch may run now.
+     * False means the CPU budget for the current slice is spent;
+     * @p deferUntil is set to the next slice boundary, where the
+     * dispatcher must re-offer the message (preemption, not loss).
+     */
+    bool admitDispatch(sim::SimTime now, sim::SimTime *deferUntil);
+
     /** Context access (valid after doInitialize). */
     OffcodeContext &context() { return ctx_; }
     ExecutionSite &site() { return *ctx_.site; }
@@ -173,6 +212,10 @@ class Offcode
     std::map<std::string, MethodFn> methods_;
     std::vector<Guid> interfaces_;
     OffcodeTelemetry telemetry_;
+    OffcodeQuota quota_;
+    /** Budget-slice scheduler state (virtual time). */
+    sim::SimTime sliceStart_ = 0;
+    sim::SimTime sliceUsedNs_ = 0;
     /** `offcode.service_ns{offcode=bindname}`; set at doInitialize. */
     obs::Histogram *serviceTime_ = nullptr;
     /** `offcode.cpu_ns{offcode=bindname}`; set at doInitialize. */

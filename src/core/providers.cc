@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "chaos/chaos.hh"
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -104,6 +105,9 @@ class LocalChannel : public Channel
                           "no peer endpoint");
         if (message.size() > config_.maxMessageBytes)
             return Status(ErrorCode::MessageTooLarge, "message too large");
+        if (chaos::ChaosEngine::instance().exhaustPool(exec_.now()))
+            return Status(ErrorCode::OutOfMemory,
+                          "chaos: payload pool exhausted");
 
         ++stats_.messagesSent;
         stats_.bytesSent += message.size();
@@ -266,6 +270,9 @@ class RingChannel : public Channel
                           "no peer endpoint");
         if (message.size() > config_.maxMessageBytes)
             return Status(ErrorCode::MessageTooLarge, "message too large");
+        if (chaos::ChaosEngine::instance().exhaustPool(exec_.now()))
+            return Status(ErrorCode::OutOfMemory,
+                          "chaos: payload pool exhausted");
 
         ++stats_.messagesSent;
         stats_.bytesSent += message.size();
@@ -411,10 +418,17 @@ class RingChannel : public Channel
               sim::SimTime sent_at, const obs::SpanContext &ctx)
     {
         EpState &dst_state = state_[to];
-        const std::size_t avail =
+        std::size_t avail =
             config_.ringDepth > dst_state.inFlight
                 ? config_.ringDepth - dst_state.inFlight
                 : 0;
+        // Chaos: pretend the consumer has not freed any descriptors
+        // this cycle. Only legal while completions are in flight —
+        // the backlog drains exclusively from completeDelivery(), so
+        // an empty ring forced shut would never reopen.
+        if (avail > 0 && dst_state.inFlight > 0 &&
+            chaos::ChaosEngine::instance().overflowRing(exec_.now()))
+            avail = 0;
         const std::size_t fit = std::min(avail, messages.size());
         if (fit < messages.size()) {
             const std::size_t excess = messages.size() - fit;

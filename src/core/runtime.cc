@@ -3,9 +3,12 @@
 #include <memory>
 #include <sstream>
 
+#include "chaos/chaos.hh"
 #include "common/logging.hh"
+#include "dev/device.hh"
 #include "obs/flight.hh"
 #include "obs/json.hh"
+#include "obs/metrics.hh"
 #include "obs/slo.hh"
 #include "obs/trace.hh"
 
@@ -231,10 +234,14 @@ Runtime::Runtime(hw::Machine &machine, RuntimeConfig config)
         machine_.executor(), config_.busMulticast));
 
     registerPseudoOffcodes();
+    scheduleWatchdog();
 }
 
 Runtime::~Runtime()
 {
+    // Neutralize in-flight watchdog events and device reset
+    // listeners; the executor (and attached devices) may outlive us.
+    *alive_ = false;
     // Stop everything deliberately (children before parents is
     // handled by the resource tree; map order is fine here because
     // each entry owns an independent subtree).
@@ -324,6 +331,36 @@ Runtime::attachDevice(dev::Device &device, double link_capacity_gbps)
     attached.loader = std::make_unique<DeviceDmaLoader>(
         machine_, device, config_.loaderCosts);
     attached.linkCapacityGbps = link_capacity_gbps;
+
+    // Recovery protocol: when the device firmware resets, every
+    // Offcode deployed on it goes through restart-with-state-handoff.
+    // At Begin the instances snapshot and quiesce (their channel
+    // backlog queues); at Complete — before the device replays its
+    // own rx backlog — fresh instances are rebound so nothing that
+    // arrived during the outage is lost.
+    ExecutionSite *site = attached.site.get();
+    device.addResetListener([this, alive = alive_, site](
+                                dev::Device &dev,
+                                dev::Device::ResetPhase phase) {
+        if (!*alive)
+            return;
+        if (phase == dev::Device::ResetPhase::Begin) {
+            for (auto &[bindname, dep] : deployed_)
+                if (dep.site == site && dep.instance && !dep.outage)
+                    beginOffcodeOutage(bindname, dep);
+            return;
+        }
+        for (auto &[bindname, dep] : deployed_) {
+            if (dep.site != site || !dep.outage)
+                continue;
+            Status restarted = completeOffcodeRestart(bindname, dep);
+            if (!restarted)
+                LOG_ERROR << dev.name() << ": " << bindname
+                          << " restart after reset failed: "
+                          << restarted.error().describe();
+        }
+    });
+
     devices_.push_back(std::move(attached));
     return Status::success();
 }
@@ -405,6 +442,27 @@ Runtime::deployNode(const DepotEntry &entry, ExecutionSite &site,
             return;
         }
 
+        const std::string bindname = entry.manifest.bindname;
+
+        // Quotas (firmware OS discipline): an image that does not fit
+        // the memory quota never deploys; the CPU budget arms the
+        // budget-slice scheduler for every dispatch from here on.
+        auto quotaIt = config_.quotas.find(bindname);
+        if (quotaIt != config_.quotas.end()) {
+            const OffcodeQuota &quota = quotaIt->second;
+            if (quota.memoryBytes > 0 &&
+                entry.imageBytes > quota.memoryBytes) {
+                obs::counter("offcode.quota_rejections",
+                             {{"offcode", bindname},
+                              {"resource", "memory"}})
+                    .increment();
+                done(Status(ErrorCode::ResourceExhausted,
+                            bindname + ": image exceeds memory quota"));
+                return;
+            }
+            dep.instance->setQuota(quota);
+        }
+
         auto oob = makeOobChannel(site);
         if (!oob) {
             done(Status(oob.error()));
@@ -412,14 +470,17 @@ Runtime::deployNode(const DepotEntry &entry, ExecutionSite &site,
         }
         dep.oob = oob.value();
 
-        const std::string bindname = entry.manifest.bindname;
-        Offcode *instance = dep.instance.get();
         Channel *oobChannel = dep.oob;
 
+        // The release callback resolves the instance through
+        // deployed_ at release time: a restart-with-state-handoff
+        // swaps dep.instance, so a captured raw pointer would dangle.
         auto resource = resources_.create(
             resources_.root(), "offcode", bindname,
-            [this, instance, oobChannel, loader, &entry]() {
-                instance->doStop();
+            [this, bindname, oobChannel, loader, &entry]() {
+                auto dit = deployed_.find(bindname);
+                if (dit != deployed_.end() && dit->second.instance)
+                    dit->second.instance->doStop();
                 executive_->destroyChannel(oobChannel);
                 loader->unload(entry);
             });
@@ -640,6 +701,136 @@ Runtime::destroyOffcode(const std::string &bindname)
         released = resources_.release(resource);
     deployed_.erase(it);
     return released;
+}
+
+void
+Runtime::beginOffcodeOutage(const std::string &bindname, Deployed &dep)
+{
+    if (!dep.instance || dep.outage)
+        return;
+    LOG_INFO << bindname << ": outage begins (snapshot + quiesce)";
+    dep.restartSnapshot = dep.instance->snapshotState();
+    // Quiesce first: from here on, inbound messages queue at the
+    // endpoints instead of reaching the dying instance.
+    executive_->detachOffcode(*dep.instance);
+    dep.instance->doStop();
+    dep.outage = true;
+}
+
+Status
+Runtime::completeOffcodeRestart(const std::string &bindname, Deployed &dep)
+{
+    if (!dep.outage)
+        return Status(ErrorCode::InvalidArgument,
+                      bindname + ": no outage in progress");
+    if (!dep.entry || !dep.entry->factory)
+        return Status(ErrorCode::Unsupported,
+                      bindname + ": no depot factory to restart from");
+
+    std::unique_ptr<Offcode> fresh = dep.entry->factory();
+    if (!fresh)
+        return Status(ErrorCode::Internal,
+                      bindname + ": restart factory returned null");
+    for (const odf::InterfaceSpec &iface : dep.entry->manifest.interfaces)
+        if (!iface.guid.isNull())
+            fresh->declareInterface(iface.guid);
+    if (dep.instance)
+        fresh->setQuota(dep.instance->quota());
+
+    OffcodeContext ctx;
+    ctx.runtime = this;
+    ctx.site = dep.site;
+    ctx.oobChannel = dep.oob;
+    ctx.resource = dep.resource;
+    Status initialized = fresh->doInitialize(ctx);
+    if (!initialized)
+        return initialized;
+    fresh->restoreState(dep.restartSnapshot);
+    Status started = fresh->doStart();
+    if (!started)
+        return started;
+
+    // Cutover: swap instances, then hand every quiesced endpoint to
+    // the successor — reinstalling the handlers drains the backlog
+    // that queued during the outage into it, in arrival order. The
+    // retired instance stays alive until after the rebind (the
+    // endpoints match on its pointer).
+    std::unique_ptr<Offcode> retired = std::move(dep.instance);
+    dep.instance = std::move(fresh);
+    if (retired)
+        executive_->rebindOffcode(*retired, *dep.instance);
+    dep.outage = false;
+    dep.restartSnapshot.clear();
+    ++dep.restarts;
+    obs::counter("offcode.restarts", {{"offcode", bindname}}).increment();
+    chaos::ChaosEngine::recordRecovery("offcode_restart");
+    LOG_INFO << bindname << ": restarted with state handoff (#"
+             << dep.restarts << ")";
+    return Status::success();
+}
+
+Status
+Runtime::restartOffcode(const std::string &bindname)
+{
+    auto it = deployed_.find(bindname);
+    if (it == deployed_.end())
+        return Status(ErrorCode::NotFound,
+                      "offcode not deployed: " + bindname);
+    Deployed &dep = it->second;
+    if (!dep.outage)
+        beginOffcodeOutage(bindname, dep);
+    return completeOffcodeRestart(bindname, dep);
+}
+
+void
+Runtime::scheduleWatchdog()
+{
+    if (config_.watchdogLimitNs == 0)
+        return;
+    const sim::SimTime period = config_.watchdogPeriodNs > 0
+                                    ? config_.watchdogPeriodNs
+                                    : sim::seconds(1);
+    machine_.executor().schedule(period, [this, alive = alive_]() {
+        if (!*alive)
+            return;
+        watchdogSweep();
+        scheduleWatchdog();
+    });
+}
+
+void
+Runtime::watchdogSweep()
+{
+    const sim::SimTime now = machine_.executor().now();
+    std::vector<std::string> wedged;
+    for (auto &[bindname, dep] : deployed_) {
+        if (!dep.instance || dep.outage)
+            continue;
+        if (dep.instance->state() != OffcodeState::Started)
+            continue;
+        const OffcodeTelemetry &telemetry = dep.instance->telemetry();
+        const sim::SimTime age = telemetry.messagesProcessed() > 0
+                                     ? now - telemetry.lastActivityAt
+                                     : now;
+        if (age < config_.watchdogLimitNs)
+            continue;
+        // Silent with nothing waiting is idle, not wedged.
+        if (executive_->queuedFor(*dep.instance) == 0)
+            continue;
+        wedged.push_back(bindname);
+    }
+    for (const std::string &bindname : wedged) {
+        LOG_WARN << "watchdog: " << bindname
+                 << " silent with backlog; killing and restarting";
+        obs::counter("offcode.watchdog_kills", {{"offcode", bindname}})
+            .increment();
+        Status restarted = restartOffcode(bindname);
+        if (restarted)
+            chaos::ChaosEngine::recordRecovery("watchdog_kill");
+        else
+            LOG_ERROR << "watchdog: restart of " << bindname
+                      << " failed: " << restarted.error().describe();
+    }
 }
 
 Status

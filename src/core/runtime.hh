@@ -52,6 +52,24 @@ struct RuntimeConfig
     bool busMulticast = false;
     std::size_t pinLimitBytes = 64 * 1024 * 1024;
     LoaderCosts loaderCosts;
+
+    /**
+     * Per-bindname resource quotas, applied when the Offcode is
+     * deployed. A memory quota smaller than the depot image fails the
+     * deployment outright (`offcode.quota_rejections{resource=memory}`);
+     * the CPU budget drives the budget-slice scheduler at dispatch.
+     */
+    std::map<std::string, OffcodeQuota> quotas;
+
+    /**
+     * Watchdog: an Offcode that is Started, has channel backlog
+     * waiting, and has not handled a message for this long (simulated)
+     * is killed and restarted with state handoff. 0 disables the
+     * watchdog (the default — existing runs see no extra events).
+     */
+    sim::SimTime watchdogLimitNs = 0;
+    /** Sweep period for the watchdog task. */
+    sim::SimTime watchdogPeriodNs = sim::seconds(1);
 };
 
 /** Aggregate deployment statistics. */
@@ -152,6 +170,20 @@ class Runtime
     /** Tear down a deployed Offcode and its runtime resources. */
     Status destroyOffcode(const std::string &bindname);
 
+    // --- firmware OS hardening (restart-with-state-handoff) ---
+    /**
+     * Kill and redeploy a deployed Offcode in place, carrying its
+     * state across: snapshotState() on the old instance, channel
+     * endpoints quiesced (inbound messages queue), old instance
+     * stopped, a fresh instance built from the same depot entry,
+     * initialized with the same context, restoreState()d, started,
+     * and finally rebound to every channel — which replays the
+     * backlog that queued during the outage, in order. Counted in
+     * `offcode.restarts{offcode=}`. The watchdog and device reset
+     * recovery both funnel through this path.
+     */
+    Status restartOffcode(const std::string &bindname);
+
     // --- invocation convenience ---
     /**
      * Invoke a method on a deployed Offcode through its OOB channel
@@ -180,11 +212,37 @@ class Runtime
         Channel *oob = nullptr;
         std::unique_ptr<Proxy> controlProxy;
         ResourceId resource = kNoResource;
+        /** State captured at outage begin, consumed at restart. */
+        Bytes restartSnapshot;
+        /** Between beginOffcodeOutage and completeOffcodeRestart. */
+        bool outage = false;
+        std::uint64_t restarts = 0;
     };
 
     void registerPseudoOffcodes();
     Result<Channel *> makeOobChannel(ExecutionSite &site);
     OffcodeLoader *loaderFor(ExecutionSite &site);
+
+    /**
+     * Phase one of a restart: snapshot the instance's state, quiesce
+     * its channel endpoints (messages queue from here on), and stop
+     * it. The device may be mid-reset — port unbinds issued by stop()
+     * are deferred by the NIC until the reset completes.
+     */
+    void beginOffcodeOutage(const std::string &bindname, Deployed &dep);
+
+    /**
+     * Phase two: build the successor from the depot entry, hand it
+     * the snapshot, and cut the channels over (draining the queued
+     * backlog into it). On failure the Offcode stays down (outage
+     * remains set) and the error is returned.
+     */
+    Status completeOffcodeRestart(const std::string &bindname,
+                                  Deployed &dep);
+
+    /** Restart every Started Offcode that is wedged (see config). */
+    void watchdogSweep();
+    void scheduleWatchdog();
 
     /** Shared deployment driver behind both createOffcode flavours. */
     void deployGraph(LayoutGraph graph,
@@ -217,6 +275,10 @@ class Runtime
 
     std::map<std::string, Deployed> deployed_;
     RuntimeStats stats_;
+    /** Cleared by the destructor so in-flight watchdog events and
+     * device reset listeners become no-ops instead of use-after-free
+     * when the executor outlives the runtime. */
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 } // namespace hydra::core

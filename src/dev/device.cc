@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "common/logging.hh"
 #include "obs/attribution.hh"
+#include "obs/metrics.hh"
 
 namespace hydra::dev {
 
@@ -95,6 +97,44 @@ sim::SimTime
 Device::runFirmware(std::uint64_t cycles)
 {
     return firmwareCpu_->runCycles(cycles);
+}
+
+void
+Device::addResetListener(ResetListener listener)
+{
+    resetListeners_.push_back(std::move(listener));
+}
+
+void
+Device::reset(sim::SimTime downtime)
+{
+    if (resetting_)
+        return; // already down; a second reset folds into the first
+    resetting_ = true;
+    obs::counter("dev.resets", {{"device", name()}}).increment();
+    LOG_INFO << name() << ": device reset, firmware down for "
+             << downtime << " ns";
+
+    // Begin runs synchronously: listeners snapshot Offcode state and
+    // quiesce channels *before* any more virtual time passes, then the
+    // subclass drops its firmware-visible state.
+    for (ResetListener &listener : resetListeners_)
+        listener(*this, ResetPhase::Begin);
+    onResetBegin();
+
+    exec_.schedule(downtime, [this]() {
+        resetting_ = false;
+        ++resets_;
+        // Complete order matters: listeners first (the Runtime
+        // redeploys Offcodes, whose start() re-binds ports), then the
+        // subclass (the NIC replays packets it queued while down into
+        // those fresh bindings).
+        for (ResetListener &listener : resetListeners_)
+            listener(*this, ResetPhase::Complete);
+        onResetComplete();
+        LOG_INFO << name() << ": device back up (reset #" << resets_
+                 << ")";
+    });
 }
 
 } // namespace hydra::dev

@@ -18,6 +18,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/result.hh"
 #include "common/rng.hh"
@@ -116,6 +117,34 @@ class Device
     /** Charge firmware cycles; returns completion time. */
     sim::SimTime runFirmware(std::uint64_t cycles);
 
+    /**
+     * Hard device reset: firmware state is lost for @p downtime of
+     * virtual time, then the device comes back. Listeners (the
+     * Runtime) observe Begin synchronously — snapshot Offcode state,
+     * quiesce channels — and Complete after the downtime — redeploy,
+     * re-bind, replay. Subclasses keep their *hardware* identity
+     * (bus address, DMA engine, exec site) across a reset, exactly
+     * like a real NIC whose PCI function survives a function-level
+     * reset; only firmware-visible state (port bindings, Offcodes)
+     * is torn down, via onResetBegin()/onResetComplete().
+     */
+    void reset(sim::SimTime downtime);
+    /** True while the firmware is down (between Begin and Complete). */
+    bool resetting() const { return resetting_; }
+    /** Resets completed so far. */
+    std::uint64_t resets() const { return resets_; }
+
+    enum class ResetPhase { Begin, Complete };
+    using ResetListener = std::function<void(Device &, ResetPhase)>;
+    /** Register for reset notifications (fires in registration order). */
+    void addResetListener(ResetListener listener);
+
+  protected:
+    /** Subclass hook: firmware went down (drop volatile state). */
+    virtual void onResetBegin() {}
+    /** Subclass hook: firmware is back (replay deferred work). */
+    virtual void onResetComplete() {}
+
   protected:
     exec::Executor &exec_;
     hw::Bus &hostBus_;
@@ -129,6 +158,9 @@ class Device
     std::size_t localUsed_ = 0;
     exec::SiteId site_ = exec::kMainSite;
     hydra::Rng rng_;
+    bool resetting_ = false;
+    std::uint64_t resets_ = 0;
+    std::vector<ResetListener> resetListeners_;
 };
 
 } // namespace hydra::dev

@@ -1,6 +1,8 @@
 #include "dev/nic.hh"
 
+#include "chaos/chaos.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace hydra::dev {
 
@@ -41,8 +43,35 @@ ProgrammableNic::ProgrammableNic(exec::Executor &executor,
 ProgrammableNic::~ProgrammableNic()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto &[port, binding] : bindings_)
+    for (net::Port port : netBound_)
         net_.unbind(node_, port);
+}
+
+Status
+ProgrammableNic::bindPort(net::Port port, PortBinding binding)
+{
+    bool needWireBind = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (bindings_.count(port))
+            return Status(ErrorCode::AlreadyExists, "port already bound");
+        needWireBind = netBound_.count(port) == 0;
+    }
+    if (needWireBind) {
+        Status bound =
+            net_.bind(node_, port, [this](const net::Packet &p) {
+                onReceive(p);
+            });
+        if (!bound)
+            return bound;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    netBound_.insert(port);
+    // A fresh bind supersedes any unbind deferred across a reset: the
+    // restarted owner took the port back.
+    deferredUnbind_.erase(port);
+    bindings_[port] = std::move(binding);
+    return Status::success();
 }
 
 Status
@@ -55,15 +84,7 @@ ProgrammableNic::bindHostPort(net::Port port, hw::OsKernel &os,
     binding.os = &os;
     binding.hostBuffer = host_buffer;
     binding.handler = std::move(handler);
-
-    Status bound = net_.bind(node_, port, [this](const net::Packet &p) {
-        onReceive(p);
-    });
-    if (!bound)
-        return bound;
-    std::lock_guard<std::mutex> lock(mutex_);
-    bindings_[port] = std::move(binding);
-    return Status::success();
+    return bindPort(port, std::move(binding));
 }
 
 Status
@@ -72,23 +93,73 @@ ProgrammableNic::bindDevicePort(net::Port port, net::PacketHandler handler)
     PortBinding binding;
     binding.hostPath = false;
     binding.handler = std::move(handler);
-
-    Status bound = net_.bind(node_, port, [this](const net::Packet &p) {
-        onReceive(p);
-    });
-    if (!bound)
-        return bound;
-    std::lock_guard<std::mutex> lock(mutex_);
-    bindings_[port] = std::move(binding);
-    return Status::success();
+    return bindPort(port, std::move(binding));
 }
 
 void
 ProgrammableNic::unbindPort(net::Port port)
 {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        bindings_.erase(port);
+        if (resetting()) {
+            // The caller is an Offcode dying with the firmware. Keep
+            // the wire-level bind alive so in-flight packets queue in
+            // pendingRx_ instead of vanishing as "no listener" drops;
+            // the unbind is released on Complete unless a restarted
+            // Offcode reclaims the port first.
+            deferredUnbind_.insert(port);
+            return;
+        }
+        netBound_.erase(port);
+    }
     net_.unbind(node_, port);
+}
+
+std::size_t
+ProgrammableNic::pendingRx() const
+{
     std::lock_guard<std::mutex> lock(mutex_);
-    bindings_.erase(port);
+    return pendingRx_.size();
+}
+
+void
+ProgrammableNic::onResetBegin()
+{
+    // Wire-level binds survive (the link stays up); firmware-side
+    // port state is torn down by the dying Offcodes' stop() paths,
+    // whose unbinds are deferred above.
+}
+
+void
+ProgrammableNic::onResetComplete()
+{
+    // Release unbinds for ports nobody reclaimed, then replay the rx
+    // backlog in arrival order through the normal receive path.
+    std::vector<net::Port> release;
+    std::deque<net::Packet> replay;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (net::Port port : deferredUnbind_) {
+            if (bindings_.count(port))
+                continue;
+            netBound_.erase(port);
+            release.push_back(port);
+        }
+        deferredUnbind_.clear();
+        replay.swap(pendingRx_);
+    }
+    for (net::Port port : release)
+        net_.unbind(node_, port);
+    if (!replay.empty()) {
+        LOG_INFO << name() << ": replaying " << replay.size()
+                 << " packets queued during reset";
+        obs::counter("nic.reset_rx_replayed", {{"device", name()}})
+            .add(replay.size());
+        chaos::ChaosEngine::recordRecovery("rx_replay");
+    }
+    for (net::Packet &packet : replay)
+        onReceive(packet);
 }
 
 void
@@ -99,6 +170,19 @@ ProgrammableNic::onReceive(const net::Packet &packet)
     PortBinding binding;
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (resetting()) {
+            // Firmware is down: hold the packet. The queue is bounded
+            // the way a real rx ring is; past that, packets drop and
+            // the loss is visible in a counter.
+            if (pendingRx_.size() < kPendingRxMax) {
+                pendingRx_.push_back(packet);
+            } else {
+                obs::counter("nic.reset_rx_dropped",
+                             {{"device", name()}})
+                    .increment();
+            }
+            return;
+        }
         auto it = bindings_.find(packet.dstPort);
         if (it == bindings_.end())
             return;

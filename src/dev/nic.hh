@@ -16,8 +16,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "dev/device.hh"
@@ -87,6 +89,21 @@ class ProgrammableNic : public Device
     std::uint64_t packetsToHost() const { return toHost_; }
     std::uint64_t packetsToDevice() const { return toDevice_; }
     std::uint64_t packetsSent() const { return sent_; }
+    /** Packets held in the rx queue while the firmware is down. */
+    std::size_t pendingRx() const;
+
+  protected:
+    /**
+     * Reset semantics: the PHY/MAC stays up (the wire-level bind with
+     * the fabric survives, as a real NIC's link does across a
+     * function-level reset), but firmware-owned port state is in
+     * flux. Packets arriving while down are held in a bounded rx
+     * queue; unbinds requested by dying Offcodes are deferred so a
+     * restarted Offcode re-binding the same port hands the stream
+     * over without the fabric ever seeing an unbound port.
+     */
+    void onResetBegin() override;
+    void onResetComplete() override;
 
   private:
     struct PortBinding
@@ -108,8 +125,18 @@ class ProgrammableNic : public Device
      * bind/unbind/receive-lookup must serialize. onReceive copies the
      * binding out and runs the handler unlocked.
      */
+    Status bindPort(net::Port port, PortBinding binding);
+
+    static constexpr std::size_t kPendingRxMax = 16384;
+
     mutable std::mutex mutex_;
     std::map<net::Port, PortBinding> bindings_;
+    /** Ports with a live wire-level bind on the fabric node. */
+    std::set<net::Port> netBound_;
+    /** Unbinds deferred while resetting (released on Complete). */
+    std::set<net::Port> deferredUnbind_;
+    /** Packets that arrived while the firmware was down. */
+    std::deque<net::Packet> pendingRx_;
     std::atomic<std::uint64_t> toHost_{0};
     std::atomic<std::uint64_t> toDevice_{0};
     std::atomic<std::uint64_t> sent_{0};

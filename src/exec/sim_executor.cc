@@ -1,5 +1,8 @@
 #include "exec/sim_executor.hh"
 
+#include <algorithm>
+
+#include "chaos/chaos.hh"
 #include "obs/metrics.hh"
 
 namespace hydra::exec {
@@ -42,8 +45,32 @@ SimExecutor::post(SiteId site, Callback fn)
     // Site affinity is meaningless on a single thread; a zero-delay
     // event preserves global FIFO order, which keeps runs
     // deterministic (the property the sim engine exists to provide).
-    (void)site;
     simExecMetrics().posts.increment();
+
+    chaos::ChaosEngine &chaosEngine = chaos::ChaosEngine::instance();
+    if (chaosEngine.enabled()) {
+        // Chaos under sim is still deterministic: a stalled site
+        // parks subsequent posts at a fixed future instant, a slow
+        // draw delays one task — both via scheduleAt, which preserves
+        // FIFO among equal timestamps, so a seeded run replays
+        // byte-for-byte.
+        const Time now = sim_.now();
+        sim::SimTime amount = 0;
+        if (chaosEngine.stallSite(now, amount)) {
+            if (stallUntil_.size() <= site)
+                stallUntil_.resize(site + 1, 0);
+            stallUntil_[site] = std::max(stallUntil_[site], now + amount);
+        }
+        Time when = now;
+        if (site < stallUntil_.size())
+            when = std::max(when, stallUntil_[site]);
+        if (chaosEngine.slowPost(now, amount))
+            when += amount;
+        if (when > now) {
+            sim_.scheduleAt(when, std::move(fn));
+            return;
+        }
+    }
     sim_.schedule(0, std::move(fn));
 }
 
@@ -53,12 +80,10 @@ SimExecutor::postBatch(SiteId site, std::span<Callback> fns)
     // One zero-delay event per element, in span order: exactly the
     // event ids, counters, and dispatch order N individual post()
     // calls would produce, so a batched run replays byte-identical to
-    // an unbatched one. Batching under sim is a pure API convenience.
-    (void)site;
-    for (Callback &fn : fns) {
-        simExecMetrics().posts.increment();
-        sim_.schedule(0, std::move(fn));
-    }
+    // an unbatched one. Batching under sim is a pure API convenience
+    // (and chaos draws fire per element, same as unbatched).
+    for (Callback &fn : fns)
+        post(site, std::move(fn));
 }
 
 void

@@ -78,6 +78,8 @@ class SimExecutor : public Executor
   private:
     sim::Simulator sim_;
     std::vector<std::string> siteNames_;
+    /** Chaos: virtual time each site is wedged until (0 = healthy). */
+    std::vector<Time> stallUntil_;
 };
 
 } // namespace hydra::exec

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 
+#include "chaos/chaos.hh"
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
 
@@ -429,9 +430,26 @@ ThreadedExecutor::workerLoop(Worker &worker)
 {
     tl_currentSite = worker.id;
     int idle = 0;
+    chaos::ChaosEngine &chaosEngine = chaos::ChaosEngine::instance();
     while (!stop_.load(std::memory_order_acquire)) {
         if (drainInbox(worker) > 0) {
             idle = 0;
+            // Chaos: a stuck/slow worker naps on the wall clock for a
+            // bounded slice after servicing a batch. Virtual time and
+            // posted work are untouched — the fault only delays when
+            // this thread gets back to its rings, which is exactly
+            // what a wedged firmware core looks like from outside.
+            if (chaosEngine.enabled()) {
+                sim::SimTime amount = 0;
+                const Time at = now_.load(std::memory_order_acquire);
+                if (chaosEngine.stallSite(at, amount) ||
+                    chaosEngine.slowPost(at, amount)) {
+                    const auto cap =
+                        std::min<sim::SimTime>(amount, sim::milliseconds(2));
+                    std::this_thread::sleep_for(
+                        std::chrono::nanoseconds(cap));
+                }
+            }
             continue;
         }
         if (++idle < config_.spinBeforePark) {

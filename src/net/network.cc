@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "chaos/chaos.hh"
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -95,6 +96,8 @@ Network::send(Packet packet)
         packet.traceCtx = obs::activeContext();
 
     sim::SimTime delivered = 0;
+    sim::SimTime duplicateAt = 0;
+    chaos::ChaosEngine &chaosEngine = chaos::ChaosEngine::instance();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (packet.src >= nodes_.size() || packet.dst >= nodes_.size())
@@ -115,6 +118,22 @@ Network::send(Packet packet)
             return Status::success(); // datagram loss is silent
         }
 
+        if (chaosEngine.enabled()) {
+            if (chaosEngine.dropPacket(packet.sentAt)) {
+                ++stats_.packetsDropped;
+                netMetrics().dropped.increment();
+                return Status::success(); // injected loss is silent too
+            }
+            if (chaosEngine.corruptPacket(packet.sentAt) &&
+                packet.payload.size() > 0) {
+                // Payload buffers are immutable and shared; corrupting
+                // the wire copy means a deliberate deep copy.
+                Bytes bytes = packet.payload.toBytes();
+                bytes[chaosEngine.corruptByteIndex(bytes.size())] ^= 0x01;
+                packet.payload = Payload(std::move(bytes));
+            }
+        }
+
         // Serialize on the sender's uplink.
         Node &src = nodes_[packet.src];
         const sim::SimTime wire =
@@ -132,8 +151,29 @@ Network::send(Packet packet)
             std::max(arrive_at_switch, dst.rxFreeAt);
         dst.rxFreeAt = rx_start + wire;
         delivered = dst.rxFreeAt + config_.linkLatency;
+
+        if (chaosEngine.enabled() &&
+            chaosEngine.duplicatePacket(packet.sentAt)) {
+            // The duplicate serializes behind the original on both
+            // links, exactly as a retransmitted datagram would.
+            const sim::SimTime tx2 =
+                std::max(packet.sentAt, src.txFreeAt);
+            src.txFreeAt = tx2 + wire;
+            const sim::SimTime arrive2 =
+                src.txFreeAt + config_.linkLatency + config_.switchLatency;
+            const sim::SimTime rx2 = std::max(arrive2, dst.rxFreeAt);
+            dst.rxFreeAt = rx2 + wire;
+            duplicateAt = dst.rxFreeAt + config_.linkLatency;
+            ++stats_.packetsSent;
+            netMetrics().sent.increment();
+        }
     }
 
+    if (duplicateAt != 0) {
+        exec_.scheduleAt(duplicateAt, [this, pkt = packet]() mutable {
+            deliver(std::move(pkt));
+        });
+    }
     exec_.scheduleAt(delivered, [this, pkt = std::move(packet)]() mutable {
         deliver(std::move(pkt));
     });

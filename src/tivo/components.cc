@@ -187,6 +187,24 @@ StreamerNetOffcode::stop()
     }
 }
 
+Bytes
+StreamerNetOffcode::snapshotState() const
+{
+    Bytes out;
+    ByteWriter writer(out);
+    writer.writeU64(packetsHandled_);
+    return out;
+}
+
+void
+StreamerNetOffcode::restoreState(const Bytes &snapshot)
+{
+    ByteReader reader(snapshot);
+    auto handled = reader.readU64();
+    if (handled)
+        packetsHandled_ = handled.value();
+}
+
 void
 StreamerNetOffcode::onPacket(const net::Packet &packet)
 {
@@ -242,7 +260,46 @@ StreamerDiskOffcode::start()
             *toFile_, file.value().offcode->guid(),
             file.value().offcode->guid());
     }
+    if (resumeReplay_) {
+        // A predecessor died mid-replay; pick up at the restored
+        // offset so the viewer never notices the restart.
+        resumeReplay_ = false;
+        if (!toDecoder_)
+            toDecoder_ = makeDataChannel(
+                *this, "tivo.Decoder",
+                core::ChannelConfig::Type::Unicast, 8 * 1024);
+        replaying_ = true;
+        replayTick();
+    }
     return Status::success();
+}
+
+Bytes
+StreamerDiskOffcode::snapshotState() const
+{
+    Bytes out;
+    ByteWriter writer(out);
+    writer.writeU64(chunksRecorded_);
+    writer.writeU64(chunksReplayed_);
+    writer.writeU64(replayOffset_);
+    writer.writeU32(replaying_ ? 1 : 0);
+    return out;
+}
+
+void
+StreamerDiskOffcode::restoreState(const Bytes &snapshot)
+{
+    ByteReader reader(snapshot);
+    auto recorded = reader.readU64();
+    auto replayed = reader.readU64();
+    auto offset = reader.readU64();
+    auto replaying = reader.readU32();
+    if (!recorded || !replayed || !offset || !replaying)
+        return;
+    chunksRecorded_ = recorded.value();
+    chunksReplayed_ = replayed.value();
+    replayOffset_ = offset.value();
+    resumeReplay_ = replaying.value() != 0;
 }
 
 void
@@ -362,6 +419,30 @@ DecoderOffcode::stop()
 {
     assembler_ = StreamAssembler();
     decoder_.reset();
+}
+
+Bytes
+DecoderOffcode::snapshotState() const
+{
+    Bytes out;
+    ByteWriter writer(out);
+    writer.writeU64(framesDecoded_);
+    writer.writeU64(decodeErrors_);
+    return out;
+}
+
+void
+DecoderOffcode::restoreState(const Bytes &snapshot)
+{
+    ByteReader reader(snapshot);
+    auto decoded = reader.readU64();
+    auto errors = reader.readU64();
+    if (!decoded || !errors)
+        return;
+    framesDecoded_ = decoded.value();
+    decodeErrors_ = errors.value();
+    // The assembler and GOP state restart cold; decode resynchronizes
+    // on the next I frame exactly as it does after corruption.
 }
 
 void
@@ -516,6 +597,31 @@ FileOffcode::flushBlocks()
             }
         });
     }
+}
+
+Bytes
+FileOffcode::snapshotState() const
+{
+    // The write-back cache *is* the recording; hand the whole store
+    // (plus the flush cursor) to the successor so replay after a
+    // controller restart serves identical bytes.
+    Bytes out;
+    ByteWriter writer(out);
+    writer.writeU64(flushedBytes_);
+    writer.writeBytes(content_);
+    return out;
+}
+
+void
+FileOffcode::restoreState(const Bytes &snapshot)
+{
+    ByteReader reader(snapshot);
+    auto flushed = reader.readU64();
+    auto content = reader.readBytes();
+    if (!flushed || !content)
+        return;
+    flushedBytes_ = flushed.value();
+    content_ = std::move(content).value();
 }
 
 Result<Bytes>
@@ -683,6 +789,28 @@ ServerFileOffcode::pump()
 ServerBroadcastOffcode::ServerBroadcastOffcode(TivoEnvPtr env)
     : Offcode("tivo.server.Broadcast"), env_(std::move(env))
 {
+}
+
+Bytes
+ServerBroadcastOffcode::snapshotState() const
+{
+    Bytes out;
+    ByteWriter writer(out);
+    writer.writeU64(seq_);
+    writer.writeU64(packetsSent_);
+    return out;
+}
+
+void
+ServerBroadcastOffcode::restoreState(const Bytes &snapshot)
+{
+    ByteReader reader(snapshot);
+    auto seq = reader.readU64();
+    auto sent = reader.readU64();
+    if (!seq || !sent)
+        return;
+    seq_ = seq.value();
+    packetsSent_ = sent.value();
 }
 
 void

@@ -66,6 +66,9 @@ class StreamerNetOffcode : public core::Offcode
 
     std::uint64_t packetsHandled() const { return packetsHandled_; }
 
+    Bytes snapshotState() const override;
+    void restoreState(const Bytes &snapshot) override;
+
   protected:
     Status start() override;
     void stop() override;
@@ -94,6 +97,9 @@ class StreamerDiskOffcode : public core::Offcode
     std::uint64_t chunksReplayed() const { return chunksReplayed_; }
     bool replaying() const { return replaying_; }
 
+    Bytes snapshotState() const override;
+    void restoreState(const Bytes &snapshot) override;
+
   protected:
     Status start() override;
     void stop() override;
@@ -110,6 +116,8 @@ class StreamerDiskOffcode : public core::Offcode
     std::uint64_t replayOffset_ = 0;
     bool replaying_ = false;
     bool stopped_ = false;
+    /** A predecessor was restarted mid-replay; resume at start(). */
+    bool resumeReplay_ = false;
 };
 
 /** MPEG decoder: payload chunks -> raw frames. */
@@ -122,6 +130,9 @@ class DecoderOffcode : public core::Offcode
 
     std::uint64_t framesDecoded() const { return framesDecoded_; }
     std::uint64_t decodeErrors() const { return decodeErrors_; }
+
+    Bytes snapshotState() const override;
+    void restoreState(const Bytes &snapshot) override;
 
   protected:
     Status start() override;
@@ -161,6 +172,9 @@ class FileOffcode : public core::Offcode
     void onData(const Payload &payload, core::ChannelHandle from) override;
 
     std::uint64_t bytesStored() const { return content_.size(); }
+
+    Bytes snapshotState() const override;
+    void restoreState(const Bytes &snapshot) override;
 
   protected:
     Status start() override;
@@ -234,6 +248,9 @@ class ServerBroadcastOffcode : public core::Offcode
     void onData(const Payload &payload, core::ChannelHandle from) override;
 
     std::uint64_t packetsSent() const { return packetsSent_; }
+
+    Bytes snapshotState() const override;
+    void restoreState(const Bytes &snapshot) override;
 
   private:
     TivoEnvPtr env_;

@@ -95,6 +95,41 @@ TEST(PlacementTest, MembershipChangeMovesAboutOneNth)
     EXPECT_LT(moved, keys * 35 / 100);
 }
 
+TEST(PlacementTest, HostRemovalMovesOnlyTheDepartedShare)
+{
+    std::vector<std::string> hosts{"host0", "host1", "host2", "host3",
+                                   "host4"};
+    PlacementRing before;
+    before.rebuild(hosts);
+    hosts.erase(hosts.begin() + 2); // drop host2
+    PlacementRing after;
+    after.rebuild(hosts);
+
+    int moved = 0;
+    int orphansMoved = 0;
+    int orphans = 0;
+    const int keys = 10000;
+    for (int i = 0; i < keys; ++i) {
+        const std::string key = "stream/" + std::to_string(i);
+        const std::string was = before.hostFor(key);
+        const std::string now = after.hostFor(key);
+        if (was == "host2") {
+            ++orphans;
+            // Every key on the departed host must land somewhere else.
+            EXPECT_NE(now, "host2") << key;
+            if (was != now)
+                ++orphansMoved;
+        }
+        if (was != now)
+            ++moved;
+    }
+    // Removing 1 of 5 hosts relocates exactly the departed host's
+    // keys (~1/5) and nothing else: keys homed on survivors stay put.
+    EXPECT_GT(orphans, 0);
+    EXPECT_EQ(moved, orphansMoved);
+    EXPECT_LT(moved, keys * 35 / 100);
+}
+
 // ----------------------------------------------------------- topology
 
 TEST(FleetTopologyTest, ResolvesSitesAcrossHostsButNotAliases)

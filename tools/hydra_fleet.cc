@@ -16,6 +16,11 @@
  *               [--remote-only] [--drivers] [--seed N]
  *               [--background-load] [--json]
  *               [--metrics] [--metrics-out FILE]
+ *               [--chaos SEED[:spec]]
+ *
+ * --chaos arms the deterministic fault injector (same grammar as
+ * hydra_sim). Scheduled resets match fleet NICs by name ("host0-nic",
+ * "host1-nic", ...).
  */
 
 #include <cstdio>
@@ -24,6 +29,7 @@
 #include <fstream>
 #include <string>
 
+#include "chaos/chaos.hh"
 #include "exec/executor.hh"
 #include "fleet/fleet.hh"
 #include "fleet/loadgen.hh"
@@ -43,7 +49,9 @@ usage(const char *argv0)
         "          [--executor sim|threaded] [--churn N]\n"
         "          [--remote-only] [--drivers] [--seed N]\n"
         "          [--background-load] [--json]\n"
-        "          [--metrics] [--metrics-out FILE]\n",
+        "          [--metrics] [--metrics-out FILE]\n"
+        "          [--chaos SEED[:drop=P,dup=P,corrupt=P,slow=P,"
+        "stall=P,poolfail=P,ringfull=P,reset@MS=dev[/ms]]]\n",
         argv0);
     return 2;
 }
@@ -211,6 +219,16 @@ main(int argc, char **argv)
         } else if (arg == "--metrics-out" && value) {
             metricsOut = value;
             ++i;
+        } else if (arg == "--chaos" && value) {
+            auto spec = chaos::parseChaosSpec(value);
+            if (!spec) {
+                std::fprintf(stderr, "%s: bad --chaos spec: %s\n",
+                             argv[0],
+                             spec.error().describe().c_str());
+                return usage(argv[0]);
+            }
+            chaos::ChaosEngine::instance().configure(spec.value());
+            ++i;
         } else {
             return usage(argv[0]);
         }
@@ -220,6 +238,33 @@ main(int argc, char **argv)
 
     auto executor = exec::makeExecutor(kind);
     fleet::Fleet fleet(*executor, fleetConfig);
+
+    // Chaos reset schedule: match fleet NICs by device name.
+    auto &chaosEngine = chaos::ChaosEngine::instance();
+    if (chaosEngine.enabled()) {
+        for (const chaos::ScheduledReset &reset :
+             chaosEngine.spec().resets) {
+            dev::ProgrammableNic *target = nullptr;
+            for (std::size_t h = 0; h < fleet.hostCount(); ++h)
+                if (fleet.host(h).nic().name() == reset.device)
+                    target = &fleet.host(h).nic();
+            if (!target) {
+                std::fprintf(stderr,
+                             "hydra_fleet: chaos: no NIC named '%s'; "
+                             "reset skipped\n",
+                             reset.device.c_str());
+                continue;
+            }
+            executor->scheduleAt(
+                reset.at, [target, at = reset.at,
+                           downtime = reset.downtime]() {
+                    chaos::ChaosEngine::instance().recordFault(
+                        "device_reset", at);
+                    target->reset(downtime);
+                });
+        }
+    }
+
     const fleet::LoadgenReport report = fleet::runOpenLoop(fleet, load);
 
     if (json)

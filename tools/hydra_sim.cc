@@ -21,6 +21,14 @@
  *             [--flight-out FILE] [--flight-interval-ms N]
  *             [--profile-out FILE] [--profile-interval-ms N]
  *             [--slo FILE] [--slo-strict]
+ *             [--chaos SEED[:spec]]
+ *
+ * --chaos arms the deterministic fault injector. The spec grammar is
+ * `SEED[:key=value,...]` with keys drop/dup/corrupt/slow/stall/
+ * poolfail/ringfull (probabilities), slow-ms/stall-ms (durations),
+ * and reset@MS=device[/downtime-ms] (repeatable; devices are
+ * server-nic, client-nic, client-disk, client-gpu). Same seed + same
+ * spec under the sim executor replays byte-for-byte.
  */
 
 #include <cstdio>
@@ -30,6 +38,7 @@
 #include <iterator>
 #include <string>
 
+#include "chaos/chaos.hh"
 #include "core/runtime.hh"
 #include "obs/flight.hh"
 #include "obs/metrics.hh"
@@ -59,7 +68,9 @@ usage(const char *argv0)
         "          [--spans-out FILE] [--introspect-out FILE]\n"
         "          [--flight-out FILE] [--flight-interval-ms N]\n"
         "          [--profile-out FILE] [--profile-interval-ms N]\n"
-        "          [--slo FILE] [--slo-strict]\n",
+        "          [--slo FILE] [--slo-strict]\n"
+        "          [--chaos SEED[:drop=P,dup=P,corrupt=P,slow=P,"
+        "stall=P,poolfail=P,ringfull=P,reset@MS=dev[/ms]]]\n",
         argv0);
     return 2;
 }
@@ -430,6 +441,24 @@ main(int argc, char **argv)
             sloPath = value;
         } else if (arg == "--slo-strict") {
             sloStrict = true;
+        } else if (arg == "--chaos" || arg.rfind("--chaos=", 0) == 0) {
+            std::string value;
+            if (arg == "--chaos") {
+                const char *v = next();
+                if (!v)
+                    return usage(argv[0]);
+                value = v;
+            } else {
+                value = arg.substr(std::strlen("--chaos="));
+            }
+            auto spec = chaos::parseChaosSpec(value);
+            if (!spec) {
+                std::fprintf(stderr, "%s: bad --chaos spec: %s\n",
+                             argv[0],
+                             spec.error().describe().c_str());
+                return usage(argv[0]);
+            }
+            chaos::ChaosEngine::instance().configure(spec.value());
         } else {
             return usage(argv[0]);
         }
@@ -516,6 +545,23 @@ main(int argc, char **argv)
 
     printLatencyReport();
     printCpuReport();
+
+    if (chaos::ChaosEngine::instance().enabled()) {
+        const auto &registry = obs::MetricsRegistry::instance();
+        std::printf("\nchaos:\n");
+        std::printf("  faults injected:    %llu\n",
+                    static_cast<unsigned long long>(
+                        chaos::ChaosEngine::instance().injected()));
+        std::printf("  recoveries:         %llu\n",
+                    static_cast<unsigned long long>(
+                        registry.counterTotal("chaos.recoveries")));
+        std::printf("  offcode restarts:   %llu\n",
+                    static_cast<unsigned long long>(
+                        registry.counterTotal("offcode.restarts")));
+        std::printf("  device resets:      %llu\n",
+                    static_cast<unsigned long long>(
+                        registry.counterTotal("dev.resets")));
+    }
 
     if (obs::SloEngine::instance().hasRules())
         std::printf("\nSLO report:\n%s",
